@@ -1,0 +1,227 @@
+//! JSON configuration schema for pools and execution streams.
+//!
+//! This is the `"argobots"` section of a Margo configuration document
+//! (the paper's Listing 2):
+//!
+//! ```json
+//! { "pools": [ { "name": "MyPoolX", "type": "fifo_wait", "access": "mpmc" } ],
+//!   "xstreams": [ { "name": "MyES0",
+//!                   "scheduler": { "type": "basic", "pools": ["MyPoolX"] } } ] }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Queueing discipline of a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum PoolKind {
+    /// FIFO; schedulers poll it.
+    Fifo,
+    /// FIFO; schedulers sleep until work arrives (the common default).
+    #[default]
+    FifoWait,
+    /// Priority queue; higher [`crate::ult::Ult::priority`] runs first.
+    PrioWait,
+}
+
+/// Concurrency mode of a pool. Real Argobots offers several single-
+/// producer/consumer variants as lock-avoidance optimizations; all Mochi
+/// configurations in the paper use `mpmc`, which is what we implement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum PoolAccess {
+    /// Multi-producer multi-consumer.
+    #[default]
+    Mpmc,
+}
+
+/// Configuration of one pool.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// Unique pool name.
+    pub name: String,
+    /// Queueing discipline.
+    #[serde(rename = "type", default)]
+    pub kind: PoolKind,
+    /// Concurrency mode.
+    #[serde(default)]
+    pub access: PoolAccess,
+}
+
+impl PoolConfig {
+    /// A `fifo_wait`/`mpmc` pool with the given name.
+    pub fn named(name: impl Into<String>) -> Self {
+        Self { name: name.into(), kind: PoolKind::FifoWait, access: PoolAccess::Mpmc }
+    }
+}
+
+/// Scheduler algorithm run by an execution stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SchedulerKind {
+    /// Round-robin over the pool list, polling.
+    Basic,
+    /// Round-robin over the pool list, sleeping when all pools are empty.
+    #[default]
+    BasicWait,
+}
+
+/// Scheduler configuration of one execution stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Algorithm.
+    #[serde(rename = "type", default)]
+    pub kind: SchedulerKind,
+    /// Ordered pool names; earlier pools have priority.
+    pub pools: Vec<String>,
+}
+
+/// Configuration of one execution stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XstreamConfig {
+    /// Unique xstream name.
+    pub name: String,
+    /// Scheduler over an ordered pool list.
+    pub scheduler: SchedulerConfig,
+}
+
+impl XstreamConfig {
+    /// A `basic_wait` xstream pulling from a single pool.
+    pub fn named(name: impl Into<String>, pool: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            scheduler: SchedulerConfig { kind: SchedulerKind::BasicWait, pools: vec![pool.into()] },
+        }
+    }
+}
+
+/// The full `"argobots"` document: pools plus xstreams.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AbtConfig {
+    /// Pool definitions.
+    #[serde(default)]
+    pub pools: Vec<PoolConfig>,
+    /// Execution stream definitions.
+    #[serde(default)]
+    pub xstreams: Vec<XstreamConfig>,
+}
+
+impl AbtConfig {
+    /// The default topology used when no configuration is supplied: one
+    /// `__primary__` pool served by one `__primary__` xstream.
+    pub fn primary_only() -> Self {
+        Self {
+            pools: vec![PoolConfig::named("__primary__")],
+            xstreams: vec![XstreamConfig::named("__primary__", "__primary__")],
+        }
+    }
+
+    /// Structural validation: unique names, schedulers non-empty and
+    /// referring to defined pools.
+    pub fn validate(&self) -> Result<(), crate::error::AbtError> {
+        use crate::error::AbtError;
+        let mut pool_names = std::collections::HashSet::new();
+        for p in &self.pools {
+            if !pool_names.insert(p.name.as_str()) {
+                return Err(AbtError::BadConfig(format!("duplicate pool '{}'", p.name)));
+            }
+        }
+        let mut es_names = std::collections::HashSet::new();
+        for x in &self.xstreams {
+            if !es_names.insert(x.name.as_str()) {
+                return Err(AbtError::BadConfig(format!("duplicate xstream '{}'", x.name)));
+            }
+            if x.scheduler.pools.is_empty() {
+                return Err(AbtError::EmptyScheduler(x.name.clone()));
+            }
+            for pool in &x.scheduler.pools {
+                if !pool_names.contains(pool.as_str()) {
+                    return Err(AbtError::BadConfig(format!(
+                        "xstream '{}' references undefined pool '{pool}'",
+                        x.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LISTING_2: &str = r#"
+    { "pools": [ { "name": "MyPoolX",
+                   "type": "fifo_wait",
+                   "access": "mpmc" } ],
+      "xstreams": [ { "name": "MyES0",
+                      "scheduler": {
+                          "type": "basic",
+                          "pools": ["MyPoolX"] } } ] }
+    "#;
+
+    #[test]
+    fn parses_listing_2() {
+        let cfg: AbtConfig = serde_json::from_str(LISTING_2).unwrap();
+        assert_eq!(cfg.pools.len(), 1);
+        assert_eq!(cfg.pools[0].name, "MyPoolX");
+        assert_eq!(cfg.pools[0].kind, PoolKind::FifoWait);
+        assert_eq!(cfg.pools[0].access, PoolAccess::Mpmc);
+        assert_eq!(cfg.xstreams[0].name, "MyES0");
+        assert_eq!(cfg.xstreams[0].scheduler.kind, SchedulerKind::Basic);
+        assert_eq!(cfg.xstreams[0].scheduler.pools, vec!["MyPoolX"]);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let cfg: AbtConfig = serde_json::from_str(LISTING_2).unwrap();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: AbtConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn defaults_applied_when_fields_missing() {
+        let cfg: AbtConfig =
+            serde_json::from_str(r#"{"pools": [{"name": "p"}], "xstreams": []}"#).unwrap();
+        assert_eq!(cfg.pools[0].kind, PoolKind::FifoWait);
+        assert_eq!(cfg.pools[0].access, PoolAccess::Mpmc);
+    }
+
+    #[test]
+    fn validate_rejects_duplicates() {
+        let cfg = AbtConfig {
+            pools: vec![PoolConfig::named("p"), PoolConfig::named("p")],
+            xstreams: vec![],
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_pool_reference() {
+        let cfg = AbtConfig {
+            pools: vec![PoolConfig::named("p")],
+            xstreams: vec![XstreamConfig::named("es", "ghost")],
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty_scheduler() {
+        let cfg = AbtConfig {
+            pools: vec![PoolConfig::named("p")],
+            xstreams: vec![XstreamConfig {
+                name: "es".into(),
+                scheduler: SchedulerConfig { kind: SchedulerKind::Basic, pools: vec![] },
+            }],
+        };
+        assert!(matches!(cfg.validate(), Err(crate::error::AbtError::EmptyScheduler(_))));
+    }
+
+    #[test]
+    fn primary_only_is_valid() {
+        AbtConfig::primary_only().validate().unwrap();
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for runtime topology operations.
+
+use std::fmt;
+
+/// Errors raised by topology changes and submissions. These are exactly
+/// the validity conditions the paper says Margo must enforce during online
+/// reconfiguration (§5, Observation 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbtError {
+    /// A pool with this name already exists.
+    PoolExists(String),
+    /// No pool with this name.
+    PoolNotFound(String),
+    /// The pool is referenced by one or more execution streams.
+    PoolInUse { pool: String, xstreams: Vec<String> },
+    /// The pool still holds pending ULTs.
+    PoolNotEmpty { pool: String, pending: usize },
+    /// An xstream with this name already exists.
+    XstreamExists(String),
+    /// No xstream with this name.
+    XstreamNotFound(String),
+    /// An xstream's scheduler referenced no pools.
+    EmptyScheduler(String),
+    /// A configuration document was structurally invalid.
+    BadConfig(String),
+    /// The runtime is shutting down.
+    Shutdown,
+}
+
+impl fmt::Display for AbtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbtError::PoolExists(n) => write!(f, "pool '{n}' already exists"),
+            AbtError::PoolNotFound(n) => write!(f, "pool '{n}' not found"),
+            AbtError::PoolInUse { pool, xstreams } => {
+                write!(f, "pool '{pool}' is in use by xstream(s) {xstreams:?}")
+            }
+            AbtError::PoolNotEmpty { pool, pending } => {
+                write!(f, "pool '{pool}' still holds {pending} pending ULT(s)")
+            }
+            AbtError::XstreamExists(n) => write!(f, "xstream '{n}' already exists"),
+            AbtError::XstreamNotFound(n) => write!(f, "xstream '{n}' not found"),
+            AbtError::EmptyScheduler(n) => write!(f, "xstream '{n}' has no pools"),
+            AbtError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            AbtError::Shutdown => write!(f, "runtime is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for AbtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_names() {
+        let e = AbtError::PoolInUse { pool: "p".into(), xstreams: vec!["es0".into()] };
+        assert!(e.to_string().contains('p'));
+        assert!(e.to_string().contains("es0"));
+    }
+}

@@ -1,0 +1,39 @@
+//! `mochi-argobots` — a user-level task runtime in the shape of Argobots.
+//!
+//! Argobots (Seo et al., TPDS'18) gives Mochi its threading model: *pools*
+//! hold user-level threads (ULTs), *execution streams* (ESs — OS threads)
+//! run schedulers that pull ULTs from an ordered list of pools, and
+//! arbitrarily complex provider→pool→ES mappings can be configured (the
+//! paper's Figure 2) and — crucially for this paper — **changed at run
+//! time** (§5, Observation 2).
+//!
+//! We model a ULT as a boxed task executed to completion by an ES. Real
+//! Argobots ULTs can yield mid-execution via stack switching; none of the
+//! dynamic-service machinery in the paper depends on that, while all of it
+//! depends on the pool/ES topology, which this crate reproduces:
+//!
+//! * [`pool::Pool`] — named ULT queues (`fifo`, `fifo_wait`, `prio_wait`)
+//!   with the `mpmc` access mode,
+//! * [`xstream::ExecutionStream`] — OS threads running a `basic` or
+//!   `basic_wait` scheduler over an ordered pool list,
+//! * [`runtime::AbtRuntime`] — the dynamic registry: pools and ESs can be
+//!   added and removed online, with the validity rules the paper gives
+//!   Margo ("not allowing adding multiple pools with the same name or
+//!   removing a pool that is in use by an ES"),
+//! * [`config`] — the `{"pools": …, "xstreams": …}` JSON schema of
+//!   Listing 2.
+
+pub mod config;
+pub mod error;
+pub mod pool;
+pub mod runtime;
+pub mod ult;
+pub mod xstream;
+
+pub use config::{
+    AbtConfig, PoolAccess, PoolConfig, PoolKind, SchedulerConfig, SchedulerKind, XstreamConfig,
+};
+pub use error::AbtError;
+pub use pool::{Pool, PoolStats};
+pub use runtime::AbtRuntime;
+pub use ult::Ult;

@@ -1,0 +1,332 @@
+//! Pools: named ULT queues shared between providers and xstreams.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
+
+use mochi_util::StreamStats;
+
+use crate::config::{PoolConfig, PoolKind};
+use crate::ult::Ult;
+
+/// Wakes sleeping schedulers when work arrives anywhere. One notifier is
+/// shared by all pools of a runtime: an xstream may serve several pools,
+/// so per-pool condition variables would force it to pick one to sleep on.
+#[derive(Default)]
+pub struct Notifier {
+    mutex: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Notifier {
+    /// Creates a notifier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wakes all sleeping schedulers.
+    pub fn notify_all(&self) {
+        let mut generation = self.mutex.lock();
+        *generation += 1;
+        self.cv.notify_all();
+    }
+
+    /// Current notification generation. Read it *before* checking for
+    /// work, then pass it to [`Notifier::wait_if_unchanged`]: if a
+    /// notification slipped in between, the wait returns immediately,
+    /// closing the lost-wakeup window.
+    pub fn generation(&self) -> u64 {
+        *self.mutex.lock()
+    }
+
+    /// Sleeps until the next notification or `timeout`, unless the
+    /// generation already moved past `seen`.
+    pub fn wait_if_unchanged(&self, seen: u64, timeout: Duration) {
+        let mut generation = self.mutex.lock();
+        if *generation == seen {
+            self.cv.wait_for(&mut generation, timeout);
+        }
+    }
+}
+
+struct PrioUlt {
+    ult: Ult,
+    seq: u64,
+}
+
+impl PartialEq for PrioUlt {
+    fn eq(&self, other: &Self) -> bool {
+        self.ult.priority == other.ult.priority && self.seq == other.seq
+    }
+}
+impl Eq for PrioUlt {}
+impl PartialOrd for PrioUlt {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PrioUlt {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, FIFO (lower seq) among equals.
+        self.ult
+            .priority
+            .cmp(&other.ult.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+enum Queue {
+    Fifo(VecDeque<Ult>),
+    Prio(BinaryHeap<PrioUlt>),
+}
+
+impl Queue {
+    fn len(&self) -> usize {
+        match self {
+            Queue::Fifo(q) => q.len(),
+            Queue::Prio(q) => q.len(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct StatsInner {
+    total_pushed: u64,
+    total_popped: u64,
+    /// Time ULTs spent queued, in seconds.
+    wait: StreamStats,
+    /// Time ULTs spent executing, in seconds (reported by xstreams).
+    exec: StreamStats,
+}
+
+/// Point-in-time statistics snapshot of one pool; part of the monitoring
+/// output (§4: "the sizes of user-level thread pools").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Pool name.
+    pub name: String,
+    /// Current queue depth.
+    pub size: usize,
+    /// ULTs ever pushed.
+    pub total_pushed: u64,
+    /// ULTs ever popped.
+    pub total_popped: u64,
+    /// Queue-wait time statistics (seconds).
+    pub wait: StreamStats,
+    /// Execution time statistics (seconds).
+    pub exec: StreamStats,
+}
+
+/// A named ULT queue.
+pub struct Pool {
+    config: PoolConfig,
+    queue: Mutex<Queue>,
+    stats: Mutex<StatsInner>,
+    seq: AtomicU64,
+    notifier: Arc<Notifier>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("name", &self.config.name)
+            .field("kind", &self.config.kind)
+            .field("size", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Pool {
+    /// Creates a pool from its configuration, wired to `notifier`.
+    pub fn new(config: PoolConfig, notifier: Arc<Notifier>) -> Self {
+        let queue = match config.kind {
+            PoolKind::Fifo | PoolKind::FifoWait => Queue::Fifo(VecDeque::new()),
+            PoolKind::PrioWait => Queue::Prio(BinaryHeap::new()),
+        };
+        Self {
+            config,
+            queue: Mutex::new(queue),
+            stats: Mutex::new(StatsInner::default()),
+            seq: AtomicU64::new(0),
+            notifier,
+        }
+    }
+
+    /// Standalone pool with a private notifier (tests, simple uses).
+    pub fn standalone(config: PoolConfig) -> Self {
+        Self::new(config, Arc::new(Notifier::new()))
+    }
+
+    /// Pool name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// Pool kind.
+    pub fn kind(&self) -> PoolKind {
+        self.config.kind
+    }
+
+    /// The pool's configuration.
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// Enqueues a ULT and wakes schedulers.
+    pub fn push(&self, ult: Ult) {
+        {
+            let mut queue = self.queue.lock();
+            match &mut *queue {
+                Queue::Fifo(q) => q.push_back(ult),
+                Queue::Prio(q) => {
+                    let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                    q.push(PrioUlt { ult, seq });
+                }
+            }
+        }
+        self.stats.lock().total_pushed += 1;
+        self.notifier.notify_all();
+    }
+
+    /// Dequeues the next ULT, if any, recording its queue-wait time.
+    pub fn try_pop(&self) -> Option<Ult> {
+        let ult = {
+            let mut queue = self.queue.lock();
+            match &mut *queue {
+                Queue::Fifo(q) => q.pop_front(),
+                Queue::Prio(q) => q.pop().map(|p| p.ult),
+            }
+        }?;
+        let mut stats = self.stats.lock();
+        stats.total_popped += 1;
+        stats.wait.push(ult.submitted_at.elapsed().as_secs_f64());
+        Some(ult)
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reports the execution duration of a ULT popped from this pool
+    /// (called by xstreams after running it).
+    pub fn record_execution(&self, seconds: f64) {
+        self.stats.lock().exec.push(seconds);
+    }
+
+    /// Snapshot of the pool's statistics.
+    pub fn stats(&self) -> PoolStats {
+        let stats = self.stats.lock();
+        PoolStats {
+            name: self.config.name.clone(),
+            size: self.len(),
+            total_pushed: stats.total_pushed,
+            total_popped: stats.total_popped,
+            wait: stats.wait.clone(),
+            exec: stats.exec.clone(),
+        }
+    }
+
+    /// The notifier shared with the runtime (exposed for schedulers
+    /// and tests).
+    pub fn notifier(&self) -> &Arc<Notifier> {
+        &self.notifier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn fifo() -> Pool {
+        Pool::standalone(PoolConfig::named("p"))
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let pool = fifo();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..5 {
+            let log = Arc::clone(&log);
+            pool.push(Ult::new(format!("u{i}"), move || log.lock().push(i)));
+        }
+        while let Some(ult) = pool.try_pop() {
+            ult.run();
+        }
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn prio_pool_runs_high_priority_first() {
+        let config = PoolConfig {
+            name: "prio".into(),
+            kind: PoolKind::PrioWait,
+            access: Default::default(),
+        };
+        let pool = Pool::standalone(config);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (i, prio) in [(0, 1), (1, 5), (2, 5), (3, -1)] {
+            let log = Arc::clone(&log);
+            pool.push(Ult::with_priority(format!("u{i}"), prio, move || log.lock().push(i)));
+        }
+        while let Some(ult) = pool.try_pop() {
+            ult.run();
+        }
+        // priority 5 (FIFO between equals), then 1, then -1.
+        assert_eq!(*log.lock(), vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn stats_track_push_pop_and_wait() {
+        let pool = fifo();
+        pool.push(Ult::new("u", || {}));
+        std::thread::sleep(Duration::from_millis(5));
+        let ult = pool.try_pop().unwrap();
+        ult.run();
+        pool.record_execution(0.5);
+        let stats = pool.stats();
+        assert_eq!(stats.total_pushed, 1);
+        assert_eq!(stats.total_popped, 1);
+        assert_eq!(stats.size, 0);
+        assert!(stats.wait.avg() >= 0.004, "wait avg = {}", stats.wait.avg());
+        assert_eq!(stats.exec.num(), 1);
+    }
+
+    #[test]
+    fn pop_on_empty_returns_none() {
+        assert!(fifo().try_pop().is_none());
+    }
+
+    #[test]
+    fn notifier_wakes_waiters() {
+        let pool = Arc::new(fifo());
+        let woke = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let woke = Arc::clone(&woke);
+                std::thread::spawn(move || {
+                    let generation = pool.notifier().generation();
+                    pool.notifier().wait_if_unchanged(generation, Duration::from_secs(5));
+                    woke.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        pool.push(Ult::new("wake", || {}));
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(woke.load(Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,260 @@
+//! Bedrock process configuration (paper §5, Listing 3).
+//!
+//! ```json
+//! { "margo": { … },
+//!   "libraries": { "A": "libcomponent_a.so" },
+//!   "providers": [
+//!     { "name": "myProviderA",
+//!       "type": "A",
+//!       "provider_id": 1,
+//!       "pool": "MyPoolX",
+//!       "config": { … },
+//!       "dependencies": { … } } ] }
+//! ```
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use mochi_margo::MargoConfig;
+
+use crate::error::BedrockError;
+
+/// Specification of one provider to instantiate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProviderSpec {
+    /// Unique provider name within the process.
+    pub name: String,
+    /// Provider type; must match a loaded module (the `libraries` key).
+    #[serde(rename = "type")]
+    pub type_name: String,
+    /// Provider id used for RPC routing. Must be unique per process.
+    pub provider_id: u16,
+    /// Pool handler ULTs run in; defaults to Margo's default RPC pool.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub pool: Option<String>,
+    /// Component-specific configuration, passed through verbatim.
+    #[serde(default)]
+    pub config: Value,
+    /// Dependencies: logical name → `"provider"` (same process) or
+    /// `"provider@<address>"` (remote process).
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub dependencies: BTreeMap<String, String>,
+    /// Free-form tags.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub tags: Vec<String>,
+}
+
+impl ProviderSpec {
+    /// Minimal spec with no pool/config/dependencies.
+    pub fn new(name: impl Into<String>, type_name: impl Into<String>, provider_id: u16) -> Self {
+        Self {
+            name: name.into(),
+            type_name: type_name.into(),
+            provider_id,
+            pool: None,
+            config: Value::Null,
+            dependencies: BTreeMap::new(),
+            tags: Vec::new(),
+        }
+    }
+
+    /// Builder-style: sets the component configuration.
+    pub fn with_config(mut self, config: Value) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builder-style: sets the pool.
+    pub fn with_pool(mut self, pool: impl Into<String>) -> Self {
+        self.pool = Some(pool.into());
+        self
+    }
+
+    /// Builder-style: adds a dependency.
+    pub fn with_dependency(mut self, name: impl Into<String>, target: impl Into<String>) -> Self {
+        self.dependencies.insert(name.into(), target.into());
+        self
+    }
+}
+
+/// A parsed dependency target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DependencyTarget {
+    /// Provider in the same process.
+    Local(String),
+    /// `name@address`: provider in another process.
+    Remote { name: String, address: String },
+}
+
+/// Parses a dependency string (`"p"` or `"p@ofi+tcp://node:1"`).
+pub fn parse_dependency(spec: &str) -> Result<DependencyTarget, BedrockError> {
+    if spec.is_empty() {
+        return Err(BedrockError::BadConfig("empty dependency".into()));
+    }
+    match spec.split_once('@') {
+        None => Ok(DependencyTarget::Local(spec.to_string())),
+        Some((name, address)) if !name.is_empty() && !address.is_empty() => {
+            Ok(DependencyTarget::Remote { name: name.to_string(), address: address.to_string() })
+        }
+        Some(_) => Err(BedrockError::BadConfig(format!("malformed dependency '{spec}'"))),
+    }
+}
+
+/// Bedrock's own section of the process configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BedrockSection {
+    /// Pool Bedrock's own RPC handlers run in (default: Margo's default).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub pool: Option<String>,
+    /// Bedrock's provider id.
+    #[serde(default = "default_bedrock_provider_id")]
+    pub provider_id: u16,
+}
+
+fn default_bedrock_provider_id() -> u16 {
+    0
+}
+
+impl Default for BedrockSection {
+    fn default() -> Self {
+        Self { pool: None, provider_id: default_bedrock_provider_id() }
+    }
+}
+
+/// Full process configuration (Listing 3 shape).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ProcessConfig {
+    /// Margo section (includes the Listing-2 `argobots` subsection).
+    #[serde(default)]
+    pub margo: MargoConfig,
+    /// Library name → path: which "shared objects" to load.
+    #[serde(default)]
+    pub libraries: BTreeMap<String, String>,
+    /// Providers to instantiate, in order (dependencies permitting).
+    #[serde(default)]
+    pub providers: Vec<ProviderSpec>,
+    /// Bedrock's own settings.
+    #[serde(default)]
+    pub bedrock: BedrockSection,
+}
+
+impl ProcessConfig {
+    /// Parses and validates a JSON document.
+    pub fn from_json(json: &str) -> Result<Self, BedrockError> {
+        let config: ProcessConfig =
+            serde_json::from_str(json).map_err(|e| BedrockError::BadConfig(e.to_string()))?;
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Structural validation: margo section valid; provider names and
+    /// (type, provider_id) pairs unique; provider types have libraries;
+    /// dependency strings parse.
+    pub fn validate(&self) -> Result<(), BedrockError> {
+        self.margo.validate().map_err(|e| BedrockError::BadConfig(e.to_string()))?;
+        let mut names = std::collections::HashSet::new();
+        let mut ids = std::collections::HashSet::new();
+        for spec in &self.providers {
+            if !names.insert(spec.name.as_str()) {
+                return Err(BedrockError::BadConfig(format!(
+                    "duplicate provider name '{}'",
+                    spec.name
+                )));
+            }
+            if !ids.insert(spec.provider_id) {
+                return Err(BedrockError::BadConfig(format!(
+                    "duplicate provider id {}",
+                    spec.provider_id
+                )));
+            }
+            if !self.libraries.contains_key(&spec.type_name) {
+                return Err(BedrockError::BadConfig(format!(
+                    "provider '{}' has type '{}' with no matching library",
+                    spec.name, spec.type_name
+                )));
+            }
+            for dep in spec.dependencies.values() {
+                parse_dependency(dep)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LISTING_3: &str = r#"
+    { "margo": { },
+      "libraries": { "A": "libcomponent_a.so" },
+      "providers": [
+        { "name": "myProviderA",
+          "type": "A",
+          "provider_id": 1,
+          "pool": "__primary__",
+          "config": {"answer": 42},
+          "dependencies": {} } ] }
+    "#;
+
+    #[test]
+    fn parses_listing_3() {
+        let config = ProcessConfig::from_json(LISTING_3).unwrap();
+        assert_eq!(config.libraries["A"], "libcomponent_a.so");
+        assert_eq!(config.providers.len(), 1);
+        let p = &config.providers[0];
+        assert_eq!(p.name, "myProviderA");
+        assert_eq!(p.type_name, "A");
+        assert_eq!(p.provider_id, 1);
+        assert_eq!(p.pool.as_deref(), Some("__primary__"));
+        assert_eq!(p.config["answer"], 42);
+    }
+
+    #[test]
+    fn round_trips() {
+        let config = ProcessConfig::from_json(LISTING_3).unwrap();
+        let json = serde_json::to_string(&config).unwrap();
+        let back = ProcessConfig::from_json(&json).unwrap();
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut config = ProcessConfig::from_json(LISTING_3).unwrap();
+        let mut dup = config.providers[0].clone();
+        dup.provider_id = 2;
+        config.providers.push(dup);
+        assert!(matches!(config.validate(), Err(BedrockError::BadConfig(_))));
+    }
+
+    #[test]
+    fn missing_library_rejected() {
+        let mut config = ProcessConfig::from_json(LISTING_3).unwrap();
+        config.libraries.clear();
+        assert!(matches!(config.validate(), Err(BedrockError::BadConfig(_))));
+    }
+
+    #[test]
+    fn dependency_parsing() {
+        assert_eq!(parse_dependency("kv").unwrap(), DependencyTarget::Local("kv".into()));
+        assert_eq!(
+            parse_dependency("kv@ofi+tcp://n2:1").unwrap(),
+            DependencyTarget::Remote { name: "kv".into(), address: "ofi+tcp://n2:1".into() }
+        );
+        assert!(parse_dependency("").is_err());
+        assert!(parse_dependency("@addr").is_err());
+        assert!(parse_dependency("kv@").is_err());
+    }
+
+    #[test]
+    fn spec_builder() {
+        let spec = ProviderSpec::new("db", "yokan", 3)
+            .with_pool("fast")
+            .with_config(serde_json::json!({"backend": "map"}))
+            .with_dependency("remi", "remi@ofi+tcp://n1:1");
+        assert_eq!(spec.pool.as_deref(), Some("fast"));
+        assert_eq!(spec.dependencies["remi"], "remi@ofi+tcp://n1:1");
+    }
+}

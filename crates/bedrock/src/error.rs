@@ -1,0 +1,87 @@
+//! Error type for Bedrock operations.
+
+use std::fmt;
+
+use mochi_margo::MargoError;
+
+/// Errors surfaced by Bedrock's local and remote APIs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BedrockError {
+    /// Underlying Margo/transport failure.
+    Margo(MargoError),
+    /// A configuration document was invalid.
+    BadConfig(String),
+    /// Library (module) not found in the catalog — the analogue of a
+    /// failed `dlopen`.
+    LibraryNotFound(String),
+    /// No module loaded for this provider type.
+    ModuleNotLoaded(String),
+    /// A provider with this name already exists.
+    ProviderExists(String),
+    /// No provider with this name.
+    ProviderNotFound(String),
+    /// A dependency could not be resolved.
+    DependencyError { provider: String, dependency: String, reason: String },
+    /// The provider is depended upon by others and cannot be removed.
+    ProviderInUse { provider: String, dependents: Vec<String> },
+    /// The module factory or a provider hook failed.
+    Provider(String),
+    /// A transaction could not be prepared (conflict or precondition).
+    TxnConflict(String),
+    /// Unknown transaction id in commit/abort.
+    TxnUnknown(String),
+}
+
+impl fmt::Display for BedrockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BedrockError::Margo(e) => write!(f, "margo: {e}"),
+            BedrockError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+            BedrockError::LibraryNotFound(l) => write!(f, "library '{l}' not found"),
+            BedrockError::ModuleNotLoaded(t) => write!(f, "no module loaded for type '{t}'"),
+            BedrockError::ProviderExists(n) => write!(f, "provider '{n}' already exists"),
+            BedrockError::ProviderNotFound(n) => write!(f, "provider '{n}' not found"),
+            BedrockError::DependencyError { provider, dependency, reason } => {
+                write!(f, "provider '{provider}' dependency '{dependency}': {reason}")
+            }
+            BedrockError::ProviderInUse { provider, dependents } => {
+                write!(f, "provider '{provider}' is used by {dependents:?}")
+            }
+            BedrockError::Provider(m) => write!(f, "provider error: {m}"),
+            BedrockError::TxnConflict(m) => write!(f, "transaction conflict: {m}"),
+            BedrockError::TxnUnknown(id) => write!(f, "unknown transaction '{id}'"),
+        }
+    }
+}
+
+impl std::error::Error for BedrockError {}
+
+impl From<MargoError> for BedrockError {
+    fn from(e: MargoError) -> Self {
+        BedrockError::Margo(e)
+    }
+}
+
+impl BedrockError {
+    /// Flattens to the string carried across the RPC boundary (Bedrock
+    /// RPC handlers answer errors as strings).
+    pub fn to_rpc_string(&self) -> String {
+        self.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BedrockError::DependencyError {
+            provider: "p".into(),
+            dependency: "kv".into(),
+            reason: "missing".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains('p') && s.contains("kv") && s.contains("missing"));
+    }
+}

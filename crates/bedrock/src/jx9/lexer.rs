@@ -1,0 +1,213 @@
+//! Tokenizer for the Jx9 subset.
+
+use super::Jx9Error;
+
+/// Lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `$name`
+    Variable(String),
+    /// Bare identifier (keywords are classified by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (single- or double-quoted).
+    Str(String),
+    /// Punctuation / operator, e.g. `==`, `=>`, `(`, `{`.
+    Punct(&'static str),
+}
+
+const TWO_CHAR: [&str; 8] = ["==", "!=", "<=", ">=", "&&", "||", "=>", "->"];
+const ONE_CHAR: [&str; 16] =
+    ["(", ")", "{", "}", "[", "]", ",", ";", ".", "=", "<", ">", "+", "-", "*", "/"];
+const ONE_CHAR_EXTRA: [&str; 2] = ["%", "!"];
+
+/// Tokenizes a script. `#`-to-end-of-line and `//` comments are skipped.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, Jx9Error> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '#' || (c == '/' && chars.get(i + 1) == Some(&'/')) {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Variables.
+        if c == '$' {
+            let start = i + 1;
+            let mut end = start;
+            while end < chars.len() && (chars[end].is_alphanumeric() || chars[end] == '_') {
+                end += 1;
+            }
+            if end == start {
+                return Err(Jx9Error("'$' not followed by a name".into()));
+            }
+            tokens.push(Token::Variable(chars[start..end].iter().collect()));
+            i = end;
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            let mut end = i;
+            while end < chars.len() && (chars[end].is_alphanumeric() || chars[end] == '_') {
+                end += 1;
+            }
+            tokens.push(Token::Ident(chars[start..end].iter().collect()));
+            i = end;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut end = i;
+            let mut is_float = false;
+            while end < chars.len()
+                && (chars[end].is_ascii_digit()
+                    || (chars[end] == '.'
+                        && chars.get(end + 1).is_some_and(|c| c.is_ascii_digit())
+                        && !is_float))
+            {
+                if chars[end] == '.' {
+                    is_float = true;
+                }
+                end += 1;
+            }
+            let text: String = chars[start..end].iter().collect();
+            if is_float {
+                tokens.push(Token::Float(
+                    text.parse().map_err(|_| Jx9Error(format!("bad float '{text}'")))?,
+                ));
+            } else {
+                tokens.push(Token::Int(
+                    text.parse().map_err(|_| Jx9Error(format!("bad integer '{text}'")))?,
+                ));
+            }
+            i = end;
+            continue;
+        }
+        // Strings.
+        if c == '"' || c == '\'' {
+            let quote = c;
+            let mut value = String::new();
+            let mut j = i + 1;
+            loop {
+                match chars.get(j) {
+                    None => return Err(Jx9Error("unterminated string".into())),
+                    Some(&ch) if ch == quote => break,
+                    Some('\\') => {
+                        match chars.get(j + 1) {
+                            Some('n') => value.push('\n'),
+                            Some('t') => value.push('\t'),
+                            Some(&other) => value.push(other),
+                            None => return Err(Jx9Error("dangling escape".into())),
+                        }
+                        j += 2;
+                    }
+                    Some(&ch) => {
+                        value.push(ch);
+                        j += 1;
+                    }
+                }
+            }
+            tokens.push(Token::Str(value));
+            i = j + 1;
+            continue;
+        }
+        // Operators, longest match first.
+        let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+        if let Some(op) = TWO_CHAR.iter().find(|&&op| op == two) {
+            tokens.push(Token::Punct(op));
+            i += 2;
+            continue;
+        }
+        let one = c.to_string();
+        if let Some(op) =
+            ONE_CHAR.iter().chain(ONE_CHAR_EXTRA.iter()).find(|&&op| op == one)
+        {
+            tokens.push(Token::Punct(op));
+            i += 1;
+            continue;
+        }
+        return Err(Jx9Error(format!("unexpected character '{c}'")));
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_listing4() {
+        let tokens = tokenize(
+            r#"$result = [];
+               foreach ($__config__.providers as $p) {
+                   array_push($result, $p.name); }
+               return $result;"#,
+        )
+        .unwrap();
+        assert!(tokens.contains(&Token::Variable("result".into())));
+        assert!(tokens.contains(&Token::Variable("__config__".into())));
+        assert!(tokens.contains(&Token::Ident("foreach".into())));
+        assert!(tokens.contains(&Token::Ident("array_push".into())));
+        assert!(tokens.contains(&Token::Punct(".")));
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let tokens = tokenize(r#"42 3.25 "hi\n" 'single'"#).unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Int(42),
+                Token::Float(3.25),
+                Token::Str("hi\n".into()),
+                Token::Str("single".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators_win() {
+        let tokens = tokenize("a == b != c => d").unwrap();
+        assert!(tokens.contains(&Token::Punct("==")));
+        assert!(tokens.contains(&Token::Punct("!=")));
+        assert!(tokens.contains(&Token::Punct("=>")));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let tokens = tokenize("# full line\n$a = 1; // trailing\n$b = 2;").unwrap();
+        assert_eq!(tokens.iter().filter(|t| matches!(t, Token::Variable(_))).count(), 2);
+    }
+
+    #[test]
+    fn member_access_vs_float() {
+        // `$p.name` must lex as variable, '.', ident — not a float.
+        let tokens = tokenize("$p.name").unwrap();
+        assert_eq!(
+            tokens,
+            vec![Token::Variable("p".into()), Token::Punct("."), Token::Ident("name".into())]
+        );
+        // But `1.5` is a float.
+        assert_eq!(tokenize("1.5").unwrap(), vec![Token::Float(1.5)]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("$").is_err());
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("@").is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! A Jx9 interpreter subset for configuration queries (paper §5,
+//! Listing 4).
+//!
+//! Bedrock lets clients query a process's configuration with Jx9, "a
+//! lightweight, embeddable scripting language designed to handle queries
+//! on JSON documents". We implement the dialect the paper exercises plus
+//! the obvious conveniences:
+//!
+//! * values are JSON values (null, bool, int, float, string, array, object),
+//! * variables `$x`, the bound configuration is `$__config__`,
+//! * member access `$obj.field`, indexing `$arr[expr]`,
+//! * `foreach ($collection as $v)` and `foreach (… as $k => $v)`,
+//! * `if`/`else`, `while`, `return`, compound statements,
+//! * operators `== != < <= > >= + - * / % && || !` and unary minus,
+//! * builtins: `array_push`, `count`, `keys`, `values`, `contains`,
+//!   `concat`, `min`, `max`.
+//!
+//! The exact program of Listing 4 is a unit test below.
+//!
+//! ```
+//! use mochi_bedrock::jx9;
+//! let config = serde_json::json!({"providers": [{"name": "a"}, {"name": "b"}]});
+//! let script = r#"
+//!     $result = [];
+//!     foreach ($__config__.providers as $p) {
+//!         array_push($result, $p.name); }
+//!     return $result;
+//! "#;
+//! assert_eq!(jx9::eval(script, &config).unwrap(), serde_json::json!(["a", "b"]));
+//! ```
+
+mod interp;
+mod lexer;
+mod parser;
+
+pub use interp::eval_with_bindings;
+pub use lexer::{tokenize, Token};
+pub use parser::{parse, Expr, Stmt};
+
+use serde_json::Value;
+
+/// Error raised by any phase of evaluation, with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Jx9Error(pub String);
+
+impl std::fmt::Display for Jx9Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "jx9: {}", self.0)
+    }
+}
+
+impl std::error::Error for Jx9Error {}
+
+/// Evaluates `script` with `$__config__` bound to `config`. Returns the
+/// value of the `return` statement (or `null` if the script falls off the
+/// end).
+pub fn eval(script: &str, config: &Value) -> Result<Value, Jx9Error> {
+    eval_with_bindings(script, &[("__config__", config.clone())])
+}

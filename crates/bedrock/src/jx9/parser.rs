@@ -1,0 +1,464 @@
+//! Recursive-descent parser for the Jx9 subset.
+
+use super::lexer::Token;
+use super::Jx9Error;
+
+/// Expression AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal JSON scalar.
+    Null,
+    /// Boolean literal.
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `[a, b, …]`
+    Array(Vec<Expr>),
+    /// `{ "k": v, … }`
+    Object(Vec<(String, Expr)>),
+    /// `$name`
+    Var(String),
+    /// `expr.field` (also `expr->field`)
+    Member(Box<Expr>, String),
+    /// `expr[index]`
+    Index(Box<Expr>, Box<Expr>),
+    /// `f(args…)`
+    Call(String, Vec<Expr>),
+    /// Binary operator.
+    Binary(&'static str, Box<Expr>, Box<Expr>),
+    /// Unary operator (`!`, `-`).
+    Unary(&'static str, Box<Expr>),
+}
+
+/// Assignment target: a variable possibly followed by member/index steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LValue {
+    /// Root variable name.
+    pub var: String,
+    /// Path of accesses applied to the root.
+    pub path: Vec<PathStep>,
+}
+
+/// One step of an lvalue path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathStep {
+    /// `.field`
+    Member(String),
+    /// `[expr]`
+    Index(Expr),
+}
+
+/// Statement AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `$x = expr;` (possibly with a path: `$x.y[0] = expr;`)
+    Assign(LValue, Expr),
+    /// Bare expression (e.g. a call) as a statement.
+    Expr(Expr),
+    /// `if (cond) {…} else {…}`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) {…}`
+    While(Expr, Vec<Stmt>),
+    /// `foreach (expr as $v)` / `foreach (expr as $k => $v)`
+    Foreach { collection: Expr, key: Option<String>, value: String, body: Vec<Stmt> },
+    /// `return expr;`
+    Return(Expr),
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+/// Parses a token stream into a statement list.
+pub fn parse(tokens: &[Token]) -> Result<Vec<Stmt>, Jx9Error> {
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    while !parser.at_end() {
+        stmts.push(parser.statement()?);
+    }
+    Ok(stmts)
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn advance(&mut self) -> Option<&Token> {
+        let token = self.tokens.get(self.pos);
+        self.pos += 1;
+        token
+    }
+
+    fn eat_punct(&mut self, op: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Punct(p)) if *p == op) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, op: &str) -> Result<(), Jx9Error> {
+        if self.eat_punct(op) {
+            Ok(())
+        } else {
+            Err(Jx9Error(format!("expected '{op}', found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Ident(w)) if w == word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_variable(&mut self) -> Result<String, Jx9Error> {
+        match self.advance() {
+            Some(Token::Variable(name)) => Ok(name.clone()),
+            other => Err(Jx9Error(format!("expected a variable, found {other:?}"))),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, Jx9Error> {
+        if self.eat_punct("{") {
+            let mut stmts = Vec::new();
+            while !self.eat_punct("}") {
+                if self.at_end() {
+                    return Err(Jx9Error("unterminated block".into()));
+                }
+                stmts.push(self.statement()?);
+            }
+            Ok(stmts)
+        } else {
+            Ok(vec![self.statement()?])
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, Jx9Error> {
+        if self.eat_ident("return") {
+            let expr = if matches!(self.peek(), Some(Token::Punct(";"))) {
+                Expr::Null
+            } else {
+                self.expression()?
+            };
+            self.eat_punct(";");
+            return Ok(Stmt::Return(expr));
+        }
+        if self.eat_ident("if") {
+            self.expect_punct("(")?;
+            let cond = self.expression()?;
+            self.expect_punct(")")?;
+            let then_block = self.block()?;
+            let else_block = if self.eat_ident("else") { self.block()? } else { Vec::new() };
+            return Ok(Stmt::If(cond, then_block, else_block));
+        }
+        if self.eat_ident("while") {
+            self.expect_punct("(")?;
+            let cond = self.expression()?;
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While(cond, body));
+        }
+        if self.eat_ident("foreach") {
+            self.expect_punct("(")?;
+            let collection = self.expression()?;
+            if !self.eat_ident("as") {
+                return Err(Jx9Error("expected 'as' in foreach".into()));
+            }
+            let first = self.expect_variable()?;
+            let (key, value) = if self.eat_punct("=>") {
+                (Some(first), self.expect_variable()?)
+            } else {
+                (None, first)
+            };
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::Foreach { collection, key, value, body });
+        }
+        // Assignment or expression statement.
+        if let Some(Token::Variable(_)) = self.peek() {
+            let checkpoint = self.pos;
+            if let Ok(lvalue) = self.lvalue() {
+                if self.eat_punct("=") {
+                    let expr = self.expression()?;
+                    self.eat_punct(";");
+                    return Ok(Stmt::Assign(lvalue, expr));
+                }
+            }
+            self.pos = checkpoint;
+        }
+        let expr = self.expression()?;
+        self.eat_punct(";");
+        Ok(Stmt::Expr(expr))
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, Jx9Error> {
+        let var = self.expect_variable()?;
+        let mut path = Vec::new();
+        loop {
+            if self.eat_punct(".") || self.eat_punct("->") {
+                match self.advance() {
+                    Some(Token::Ident(field)) => path.push(PathStep::Member(field.clone())),
+                    other => return Err(Jx9Error(format!("expected field name, got {other:?}"))),
+                }
+            } else if self.eat_punct("[") {
+                let index = self.expression()?;
+                self.expect_punct("]")?;
+                path.push(PathStep::Index(index));
+            } else {
+                break;
+            }
+        }
+        Ok(LValue { var, path })
+    }
+
+    fn expression(&mut self) -> Result<Expr, Jx9Error> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, Jx9Error> {
+        let mut left = self.and_expr()?;
+        while self.eat_punct("||") {
+            let right = self.and_expr()?;
+            left = Expr::Binary("||", Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, Jx9Error> {
+        let mut left = self.cmp_expr()?;
+        while self.eat_punct("&&") {
+            let right = self.cmp_expr()?;
+            left = Expr::Binary("&&", Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, Jx9Error> {
+        let left = self.add_expr()?;
+        for op in ["==", "!=", "<=", ">=", "<", ">"] {
+            if self.eat_punct(op) {
+                let right = self.add_expr()?;
+                return Ok(Expr::Binary(
+                    match op {
+                        "==" => "==",
+                        "!=" => "!=",
+                        "<=" => "<=",
+                        ">=" => ">=",
+                        "<" => "<",
+                        _ => ">",
+                    },
+                    Box::new(left),
+                    Box::new(right),
+                ));
+            }
+        }
+        Ok(left)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, Jx9Error> {
+        let mut left = self.mul_expr()?;
+        loop {
+            if self.eat_punct("+") {
+                left = Expr::Binary("+", Box::new(left), Box::new(self.mul_expr()?));
+            } else if self.eat_punct("-") {
+                left = Expr::Binary("-", Box::new(left), Box::new(self.mul_expr()?));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, Jx9Error> {
+        let mut left = self.unary_expr()?;
+        loop {
+            if self.eat_punct("*") {
+                left = Expr::Binary("*", Box::new(left), Box::new(self.unary_expr()?));
+            } else if self.eat_punct("/") {
+                left = Expr::Binary("/", Box::new(left), Box::new(self.unary_expr()?));
+            } else if self.eat_punct("%") {
+                left = Expr::Binary("%", Box::new(left), Box::new(self.unary_expr()?));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, Jx9Error> {
+        if self.eat_punct("!") {
+            return Ok(Expr::Unary("!", Box::new(self.unary_expr()?)));
+        }
+        if self.eat_punct("-") {
+            return Ok(Expr::Unary("-", Box::new(self.unary_expr()?)));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, Jx9Error> {
+        let mut expr = self.primary_expr()?;
+        loop {
+            if self.eat_punct(".") || self.eat_punct("->") {
+                match self.advance() {
+                    Some(Token::Ident(field)) => {
+                        expr = Expr::Member(Box::new(expr), field.clone());
+                    }
+                    other => return Err(Jx9Error(format!("expected field name, got {other:?}"))),
+                }
+            } else if self.eat_punct("[") {
+                let index = self.expression()?;
+                self.expect_punct("]")?;
+                expr = Expr::Index(Box::new(expr), Box::new(index));
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, Jx9Error> {
+        match self.advance().cloned() {
+            Some(Token::Int(n)) => Ok(Expr::Int(n)),
+            Some(Token::Float(x)) => Ok(Expr::Float(x)),
+            Some(Token::Str(s)) => Ok(Expr::Str(s)),
+            Some(Token::Variable(name)) => Ok(Expr::Var(name)),
+            Some(Token::Ident(word)) => match word.as_str() {
+                "true" => Ok(Expr::Bool(true)),
+                "false" => Ok(Expr::Bool(false)),
+                "null" => Ok(Expr::Null),
+                _ => {
+                    // Function call.
+                    self.expect_punct("(")?;
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expression()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    Ok(Expr::Call(word, args))
+                }
+            },
+            Some(Token::Punct("(")) => {
+                let expr = self.expression()?;
+                self.expect_punct(")")?;
+                Ok(expr)
+            }
+            Some(Token::Punct("[")) => {
+                let mut items = Vec::new();
+                if !self.eat_punct("]") {
+                    loop {
+                        items.push(self.expression()?);
+                        if self.eat_punct("]") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                Ok(Expr::Array(items))
+            }
+            Some(Token::Punct("{")) => {
+                let mut fields = Vec::new();
+                if !self.eat_punct("}") {
+                    loop {
+                        let key = match self.advance() {
+                            Some(Token::Str(s)) => s.clone(),
+                            Some(Token::Ident(w)) => w.clone(),
+                            other => {
+                                return Err(Jx9Error(format!("bad object key: {other:?}")))
+                            }
+                        };
+                        // Accept both `:` (JSON) — lexed as nothing we have —
+                        // and `=>` (PHP). We only lex `=>`, so require it.
+                        if !self.eat_punct("=>") {
+                            return Err(Jx9Error("expected '=>' in object literal".into()));
+                        }
+                        fields.push((key, self.expression()?));
+                        if self.eat_punct("}") {
+                            break;
+                        }
+                        self.expect_punct(",")?;
+                    }
+                }
+                Ok(Expr::Object(fields))
+            }
+            other => Err(Jx9Error(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lexer::tokenize;
+    use super::*;
+
+    fn parse_src(src: &str) -> Vec<Stmt> {
+        parse(&tokenize(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_listing4() {
+        let stmts = parse_src(
+            r#"$result = [];
+               foreach ($__config__.providers as $p) {
+                   array_push($result, $p.name); }
+               return $result;"#,
+        );
+        assert_eq!(stmts.len(), 3);
+        assert!(matches!(&stmts[0], Stmt::Assign(lv, Expr::Array(items))
+            if lv.var == "result" && items.is_empty()));
+        assert!(matches!(&stmts[1], Stmt::Foreach { key: None, value, .. } if value == "p"));
+        assert!(matches!(&stmts[2], Stmt::Return(Expr::Var(v)) if v == "result"));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let stmts = parse_src("return 1 + 2 * 3 == 7 && true;");
+        let Stmt::Return(expr) = &stmts[0] else { panic!() };
+        // (((1 + (2*3)) == 7) && true)
+        assert!(matches!(expr, Expr::Binary("&&", _, _)));
+    }
+
+    #[test]
+    fn foreach_with_key() {
+        let stmts = parse_src("foreach ($m as $k => $v) { return $k; }");
+        assert!(matches!(&stmts[0], Stmt::Foreach { key: Some(k), value, .. }
+            if k == "k" && value == "v"));
+    }
+
+    #[test]
+    fn lvalue_paths() {
+        let stmts = parse_src(r#"$a.b[0] = 5;"#);
+        let Stmt::Assign(lv, _) = &stmts[0] else { panic!() };
+        assert_eq!(lv.var, "a");
+        assert_eq!(lv.path.len(), 2);
+    }
+
+    #[test]
+    fn object_literal_with_arrow() {
+        let stmts = parse_src(r#"return { "x" => 1, y => 2 };"#);
+        let Stmt::Return(Expr::Object(fields)) = &stmts[0] else { panic!() };
+        assert_eq!(fields.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse(&tokenize("foreach ($a $b)").unwrap()).is_err());
+        assert!(parse(&tokenize("return (1 + ;").unwrap()).is_err());
+        assert!(parse(&tokenize("if (1 { }").unwrap()).is_err());
+    }
+}

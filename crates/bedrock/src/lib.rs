@@ -1,0 +1,26 @@
+//! `mochi-bedrock` — bootstrapping and online reconfiguration (paper §5).
+//!
+//! Bedrock is the "provider of providers": it boots a Mochi process from a
+//! JSON description (Listing 3), tracks which providers run in which pools
+//! (knowledge Margo itself lacks), and exposes a remote API (Listing 5) to
+//! query and alter the configuration at run time — including starting,
+//! stopping, migrating, checkpointing, and restoring providers, with
+//! dependency resolution within and across processes and two-phase-commit
+//! consistency for concurrent cross-process changes.
+//!
+//! Queries use the [`jx9`] scripting subset (Listing 4).
+
+pub mod client;
+pub mod config;
+pub mod error;
+pub mod jx9;
+pub mod module;
+pub mod server;
+pub mod txn;
+
+pub use client::{apply_transaction, Client, ServiceHandle};
+pub use config::{parse_dependency, BedrockSection, DependencyTarget, ProcessConfig, ProviderSpec};
+pub use error::BedrockError;
+pub use module::{Module, ModuleCatalog, ProviderContext, ProviderInstance, ResolvedDependency};
+pub use server::{proto, BedrockServer, REMI_PROVIDER_ID};
+pub use txn::TxnOp;

@@ -1,0 +1,258 @@
+//! The module system: how Bedrock instantiates providers of types it
+//! knows nothing about.
+//!
+//! The real Bedrock `dlopen`s the shared objects named in the `libraries`
+//! section and looks up "a structure of function pointers … to instantiate
+//! providers, clients, and resource handles, as well as to obtain their
+//! configuration" (paper §5). We keep exactly that vtable shape as a pair
+//! of traits and replace the dynamic loader with a [`ModuleCatalog`]: a map
+//! from library path to factory. Component crates export a
+//! `bedrock_module()` constructor and the application (or the cluster
+//! harness) seeds the catalog with them — the moral equivalent of
+//! installing `.so` files.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use serde_json::Value;
+
+use mochi_margo::MargoRuntime;
+use mochi_mercury::Address;
+use mochi_remi::FileSet;
+
+/// A resolved dependency handed to a module at provider-creation time.
+#[derive(Debug, Clone)]
+pub struct ResolvedDependency {
+    /// Dependency string from the configuration.
+    pub spec: String,
+    /// Provider name.
+    pub name: String,
+    /// Address of the process holding the provider.
+    pub address: Address,
+    /// Provider id to address RPCs to.
+    pub provider_id: u16,
+    /// Provider type (e.g. `"yokan"`).
+    pub type_name: String,
+}
+
+/// Everything a module needs to create a provider.
+pub struct ProviderContext {
+    /// The process's Margo runtime.
+    pub margo: MargoRuntime,
+    /// Provider name (unique in the process).
+    pub name: String,
+    /// Provider id for RPC routing.
+    pub provider_id: u16,
+    /// Pool the provider's handlers should run in.
+    pub pool: String,
+    /// Component-specific configuration (the `config` object of the spec).
+    pub config: Value,
+    /// Resolved dependencies, keyed by their logical name.
+    pub dependencies: HashMap<String, ResolvedDependency>,
+    /// Node-local directory reserved for this provider's data.
+    pub data_dir: PathBuf,
+}
+
+/// A live provider, as seen by Bedrock. The default implementations make
+/// every dynamic capability opt-in, so a static component runs unchanged —
+/// the "least engineering impact" principle of §2.3.
+pub trait ProviderInstance: Send + Sync {
+    /// Provider type name.
+    fn type_name(&self) -> &str;
+
+    /// Current component configuration (merged into `get_config` output).
+    fn config(&self) -> Value {
+        Value::Object(serde_json::Map::new())
+    }
+
+    /// Deregisters the provider's RPCs and releases its resources.
+    fn stop(&self) -> Result<(), String>;
+
+    /// The files embodying this provider's state, for migration. `None`
+    /// means the provider does not support migration.
+    fn fileset(&self) -> Option<FileSet> {
+        None
+    }
+
+    /// Quiesce and flush before the fileset is read for migration.
+    fn prepare_migration(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Writes a consistent snapshot of the provider's state into `dir`
+    /// (typically on the parallel file system). Observation 9.
+    fn checkpoint(&self, _dir: &Path) -> Result<(), String> {
+        Err(format!("provider type '{}' does not support checkpointing", self.type_name()))
+    }
+
+    /// Replaces the provider's state with the snapshot in `dir`.
+    fn restore(&self, _dir: &Path) -> Result<(), String> {
+        Err(format!("provider type '{}' does not support restore", self.type_name()))
+    }
+}
+
+/// A module: the factory vtable Bedrock obtains from a loaded library.
+pub trait Module: Send + Sync {
+    /// Provider type this module instantiates (e.g. `"yokan"`).
+    fn type_name(&self) -> &str;
+
+    /// Creates a provider.
+    fn create(&self, ctx: ProviderContext) -> Result<Box<dyn ProviderInstance>, String>;
+}
+
+/// The stand-in for the filesystem of installable `.so` files: library
+/// path → module factory.
+#[derive(Default, Clone)]
+pub struct ModuleCatalog {
+    by_library: BTreeMap<String, Arc<dyn Module>>,
+}
+
+impl ModuleCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// "Installs" a module under a library path (e.g.
+    /// `"libyokan.so" → yokan::bedrock_module()`).
+    pub fn install(&mut self, library: impl Into<String>, module: Arc<dyn Module>) -> &mut Self {
+        self.by_library.insert(library.into(), module);
+        self
+    }
+
+    /// Resolves a library path (the `dlopen` analogue).
+    pub fn resolve(&self, library: &str) -> Option<Arc<dyn Module>> {
+        self.by_library.get(library).cloned()
+    }
+
+    /// Installed library paths.
+    pub fn libraries(&self) -> Vec<String> {
+        self.by_library.keys().cloned().collect()
+    }
+}
+
+pub mod testkit {
+    //! A minimal in-memory component ("component A" of Listing 3) used
+    //! by tests across the workspace.
+
+    use super::*;
+    use parking_lot::Mutex;
+
+    /// Module whose providers answer `a_get`/`a_set` RPCs over one value.
+    pub struct TestModule {
+        /// Type name to report (lets tests register several types).
+        pub type_name: String,
+    }
+
+    pub struct TestProvider {
+        type_name: String,
+        margo: MargoRuntime,
+        provider_id: u16,
+        config: Value,
+        dir: PathBuf,
+    }
+
+    impl Module for TestModule {
+        fn type_name(&self) -> &str {
+            &self.type_name
+        }
+
+        fn create(&self, ctx: ProviderContext) -> Result<Box<dyn ProviderInstance>, String> {
+            if ctx.config.get("fail_to_start").is_some() {
+                return Err("configured to fail".into());
+            }
+            let value = Arc::new(Mutex::new(ctx.config.get("initial").cloned().unwrap_or(
+                Value::Null,
+            )));
+            let get_value = Arc::clone(&value);
+            ctx.margo
+                .register_typed(
+                    &format!("{}_get", self.type_name),
+                    ctx.provider_id,
+                    Some(&ctx.pool),
+                    move |_: (), _| Ok(get_value.lock().clone()),
+                )
+                .map_err(|e| e.to_string())?;
+            let set_value = Arc::clone(&value);
+            ctx.margo
+                .register_typed(
+                    &format!("{}_set", self.type_name),
+                    ctx.provider_id,
+                    Some(&ctx.pool),
+                    move |v: Value, _| {
+                        *set_value.lock() = v;
+                        Ok(true)
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+            Ok(Box::new(TestProvider {
+                type_name: self.type_name.clone(),
+                margo: ctx.margo,
+                provider_id: ctx.provider_id,
+                config: ctx.config,
+                dir: ctx.data_dir,
+            }))
+        }
+    }
+
+    impl ProviderInstance for TestProvider {
+        fn type_name(&self) -> &str {
+            &self.type_name
+        }
+
+        fn config(&self) -> Value {
+            self.config.clone()
+        }
+
+        fn stop(&self) -> Result<(), String> {
+            for suffix in ["get", "set"] {
+                self.margo
+                    .deregister(&format!("{}_{suffix}", self.type_name), self.provider_id)
+                    .map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        }
+
+        fn fileset(&self) -> Option<FileSet> {
+            // State is one file under the data dir so migration works.
+            std::fs::create_dir_all(&self.dir).ok()?;
+            std::fs::write(self.dir.join("state.json"), self.config.to_string()).ok()?;
+            FileSet::scan(&self.dir).ok()
+        }
+
+        fn checkpoint(&self, dir: &Path) -> Result<(), String> {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+            std::fs::write(dir.join("ckpt.json"), self.config.to_string())
+                .map_err(|e| e.to_string())
+        }
+
+        fn restore(&self, dir: &Path) -> Result<(), String> {
+            std::fs::read(dir.join("ckpt.json")).map(|_| ()).map_err(|e| e.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl Module for Dummy {
+        fn type_name(&self) -> &str {
+            "dummy"
+        }
+        fn create(&self, _ctx: ProviderContext) -> Result<Box<dyn ProviderInstance>, String> {
+            Err("dummy".into())
+        }
+    }
+
+    #[test]
+    fn catalog_install_and_resolve() {
+        let mut catalog = ModuleCatalog::new();
+        catalog.install("libdummy.so", Arc::new(Dummy));
+        assert!(catalog.resolve("libdummy.so").is_some());
+        assert!(catalog.resolve("libother.so").is_none());
+        assert_eq!(catalog.libraries(), vec!["libdummy.so"]);
+    }
+}

@@ -1,0 +1,300 @@
+//! Two-phase-commit machinery for consistent cross-process
+//! reconfiguration (paper §5).
+//!
+//! The paper's motivating race: client `c1` creates provider `p1` on node
+//! `n1` with a dependency on provider `p2` on node `n2`, while client `c2`
+//! concurrently destroys `p2`. "Either c1's or c2's request will succeed,
+//! but not both." We guarantee that with provider-granularity locks taken
+//! at *prepare* time:
+//!
+//! * `StartProvider` locks the new name (`Create`) on its process, and the
+//!   coordinator adds a `KeepProvider` op for every dependency — including
+//!   on *other* processes;
+//! * `StopProvider` needs an exclusive `Stop` lock, which conflicts with
+//!   any `Keep` lock (and vice versa);
+//! * two `Create`s of the same name conflict.
+//!
+//! Prepared operations execute at commit; aborts release locks untouched.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ProviderSpec;
+use crate::error::BedrockError;
+
+/// One operation within a configuration transaction, addressed to a
+/// specific Bedrock process by the coordinator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TxnOp {
+    /// Create a provider on the receiving process.
+    StartProvider {
+        /// The provider to create.
+        spec: ProviderSpec,
+    },
+    /// Destroy a provider on the receiving process.
+    StopProvider {
+        /// Name of the provider to destroy.
+        name: String,
+    },
+    /// Assert that a provider keeps existing for the duration of the
+    /// transaction (dependency protection).
+    KeepProvider {
+        /// Name of the provider to pin.
+        name: String,
+    },
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    /// Transaction holding a Stop lock (exclusive).
+    stopper: Option<String>,
+    /// Transactions holding Keep locks (shared).
+    keepers: Vec<String>,
+    /// Transaction holding a Create lock on this (future) name.
+    creator: Option<String>,
+}
+
+impl LockState {
+    fn is_free(&self) -> bool {
+        self.stopper.is_none() && self.keepers.is_empty() && self.creator.is_none()
+    }
+}
+
+/// A prepared (not yet committed) transaction on one process.
+#[derive(Debug)]
+pub struct PreparedTxn {
+    /// Operations to execute at commit, in order.
+    pub ops: Vec<TxnOp>,
+}
+
+/// Per-process transaction state: prepared transactions and the provider
+/// locks they hold.
+#[derive(Debug, Default)]
+pub struct TxnTable {
+    prepared: HashMap<String, PreparedTxn>,
+    locks: HashMap<String, LockState>,
+}
+
+impl TxnTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempts to prepare `ops` under `txn_id`, acquiring locks. The
+    /// caller must have validated op preconditions (provider existence
+    /// etc.) *before* calling, and must not call twice for one id.
+    pub fn prepare(&mut self, txn_id: &str, ops: Vec<TxnOp>) -> Result<(), BedrockError> {
+        if self.prepared.contains_key(txn_id) {
+            return Err(BedrockError::TxnConflict(format!("'{txn_id}' already prepared")));
+        }
+        // First pass: check every lock is acquirable; only then mutate.
+        for op in &ops {
+            match op {
+                TxnOp::StartProvider { spec } => {
+                    let lock = self.locks.entry(spec.name.clone()).or_default();
+                    if lock.creator.is_some() {
+                        return Err(BedrockError::TxnConflict(format!(
+                            "provider '{}' is being created by another transaction",
+                            spec.name
+                        )));
+                    }
+                    if lock.stopper.is_some() {
+                        return Err(BedrockError::TxnConflict(format!(
+                            "provider '{}' is being stopped by another transaction",
+                            spec.name
+                        )));
+                    }
+                }
+                TxnOp::StopProvider { name } => {
+                    let lock = self.locks.entry(name.clone()).or_default();
+                    if lock.stopper.is_some() || !lock.keepers.is_empty() || lock.creator.is_some()
+                    {
+                        return Err(BedrockError::TxnConflict(format!(
+                            "provider '{name}' is locked by another transaction"
+                        )));
+                    }
+                }
+                TxnOp::KeepProvider { name } => {
+                    let lock = self.locks.entry(name.clone()).or_default();
+                    if lock.stopper.is_some() {
+                        return Err(BedrockError::TxnConflict(format!(
+                            "provider '{name}' is being stopped by another transaction"
+                        )));
+                    }
+                }
+            }
+        }
+        // Second pass: acquire.
+        for op in &ops {
+            match op {
+                TxnOp::StartProvider { spec } => {
+                    self.locks.entry(spec.name.clone()).or_default().creator =
+                        Some(txn_id.to_string());
+                }
+                TxnOp::StopProvider { name } => {
+                    self.locks.entry(name.clone()).or_default().stopper =
+                        Some(txn_id.to_string());
+                }
+                TxnOp::KeepProvider { name } => {
+                    self.locks
+                        .entry(name.clone())
+                        .or_default()
+                        .keepers
+                        .push(txn_id.to_string());
+                }
+            }
+        }
+        self.prepared.insert(txn_id.to_string(), PreparedTxn { ops });
+        Ok(())
+    }
+
+    /// Removes a prepared transaction, releasing its locks, and returns
+    /// its ops for execution (commit) or discarding (abort).
+    pub fn take(&mut self, txn_id: &str) -> Result<Vec<TxnOp>, BedrockError> {
+        let txn = self
+            .prepared
+            .remove(txn_id)
+            .ok_or_else(|| BedrockError::TxnUnknown(txn_id.to_string()))?;
+        for op in &txn.ops {
+            let name = match op {
+                TxnOp::StartProvider { spec } => &spec.name,
+                TxnOp::StopProvider { name } | TxnOp::KeepProvider { name } => name,
+            };
+            if let Some(lock) = self.locks.get_mut(name) {
+                if lock.creator.as_deref() == Some(txn_id) {
+                    lock.creator = None;
+                }
+                if lock.stopper.as_deref() == Some(txn_id) {
+                    lock.stopper = None;
+                }
+                lock.keepers.retain(|t| t != txn_id);
+                if lock.is_free() {
+                    self.locks.remove(name);
+                }
+            }
+        }
+        Ok(txn.ops)
+    }
+
+    /// Whether any prepared transaction holds a lock that forbids
+    /// stopping `name` right now (used to also block *non*-transactional
+    /// stop requests racing with a prepared transaction).
+    pub fn blocks_stop(&self, name: &str) -> bool {
+        self.locks
+            .get(name)
+            .is_some_and(|l| !l.keepers.is_empty() || l.stopper.is_some() || l.creator.is_some())
+    }
+
+    /// Whether any prepared transaction pins the name against creation.
+    pub fn blocks_start(&self, name: &str) -> bool {
+        self.locks.get(name).is_some_and(|l| l.creator.is_some() || l.stopper.is_some())
+    }
+
+    /// Number of prepared transactions (diagnostics).
+    pub fn prepared_count(&self) -> usize {
+        self.prepared.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str) -> ProviderSpec {
+        ProviderSpec::new(name, "A", 9)
+    }
+
+    #[test]
+    fn paper_c1_c2_race_one_wins() {
+        let mut table = TxnTable::new();
+        // c1 (on n2's table): keep p2 alive while p1 is created elsewhere.
+        table.prepare("c1", vec![TxnOp::KeepProvider { name: "p2".into() }]).unwrap();
+        // c2: stop p2 — must conflict.
+        let err = table
+            .prepare("c2", vec![TxnOp::StopProvider { name: "p2".into() }])
+            .unwrap_err();
+        assert!(matches!(err, BedrockError::TxnConflict(_)));
+        // After c1 commits/aborts, c2 can proceed.
+        table.take("c1").unwrap();
+        table.prepare("c2", vec![TxnOp::StopProvider { name: "p2".into() }]).unwrap();
+    }
+
+    #[test]
+    fn stop_first_blocks_keep() {
+        let mut table = TxnTable::new();
+        table.prepare("c2", vec![TxnOp::StopProvider { name: "p2".into() }]).unwrap();
+        let err = table
+            .prepare("c1", vec![TxnOp::KeepProvider { name: "p2".into() }])
+            .unwrap_err();
+        assert!(matches!(err, BedrockError::TxnConflict(_)));
+    }
+
+    #[test]
+    fn concurrent_keeps_are_compatible() {
+        let mut table = TxnTable::new();
+        table.prepare("a", vec![TxnOp::KeepProvider { name: "p".into() }]).unwrap();
+        table.prepare("b", vec![TxnOp::KeepProvider { name: "p".into() }]).unwrap();
+        assert!(table.blocks_stop("p"));
+        table.take("a").unwrap();
+        assert!(table.blocks_stop("p"));
+        table.take("b").unwrap();
+        assert!(!table.blocks_stop("p"));
+    }
+
+    #[test]
+    fn duplicate_create_conflicts() {
+        let mut table = TxnTable::new();
+        table.prepare("a", vec![TxnOp::StartProvider { spec: spec("new") }]).unwrap();
+        let err = table
+            .prepare("b", vec![TxnOp::StartProvider { spec: spec("new") }])
+            .unwrap_err();
+        assert!(matches!(err, BedrockError::TxnConflict(_)));
+        assert!(table.blocks_start("new"));
+    }
+
+    #[test]
+    fn abort_releases_everything() {
+        let mut table = TxnTable::new();
+        table
+            .prepare(
+                "t",
+                vec![
+                    TxnOp::StartProvider { spec: spec("x") },
+                    TxnOp::KeepProvider { name: "dep".into() },
+                ],
+            )
+            .unwrap();
+        let ops = table.take("t").unwrap();
+        assert_eq!(ops.len(), 2);
+        assert!(!table.blocks_start("x"));
+        assert!(!table.blocks_stop("dep"));
+        assert_eq!(table.prepared_count(), 0);
+    }
+
+    #[test]
+    fn unknown_txn_reported() {
+        let mut table = TxnTable::new();
+        assert!(matches!(table.take("ghost"), Err(BedrockError::TxnUnknown(_))));
+    }
+
+    #[test]
+    fn failed_prepare_leaves_no_partial_locks() {
+        let mut table = TxnTable::new();
+        table.prepare("a", vec![TxnOp::StopProvider { name: "q".into() }]).unwrap();
+        // This prepare locks "p" only if the whole op set is acquirable;
+        // the conflict on "q" must leave "p" unlocked.
+        let err = table
+            .prepare(
+                "b",
+                vec![
+                    TxnOp::KeepProvider { name: "p".into() },
+                    TxnOp::KeepProvider { name: "q".into() },
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, BedrockError::TxnConflict(_)));
+        assert!(!table.blocks_stop("p"));
+    }
+}

@@ -1,0 +1,395 @@
+//! Integration tests for Bedrock: bootstrap (Listing 3), remote
+//! reconfiguration (Listing 5), Jx9 queries (Listing 4), dependency
+//! rules, provider migration, and 2PC consistency (the paper's c1/c2
+//! example).
+
+use std::sync::Arc;
+
+use serde_json::{json, Value};
+
+use mochi_bedrock::module::testkit::TestModule;
+use mochi_bedrock::{
+    apply_transaction, BedrockError, BedrockServer, Client, ModuleCatalog, ProcessConfig,
+    ProviderSpec, TxnOp,
+};
+use mochi_margo::MargoRuntime;
+use mochi_mercury::{Address, Fabric};
+use mochi_util::TempDir;
+
+fn catalog() -> ModuleCatalog {
+    let mut catalog = ModuleCatalog::new();
+    catalog.install("libcomponent_a.so", Arc::new(TestModule { type_name: "A".into() }));
+    catalog.install("libcomponent_b.so", Arc::new(TestModule { type_name: "B".into() }));
+    catalog
+}
+
+fn listing3_config() -> ProcessConfig {
+    ProcessConfig::from_json(
+        r#"
+        { "margo": { },
+          "libraries": { "A": "libcomponent_a.so" },
+          "providers": [
+            { "name": "myProviderA",
+              "type": "A",
+              "provider_id": 1,
+              "pool": "__primary__",
+              "config": { "initial": "hello" } } ] }
+        "#,
+    )
+    .unwrap()
+}
+
+struct TestEnv {
+    fabric: Fabric,
+    dir: TempDir,
+}
+
+impl TestEnv {
+    fn new(label: &str) -> Self {
+        Self { fabric: Fabric::new(), dir: TempDir::new(label).unwrap() }
+    }
+
+    fn server(&self, host: &str, config: &ProcessConfig) -> BedrockServer {
+        BedrockServer::bootstrap(
+            &self.fabric,
+            Address::tcp(host, 1),
+            config,
+            catalog(),
+            self.dir.path().join(host),
+        )
+        .unwrap()
+    }
+
+    fn client_margo(&self, host: &str) -> MargoRuntime {
+        MargoRuntime::init_default(&self.fabric, Address::tcp(host, 1)).unwrap()
+    }
+}
+
+#[test]
+fn bootstrap_starts_configured_providers() {
+    let env = TestEnv::new("bedrock-boot");
+    let server = env.server("n1", &listing3_config());
+    assert_eq!(server.provider_names(), vec!["myProviderA"]);
+    // The provider's RPCs are live.
+    let client = env.client_margo("client");
+    let value: Value = client.forward(&server.address(), "A_get", 1, &()).unwrap();
+    assert_eq!(value, json!("hello"));
+    server.shutdown();
+    client.finalize();
+}
+
+#[test]
+fn get_config_and_listing4_query() {
+    let env = TestEnv::new("bedrock-query");
+    let server = env.server("n1", &listing3_config());
+    let client_margo = env.client_margo("client");
+    let handle = Client::new(&client_margo).make_service_handle(server.address(), 0);
+
+    let config = handle.get_config().unwrap();
+    assert_eq!(config["libraries"]["A"], "libcomponent_a.so");
+    assert_eq!(config["providers"][0]["name"], "myProviderA");
+    assert!(config["margo"]["argobots"]["pools"].is_array());
+
+    // Listing 4, verbatim.
+    let result = handle
+        .query(
+            r#"$result = [];
+               foreach ($__config__.providers as $p) {
+                   array_push($result, $p.name); }
+               return $result;"#,
+        )
+        .unwrap();
+    assert_eq!(result, json!(["myProviderA"]));
+    server.shutdown();
+    client_margo.finalize();
+}
+
+#[test]
+fn listing5_remote_reconfiguration_sequence() {
+    let env = TestEnv::new("bedrock-listing5");
+    let server = env.server("n1", &listing3_config());
+    let client_margo = env.client_margo("client");
+    let handle = Client::new(&client_margo).make_service_handle(server.address(), 0);
+
+    // p.addPool(jsonPoolConfig);
+    handle.add_pool(json!({"name": "MyPoolX", "type": "fifo_wait"})).unwrap();
+    // An xstream to serve it, then tear both down.
+    handle
+        .add_xstream(json!({"name": "MyESX", "scheduler": {"type": "basic_wait", "pools": ["MyPoolX"]}}))
+        .unwrap();
+    handle.remove_xstream("MyESX").unwrap();
+    // p.removePool("MyPoolX");
+    handle.remove_pool("MyPoolX").unwrap();
+    // p.loadModule("B", "libcomponent_b.so");
+    handle.load_module("B", "libcomponent_b.so").unwrap();
+    // p.startProvider("myProviderB", "B", ...);
+    handle.start_provider(&ProviderSpec::new("myProviderB", "B", 2)).unwrap();
+    let info = handle.lookup_provider("myProviderB").unwrap();
+    assert_eq!(info.provider_id, 2);
+    assert_eq!(info.type_name, "B");
+    // New provider serves RPCs.
+    let value: Value = client_margo.forward(&server.address(), "B_get", 2, &()).unwrap();
+    assert_eq!(value, Value::Null);
+    // Stop it again.
+    handle.stop_provider("myProviderB").unwrap();
+    assert!(handle.lookup_provider("myProviderB").is_err());
+    server.shutdown();
+    client_margo.finalize();
+}
+
+#[test]
+fn unknown_library_fails_like_dlopen() {
+    let env = TestEnv::new("bedrock-dlopen");
+    let server = env.server("n1", &listing3_config());
+    let client_margo = env.client_margo("client");
+    let handle = Client::new(&client_margo).make_service_handle(server.address(), 0);
+    let err = handle.load_module("X", "libmissing.so").unwrap_err();
+    assert!(err.to_string().contains("libmissing.so"), "{err}");
+    server.shutdown();
+    client_margo.finalize();
+}
+
+#[test]
+fn local_dependencies_resolve_and_protect() {
+    let env = TestEnv::new("bedrock-deps");
+    let mut config = listing3_config();
+    config.libraries.insert("B".into(), "libcomponent_b.so".into());
+    config.providers.push(
+        ProviderSpec::new("userB", "B", 2).with_dependency("kv", "myProviderA"),
+    );
+    let server = env.server("n1", &config);
+    assert_eq!(server.provider_names(), vec!["myProviderA", "userB"]);
+    // Stopping the dependency is refused while userB exists.
+    let err = server.stop_provider("myProviderA").unwrap_err();
+    assert!(matches!(err, BedrockError::ProviderInUse { .. }));
+    server.stop_provider("userB").unwrap();
+    server.stop_provider("myProviderA").unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn dependency_order_is_inferred() {
+    let env = TestEnv::new("bedrock-order");
+    // userB listed *before* its dependency; bootstrap must reorder.
+    let mut config = listing3_config();
+    config.libraries.insert("B".into(), "libcomponent_b.so".into());
+    let dep = ProviderSpec::new("userB", "B", 2).with_dependency("kv", "myProviderA");
+    config.providers.insert(0, dep);
+    let server = env.server("n1", &config);
+    assert_eq!(server.provider_names().len(), 2);
+    server.shutdown();
+}
+
+#[test]
+fn circular_dependencies_rejected() {
+    let env = TestEnv::new("bedrock-cycle");
+    let mut config = listing3_config();
+    config.providers = vec![
+        ProviderSpec::new("a", "A", 1).with_dependency("x", "b"),
+        ProviderSpec::new("b", "A", 2).with_dependency("x", "a"),
+    ];
+    let result = BedrockServer::bootstrap(
+        &env.fabric,
+        Address::tcp("n1", 1),
+        &config,
+        catalog(),
+        env.dir.path().join("n1"),
+    );
+    assert!(matches!(result, Err(BedrockError::BadConfig(_))));
+}
+
+#[test]
+fn remote_dependency_resolution() {
+    let env = TestEnv::new("bedrock-remote-dep");
+    let server1 = env.server("n1", &listing3_config());
+    // n2 starts a provider depending on myProviderA@n1.
+    let mut config2 = ProcessConfig::default();
+    config2.libraries.insert("B".into(), "libcomponent_b.so".into());
+    config2.providers.push(
+        ProviderSpec::new("userB", "B", 2)
+            .with_dependency("kv", format!("myProviderA@{}", server1.address())),
+    );
+    let server2 = env.server("n2", &config2);
+    assert_eq!(server2.provider_names(), vec!["userB"]);
+    // A dangling remote dependency fails.
+    let bad = ProviderSpec::new("bad", "B", 3)
+        .with_dependency("kv", format!("ghost@{}", server1.address()));
+    let err = server2.start_provider(&bad).unwrap_err();
+    assert!(matches!(err, BedrockError::DependencyError { .. }));
+    server1.shutdown();
+    server2.shutdown();
+}
+
+#[test]
+fn provider_migration_between_processes() {
+    let env = TestEnv::new("bedrock-migrate");
+    let server1 = env.server("n1", &listing3_config());
+    let mut config2 = ProcessConfig::default();
+    config2.libraries.insert("A".into(), "libcomponent_a.so".into());
+    let server2 = env.server("n2", &config2);
+
+    let client_margo = env.client_margo("client");
+    let handle = Client::new(&client_margo).make_service_handle(server1.address(), 0);
+    let reply = handle
+        .migrate_provider("myProviderA", &server2.address(), mochi_remi::Strategy::Rdma)
+        .unwrap();
+    assert!(reply.files >= 1);
+    // Gone from n1, running on n2.
+    assert!(server1.provider_names().is_empty());
+    assert_eq!(server2.provider_names(), vec!["myProviderA"]);
+    let value: Value = client_margo.forward(&server2.address(), "A_get", 1, &()).unwrap();
+    assert_eq!(value, json!("hello"));
+    server1.shutdown();
+    server2.shutdown();
+    client_margo.finalize();
+}
+
+#[test]
+fn checkpoint_and_restore_rpcs() {
+    let env = TestEnv::new("bedrock-ckpt");
+    let server = env.server("n1", &listing3_config());
+    let client_margo = env.client_margo("client");
+    let handle = Client::new(&client_margo).make_service_handle(server.address(), 0);
+    let pfs = env.dir.path().join("pfs/ckpt-1");
+    handle.checkpoint_provider("myProviderA", pfs.to_str().unwrap()).unwrap();
+    assert!(pfs.join("ckpt.json").is_file());
+    handle.restore_provider("myProviderA", pfs.to_str().unwrap()).unwrap();
+    let err = handle.checkpoint_provider("ghost", pfs.to_str().unwrap()).unwrap_err();
+    assert!(err.to_string().contains("ghost"));
+    server.shutdown();
+    client_margo.finalize();
+}
+
+/// The paper's consistency example: c1 creates p1 on n1 depending on p2
+/// on n2 while c2 destroys p2 on n2. Exactly one of the two transactions
+/// must succeed.
+#[test]
+fn c1_c2_transactions_are_mutually_exclusive() {
+    let env = TestEnv::new("bedrock-2pc");
+    // n2 runs p2 (type A); n1 runs nothing yet but has module B loaded.
+    let mut config_n2 = ProcessConfig::default();
+    config_n2.libraries.insert("A".into(), "libcomponent_a.so".into());
+    config_n2.providers.push(ProviderSpec::new("p2", "A", 1));
+    let n2 = env.server("n2", &config_n2);
+    let mut config_n1 = ProcessConfig::default();
+    config_n1.libraries.insert("B".into(), "libcomponent_b.so".into());
+    let n1 = env.server("n1", &config_n1);
+
+    let c1 = env.client_margo("c1");
+    let c2 = env.client_margo("c2");
+    let n1_addr = n1.address();
+    let n2_addr = n2.address();
+
+    let spec_p1 = ProviderSpec::new("p1", "B", 5)
+        .with_dependency("kv", format!("p2@{n2_addr}"));
+
+    // Race the two transactions from two threads many times is flaky by
+    // nature; instead run them concurrently once and assert the invariant
+    // "exactly one succeeds OR c2 ran after c1 finished (both succeed is
+    // impossible because stop(p2) would then fail on the dependents'
+    // process — p1 is remote, so the only protection is the txn window)".
+    let t1 = {
+        let c1 = c1.clone();
+        let n1_addr = n1_addr.clone();
+        let spec = spec_p1.clone();
+        std::thread::spawn(move || {
+            apply_transaction(&c1, 0, vec![(n1_addr, TxnOp::StartProvider { spec })])
+        })
+    };
+    let t2 = {
+        let c2 = c2.clone();
+        let n2_addr = n2_addr.clone();
+        std::thread::spawn(move || {
+            apply_transaction(
+                &c2,
+                0,
+                vec![(n2_addr, TxnOp::StopProvider { name: "p2".into() })],
+            )
+        })
+    };
+    let r1 = t1.join().unwrap();
+    let r2 = t2.join().unwrap();
+
+    let p1_exists = n1.provider_names().contains(&"p1".to_string());
+    let p2_exists = n2.provider_names().contains(&"p2".to_string());
+    // The paper's invariant: either both p1 and p2 exist (c1 won), or p2
+    // was destroyed and p1 was not created (c2 won). Never p1-without-p2.
+    assert!(
+        (p1_exists && p2_exists) || (!p1_exists && !p2_exists),
+        "inconsistent state: p1={p1_exists} p2={p2_exists} (r1={r1:?} r2={r2:?})"
+    );
+    // And at least one of them went through.
+    assert!(r1.is_ok() || r2.is_ok());
+
+    n1.shutdown();
+    n2.shutdown();
+    c1.finalize();
+    c2.finalize();
+}
+
+/// Deterministic version of the conflict: prepare c1 first, then c2 must
+/// fail its prepare, then c1 commits.
+#[test]
+fn prepared_transaction_blocks_conflicting_stop() {
+    let env = TestEnv::new("bedrock-2pc-det");
+    let mut config_n2 = ProcessConfig::default();
+    config_n2.libraries.insert("A".into(), "libcomponent_a.so".into());
+    config_n2.providers.push(ProviderSpec::new("p2", "A", 1));
+    let n2 = env.server("n2", &config_n2);
+    let client_margo = env.client_margo("client");
+
+    // Manually drive phase 1 of c1 (keep p2 pinned).
+    let prepare_args = mochi_bedrock::proto::TxnPrepareArgs {
+        txn_id: "c1".into(),
+        ops: vec![TxnOp::KeepProvider { name: "p2".into() }],
+    };
+    let _: Value = client_margo
+        .forward(&n2.address(), mochi_bedrock::proto::TXN_PREPARE, 0, &prepare_args)
+        .unwrap();
+
+    // c2's transactional stop must fail at prepare...
+    let err = apply_transaction(
+        &client_margo,
+        0,
+        vec![(n2.address(), TxnOp::StopProvider { name: "p2".into() })],
+    )
+    .unwrap_err();
+    assert!(matches!(err, BedrockError::TxnConflict(_)));
+    // ...and so must a plain (non-transactional) stop.
+    let handle = Client::new(&client_margo).make_service_handle(n2.address(), 0);
+    let err = handle.stop_provider("p2").unwrap_err();
+    assert!(err.to_string().contains("transaction"), "{err}");
+
+    // Commit c1; afterwards the stop succeeds.
+    let _: Value = client_margo
+        .forward(
+            &n2.address(),
+            mochi_bedrock::proto::TXN_COMMIT,
+            0,
+            &mochi_bedrock::proto::TxnIdArgs { txn_id: "c1".into() },
+        )
+        .unwrap();
+    handle.stop_provider("p2").unwrap();
+    n2.shutdown();
+    client_margo.finalize();
+}
+
+#[test]
+fn failed_module_creation_surfaces_error() {
+    let env = TestEnv::new("bedrock-badstart");
+    let server = env.server("n1", &listing3_config());
+    let spec = ProviderSpec::new("broken", "A", 7).with_config(json!({"fail_to_start": true}));
+    let err = server.start_provider(&spec).unwrap_err();
+    assert!(matches!(err, BedrockError::Provider(_)));
+    assert_eq!(server.provider_names(), vec!["myProviderA"]);
+    server.shutdown();
+}
+
+#[test]
+fn duplicate_provider_ids_rejected() {
+    let env = TestEnv::new("bedrock-dupid");
+    let server = env.server("n1", &listing3_config());
+    let err = server.start_provider(&ProviderSpec::new("other", "A", 1)).unwrap_err();
+    assert!(matches!(err, BedrockError::BadConfig(_)));
+    server.shutdown();
+}

@@ -1,0 +1,83 @@
+//! Property tests on the Jx9 subset: evaluation is total (no panics) on
+//! arbitrary token soup, and core semantic identities hold on generated
+//! JSON documents.
+
+use proptest::prelude::*;
+use serde_json::json;
+
+use mochi_bedrock::jx9;
+
+fn json_value_strategy() -> impl Strategy<Value = serde_json::Value> {
+    let leaf = prop_oneof![
+        Just(serde_json::Value::Null),
+        any::<bool>().prop_map(serde_json::Value::from),
+        any::<i32>().prop_map(serde_json::Value::from),
+        "[a-z]{0,8}".prop_map(serde_json::Value::from),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6)
+                .prop_map(serde_json::Value::Array),
+            proptest::collection::btree_map("[a-z]{1,6}", inner, 0..6).prop_map(|m| {
+                serde_json::Value::Object(m.into_iter().collect())
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn eval_never_panics_on_arbitrary_programs(program in ".{0,120}") {
+        // Totality: garbage in, Err (or Ok) out — never a panic.
+        let _ = jx9::eval(&program, &serde_json::Value::Null);
+    }
+
+    #[test]
+    fn count_matches_length(values in proptest::collection::vec(any::<i32>(), 0..20)) {
+        let config = json!({ "items": values });
+        let result = jx9::eval("return count($__config__.items);", &config).unwrap();
+        prop_assert_eq!(result, json!(values.len()));
+    }
+
+    #[test]
+    fn foreach_collects_every_element(document in json_value_strategy()) {
+        let config = json!({ "items": [document.clone(), document.clone()] });
+        let result = jx9::eval(
+            r#"$out = [];
+               foreach ($__config__.items as $x) { array_push($out, $x); }
+               return $out;"#,
+            &config,
+        ).unwrap();
+        prop_assert_eq!(result, json!([document.clone(), document]));
+    }
+
+    #[test]
+    fn arithmetic_matches_rust(a in -1000i64..1000, b in -1000i64..1000) {
+        let sum = jx9::eval(&format!("return {a} + {b};"), &serde_json::Value::Null).unwrap();
+        prop_assert_eq!(sum, json!(a + b));
+        let product = jx9::eval(&format!("return {a} * {b};"), &serde_json::Value::Null).unwrap();
+        prop_assert_eq!(product, json!(a * b));
+        let comparison =
+            jx9::eval(&format!("return {a} < {b};"), &serde_json::Value::Null).unwrap();
+        prop_assert_eq!(comparison, json!(a < b));
+    }
+
+    #[test]
+    fn member_access_equals_direct_lookup(document in json_value_strategy()) {
+        let config = json!({ "payload": document });
+        let via_script = jx9::eval("return $__config__.payload;", &config).unwrap();
+        prop_assert_eq!(via_script, config["payload"].clone());
+    }
+
+    #[test]
+    fn while_loop_sums_like_rust(n in 0u32..50) {
+        let script = format!(
+            "$i = 0; $sum = 0;
+             while ($i < {n}) {{ $sum = $sum + $i; $i = $i + 1; }}
+             return $sum;"
+        );
+        let result = jx9::eval(&script, &serde_json::Value::Null).unwrap();
+        let expected: u32 = (0..n).sum();
+        prop_assert_eq!(result, json!(expected));
+    }
+}

@@ -1,0 +1,80 @@
+//! Ablation A2 — REMI chunk pipelining (paper §6, Observation 4).
+//!
+//! The paper credits the chunked strategy's small-file efficiency to two
+//! mechanisms: packing ("they can be packed together into larger chunks")
+//! and pipelining ("the transfer of chunks can be pipelined"). This
+//! ablation isolates them: a fixed many-small-files workload swept over
+//! chunk size (packing) and window depth (pipelining).
+
+use mochi_bench::{boot, fmt_bandwidth, fmt_secs, Table};
+use mochi_mercury::{Fabric, LinkParams, NetworkModel};
+use mochi_remi::{FileSet, MigrationOptions, RemiClient, RemiProvider, Strategy};
+use mochi_util::{SeededRng, TempDir};
+
+const FILES: usize = 2048;
+const FILE_SIZE: usize = 8 << 10; // 8 KiB x 2048 = 16 MiB
+
+fn main() {
+    let model = NetworkModel {
+        inter_node: LinkParams { latency_us: 50.0, bandwidth_gib_s: 12.5, jitter_frac: 0.0 },
+        ..NetworkModel::hpc()
+    };
+    let fabric = Fabric::with_model(model);
+    let source = boot(&fabric, "src");
+    let dest = boot(&fabric, "dst");
+    let dest_root = TempDir::new("a02-dst").unwrap();
+    let _provider = RemiProvider::register(&dest, 1, dest_root.path(), None).unwrap();
+    let client = RemiClient::new(&source);
+
+    let src_dir = TempDir::new("a02-src").unwrap();
+    let mut rng = SeededRng::new(0xa02);
+    let mut buf = vec![0u8; FILE_SIZE];
+    for i in 0..FILES {
+        rng.fill_bytes(&mut buf);
+        std::fs::write(src_dir.path().join(format!("f{i:05}.dat")), &buf).unwrap();
+    }
+    let fileset = FileSet::scan(src_dir.path()).unwrap();
+    let total = fileset.total_bytes();
+
+    let mut table = Table::new(&["chunk size", "window", "duration", "bandwidth", "chunks"]);
+    let mut case = 0usize;
+    for chunk_size in [64usize << 10, 1 << 20, 4 << 20] {
+        for window in [1usize, 2, 8, 32] {
+            case += 1;
+            let options = MigrationOptions {
+                dest_subdir: Some(format!("case-{case}")),
+                remove_source: false,
+                ..Default::default()
+            };
+            let report = client
+                .migrate(
+                    &dest.address(),
+                    1,
+                    &fileset,
+                    Strategy::ChunkedRpc { chunk_size, window },
+                    &options,
+                )
+                .unwrap();
+            assert_eq!(report.bytes, total);
+            table.row(&[
+                mochi_util::bytesize::format_bytes(chunk_size as u64),
+                window.to_string(),
+                fmt_secs(report.duration_s),
+                fmt_bandwidth(total, report.duration_s),
+                report.chunks.to_string(),
+            ]);
+        }
+    }
+    table.print(&format!(
+        "A2 — chunked migration ablation ({FILES} files x {} = {})",
+        mochi_util::bytesize::format_bytes(FILE_SIZE as u64),
+        mochi_util::bytesize::format_bytes(total)
+    ));
+    println!("shape: larger chunks amortize the per-RPC cost (packing) — the");
+    println!("dominant effect. Window depth (pipelining) overlaps transfer with");
+    println!("file reads; on this single-core host the overlap it can buy is");
+    println!("limited, so its effect is visible mainly at small chunk sizes.");
+
+    source.finalize();
+    dest.finalize();
+}

@@ -1,0 +1,72 @@
+//! E4 — Jx9 configuration queries (paper §5, Listing 4).
+//!
+//! Claim under test: Jx9 queries against the live configuration are cheap
+//! enough for interactive diagnosis, scaling linearly with configuration
+//! size.
+
+use mochi_bedrock::jx9;
+use mochi_bench::{fmt_latency, measure, Table};
+use serde_json::json;
+
+fn synthetic_config(providers: usize) -> serde_json::Value {
+    let list: Vec<serde_json::Value> = (0..providers)
+        .map(|i| {
+            json!({
+                "name": format!("provider{i}"),
+                "type": if i % 3 == 0 { "yokan" } else { "warabi" },
+                "provider_id": i,
+                "pool": format!("pool{}", i % 4),
+            })
+        })
+        .collect();
+    json!({ "providers": list, "margo": { "argobots": { "pools": [] } } })
+}
+
+const LISTING_4: &str = r#"
+    $result = [];
+    foreach ($__config__.providers as $p) {
+        array_push($result, $p.name); }
+    return $result;
+"#;
+
+const FILTER_QUERY: &str = r#"
+    $out = [];
+    foreach ($__config__.providers as $p) {
+        if ($p.type == "yokan") { array_push($out, $p.name); } }
+    return $out;
+"#;
+
+const AGGREGATE_QUERY: &str = r#"
+    $by_pool = {};
+    foreach ($__config__.providers as $p) {
+        $n = $by_pool[$p.pool];
+        if ($n == null) { $n = 0; }
+        $by_pool[$p.pool] = $n + 1; }
+    return $by_pool;
+"#;
+
+fn main() {
+    let mut table = Table::new(&["providers", "Listing 4", "filter", "aggregate"]);
+    for providers in [1usize, 10, 100, 1000] {
+        let config = synthetic_config(providers);
+        let listing4 = measure(5, 100, || {
+            let result = jx9::eval(LISTING_4, &config).unwrap();
+            assert_eq!(result.as_array().unwrap().len(), providers);
+        });
+        let filter = measure(5, 100, || {
+            jx9::eval(FILTER_QUERY, &config).unwrap();
+        });
+        let aggregate = measure(5, 100, || {
+            jx9::eval(AGGREGATE_QUERY, &config).unwrap();
+        });
+        table.row(&[
+            providers.to_string(),
+            fmt_latency(&listing4),
+            fmt_latency(&filter),
+            fmt_latency(&aggregate),
+        ]);
+    }
+    table.print("E4 — Jx9 query latency vs configuration size");
+    println!("claim: interactive-speed configuration queries; cost grows");
+    println!("linearly with the number of providers in the document.");
+}

@@ -1,0 +1,239 @@
+//! The introspection→decision loop (paper §2.3 and §4): monitoring data
+//! drives online reconfiguration.
+//!
+//! The [`AdaptiveController`] watches a pool's queue depth through the
+//! very statistics Margo publishes and adds or removes execution streams
+//! in response — the minimal but complete instance of "performance
+//! introspection … provides the empirical data necessary for informed
+//! decisions about changes made to the service".
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use mochi_margo::MargoRuntime;
+
+/// Scaling policy for one pool.
+#[derive(Debug, Clone)]
+pub struct ScalingPolicy {
+    /// Pool to manage.
+    pub pool: String,
+    /// Add an ES when the average queue depth since the last tick
+    /// exceeds this.
+    pub high_watermark: f64,
+    /// Remove an ES when it falls below this.
+    pub low_watermark: f64,
+    /// Never fewer ESs than this.
+    pub min_xstreams: usize,
+    /// Never more ESs than this.
+    pub max_xstreams: usize,
+    /// Decision interval.
+    pub period: Duration,
+}
+
+impl Default for ScalingPolicy {
+    fn default() -> Self {
+        Self {
+            pool: "__primary__".into(),
+            high_watermark: 4.0,
+            low_watermark: 0.5,
+            min_xstreams: 1,
+            max_xstreams: 8,
+            period: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Decision log entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalingDecision {
+    /// Added an execution stream (new total).
+    ScaledUp(usize),
+    /// Removed an execution stream (new total).
+    ScaledDown(usize),
+}
+
+/// A running controller.
+pub struct AdaptiveController {
+    margo: MargoRuntime,
+    policy: ScalingPolicy,
+    stopped: Arc<AtomicBool>,
+    decisions: Arc<Mutex<Vec<ScalingDecision>>>,
+    managed: Arc<Mutex<Vec<String>>>,
+    ticks: Arc<AtomicU64>,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl AdaptiveController {
+    /// Starts controlling `policy.pool` on `margo`.
+    pub fn start(margo: &MargoRuntime, policy: ScalingPolicy) -> Arc<Self> {
+        let controller = Arc::new(Self {
+            margo: margo.clone(),
+            policy,
+            stopped: Arc::new(AtomicBool::new(false)),
+            decisions: Arc::new(Mutex::new(Vec::new())),
+            managed: Arc::new(Mutex::new(Vec::new())),
+            ticks: Arc::new(AtomicU64::new(0)),
+            thread: Mutex::new(None),
+        });
+        let c = Arc::clone(&controller);
+        let handle = std::thread::Builder::new()
+            .name("adaptive-controller".into())
+            .spawn(move || {
+                let mut last_popped = 0u64;
+                let mut last_pushed = 0u64;
+                while !c.stopped.load(Ordering::SeqCst) {
+                    std::thread::sleep(c.policy.period);
+                    if c.stopped.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    c.ticks.fetch_add(1, Ordering::SeqCst);
+                    c.tick(&mut last_pushed, &mut last_popped);
+                }
+            })
+            .expect("spawn adaptive controller");
+        *controller.thread.lock() = Some(handle);
+        controller
+    }
+
+    fn tick(&self, last_pushed: &mut u64, last_popped: &mut u64) {
+        let stats = self.margo.abt().pool_stats();
+        let Some(pool) = stats.iter().find(|p| p.name == self.policy.pool) else {
+            return;
+        };
+        // Backlog growth between ticks is the pressure signal; the
+        // instantaneous queue depth is the level signal.
+        let pushed = pool.total_pushed - *last_pushed;
+        let popped = pool.total_popped - *last_popped;
+        *last_pushed = pool.total_pushed;
+        *last_popped = pool.total_popped;
+        let pressure = pool.size as f64 + (pushed.saturating_sub(popped)) as f64;
+
+        let current = self.margo.abt().xstreams_using_pool(&self.policy.pool).len();
+        if pressure > self.policy.high_watermark && current < self.policy.max_xstreams {
+            let name = format!("adaptive-{}-{}", self.policy.pool, mochi_util::unique_u64());
+            let spec = format!(
+                r#"{{"name": "{name}", "scheduler": {{"type": "basic_wait", "pools": ["{}"]}}}}"#,
+                self.policy.pool
+            );
+            if self.margo.add_xstream_from_json(&spec).is_ok() {
+                self.managed.lock().push(name);
+                self.decisions.lock().push(ScalingDecision::ScaledUp(current + 1));
+            }
+        } else if pressure < self.policy.low_watermark && current > self.policy.min_xstreams {
+            // Only remove streams we added ourselves.
+            let candidate = self.managed.lock().pop();
+            if let Some(name) = candidate {
+                if self.margo.remove_xstream(&name).is_ok() {
+                    self.decisions.lock().push(ScalingDecision::ScaledDown(current - 1));
+                } else {
+                    self.managed.lock().push(name);
+                }
+            }
+        }
+    }
+
+    /// Decisions so far.
+    pub fn decisions(&self) -> Vec<ScalingDecision> {
+        self.decisions.lock().clone()
+    }
+
+    /// Number of control ticks executed (test synchronization).
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::SeqCst)
+    }
+
+    /// Stops the controller, removing the streams it added.
+    pub fn stop(&self) {
+        if self.stopped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(handle) = self.thread.lock().take() {
+            let _ = handle.join();
+        }
+        for name in self.managed.lock().drain(..) {
+            let _ = self.margo.remove_xstream(&name);
+        }
+    }
+}
+
+impl Drop for AdaptiveController {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mochi_argobots::Ult;
+    use mochi_mercury::{Address, Fabric};
+    use mochi_util::time::wait_until;
+
+    #[test]
+    fn scales_up_under_backlog_and_down_when_idle() {
+        let fabric = Fabric::new();
+        let margo = MargoRuntime::init_default(&fabric, Address::tcp("ctrl", 1)).unwrap();
+        let policy = ScalingPolicy {
+            high_watermark: 3.0,
+            low_watermark: 0.5,
+            max_xstreams: 4,
+            period: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let controller = AdaptiveController::start(&margo, policy);
+
+        // Flood the pool with slow ULTs to build a backlog.
+        let pool = margo.abt().find_pool("__primary__").unwrap();
+        for _ in 0..60 {
+            pool.push(Ult::new("slow", || {
+                std::thread::sleep(Duration::from_millis(4));
+            }));
+        }
+        assert!(wait_until(Duration::from_secs(10), Duration::from_millis(5), || {
+            controller
+                .decisions()
+                .iter()
+                .any(|d| matches!(d, ScalingDecision::ScaledUp(_)))
+        }));
+        // Once drained, it scales back down.
+        assert!(wait_until(Duration::from_secs(15), Duration::from_millis(10), || {
+            controller
+                .decisions()
+                .iter()
+                .any(|d| matches!(d, ScalingDecision::ScaledDown(_)))
+        }));
+        controller.stop();
+        // All adaptive streams removed again.
+        assert_eq!(margo.abt().xstreams_using_pool("__primary__").len(), 1);
+        margo.finalize();
+    }
+
+    #[test]
+    fn respects_max_xstreams() {
+        let fabric = Fabric::new();
+        let margo = MargoRuntime::init_default(&fabric, Address::tcp("ctrl2", 1)).unwrap();
+        let policy = ScalingPolicy {
+            high_watermark: 0.0, // always scale up
+            low_watermark: -1.0, // never scale down
+            max_xstreams: 3,
+            period: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let controller = AdaptiveController::start(&margo, policy);
+        let pool = margo.abt().find_pool("__primary__").unwrap();
+        for _ in 0..500 {
+            pool.push(Ult::new("slow", || {
+                std::thread::sleep(Duration::from_millis(2));
+            }));
+        }
+        assert!(wait_until(Duration::from_secs(10), Duration::from_millis(5), || {
+            controller.ticks() > 20
+        }));
+        assert!(margo.abt().xstreams_using_pool("__primary__").len() <= 3);
+        controller.stop();
+        margo.finalize();
+    }
+}

@@ -1,0 +1,307 @@
+//! Strongly consistent group views over Raft — the paper's stated next
+//! step (§6): "In the future, however, we plan to build a consistent view
+//! by using the RAFT protocol to coordinate configuration changes across
+//! a set of Bedrock-managed processes."
+//!
+//! SSG gives *eventual* consistency: members may briefly disagree about
+//! the view, which Colza papers over with view hashes and two-phase
+//! commits. [`ConsistentGroup`] instead runs the membership list itself
+//! as a Raft-replicated state machine: every change is linearized, every
+//! member applies the same sequence of views, and a client can read a
+//! view that is guaranteed current as of its commit point.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use mochi_margo::{MargoError, MargoRuntime};
+use mochi_mercury::Address;
+use mochi_raft::{RaftClient, RaftConfig, RaftNode, StateMachine};
+use mochi_ssg::GroupView;
+
+/// Commands applied to the replicated membership list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum ViewCommand {
+    /// Adds a member (idempotent).
+    Add(Address),
+    /// Removes a member (idempotent).
+    Remove(Address),
+    /// Linearizable read: changes nothing, returns the current view.
+    Read,
+}
+
+/// The replicated state: a versioned member list.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct ViewState {
+    version: u64,
+    members: Vec<Address>,
+}
+
+impl ViewState {
+    fn to_view(&self) -> GroupView {
+        GroupView::new(self.version, self.members.clone())
+    }
+}
+
+struct ViewMachine {
+    state: Arc<Mutex<ViewState>>,
+}
+
+impl StateMachine for ViewMachine {
+    fn apply(&mut self, command: &[u8]) -> Vec<u8> {
+        let mut state = self.state.lock();
+        match serde_json::from_slice(command) {
+            Ok(ViewCommand::Add(addr)) => {
+                if !state.members.contains(&addr) {
+                    state.members.push(addr);
+                    state.members.sort();
+                    state.version += 1;
+                }
+            }
+            Ok(ViewCommand::Remove(addr)) => {
+                let before = state.members.len();
+                state.members.retain(|a| *a != addr);
+                if state.members.len() != before {
+                    state.version += 1;
+                }
+            }
+            Ok(ViewCommand::Read) | Err(_) => {}
+        }
+        serde_json::to_vec(&*state).expect("view state serializes")
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        serde_json::to_vec(&*self.state.lock()).expect("view state serializes")
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) {
+        if let Ok(state) = serde_json::from_slice(snapshot) {
+            *self.state.lock() = state;
+        }
+    }
+}
+
+/// One member's handle on the consistent group.
+pub struct ConsistentGroup {
+    node: RaftNode,
+    state: Arc<Mutex<ViewState>>,
+    client: RaftClient,
+}
+
+impl ConsistentGroup {
+    /// Starts this process's member of the consistent group. Every
+    /// initial member calls this with the same `initial` list (which
+    /// doubles as the Raft cluster membership).
+    pub fn create(
+        margo: &MargoRuntime,
+        provider_id: u16,
+        initial: &[Address],
+        data_dir: impl Into<std::path::PathBuf>,
+        config: RaftConfig,
+    ) -> Result<Arc<Self>, MargoError> {
+        let state = Arc::new(Mutex::new(ViewState {
+            version: 0,
+            members: {
+                let mut members = initial.to_vec();
+                members.sort();
+                members
+            },
+        }));
+        let node = RaftNode::start(
+            margo,
+            provider_id,
+            initial,
+            Box::new(ViewMachine { state: Arc::clone(&state) }),
+            data_dir,
+            config,
+        )?;
+        let client = RaftClient::new(margo, provider_id, initial.to_vec())
+            .with_rpc_timeout(Duration::from_millis(500));
+        Ok(Arc::new(Self { node, state, client }))
+    }
+
+    fn submit(&self, command: &ViewCommand) -> Result<GroupView, MargoError> {
+        let bytes = serde_json::to_vec(command).map_err(|e| MargoError::Codec(e.to_string()))?;
+        let reply = self.client.submit(&bytes)?;
+        let state: ViewState =
+            serde_json::from_slice(&reply).map_err(|e| MargoError::Codec(e.to_string()))?;
+        Ok(state.to_view())
+    }
+
+    /// Adds a *view* member through consensus (this does not change the
+    /// Raft cluster itself; pair with [`RaftClient::add_server`] when the
+    /// new member should also vote). Returns the resulting view.
+    pub fn add_member(&self, addr: &Address) -> Result<GroupView, MargoError> {
+        self.submit(&ViewCommand::Add(addr.clone()))
+    }
+
+    /// Removes a view member through consensus. Returns the resulting view.
+    pub fn remove_member(&self, addr: &Address) -> Result<GroupView, MargoError> {
+        self.submit(&ViewCommand::Remove(addr.clone()))
+    }
+
+    /// Linearizable view read: the returned view reflects every change
+    /// committed before this call returned.
+    pub fn view(&self) -> Result<GroupView, MargoError> {
+        self.submit(&ViewCommand::Read)
+    }
+
+    /// This member's locally applied view — may lag the linearizable
+    /// view by in-flight commits, but every member applies the *same
+    /// sequence* of views (unlike SSG's eventual consistency).
+    pub fn local_view(&self) -> GroupView {
+        self.state.lock().to_view()
+    }
+
+    /// Whether this member currently leads the coordination cluster.
+    pub fn is_leader(&self) -> bool {
+        self.node.is_leader()
+    }
+
+    /// Stops this member's Raft node.
+    pub fn stop(&self) {
+        self.node.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mochi_mercury::Fabric;
+    use mochi_util::time::wait_until;
+    use mochi_util::TempDir;
+
+    fn boot_group(
+        fabric: &Fabric,
+        n: usize,
+        dir: &TempDir,
+    ) -> (Vec<MargoRuntime>, Vec<Arc<ConsistentGroup>>, Vec<Address>) {
+        let addresses: Vec<Address> =
+            (0..n).map(|i| Address::tcp(format!("cv{i}"), 1)).collect();
+        let mut margos = Vec::new();
+        let mut groups = Vec::new();
+        for (i, addr) in addresses.iter().enumerate() {
+            let margo = MargoRuntime::init_default(fabric, addr.clone()).unwrap();
+            let group = ConsistentGroup::create(
+                &margo,
+                11,
+                &addresses,
+                dir.path().join(format!("n{i}")),
+                RaftConfig::fast(),
+            )
+            .unwrap();
+            margos.push(margo);
+            groups.push(group);
+        }
+        (margos, groups, addresses)
+    }
+
+    #[test]
+    fn linearizable_view_changes() {
+        let fabric = Fabric::new();
+        let dir = TempDir::new("consistent-view").unwrap();
+        let (margos, groups, addresses) = boot_group(&fabric, 3, &dir);
+
+        // Initial linearizable view = the bootstrap list.
+        let view = groups[0].view().unwrap();
+        assert_eq!(view.members, {
+            let mut a = addresses.clone();
+            a.sort();
+            a
+        });
+
+        // Add then remove an external member; reads from *any* member see
+        // the committed result immediately.
+        let extra = Address::tcp("extra", 1);
+        let view = groups[1].add_member(&extra).unwrap();
+        assert!(view.contains(&extra));
+        let from_other = groups[2].view().unwrap();
+        assert!(from_other.contains(&extra));
+        assert_eq!(from_other.epoch, view.epoch);
+
+        let view = groups[0].remove_member(&extra).unwrap();
+        assert!(!view.contains(&extra));
+
+        // Idempotence: removing again changes nothing (same version).
+        let again = groups[0].remove_member(&extra).unwrap();
+        assert_eq!(again.epoch, view.epoch);
+
+        // Local views converge to the same sequence end state.
+        assert!(wait_until(
+            std::time::Duration::from_secs(10),
+            std::time::Duration::from_millis(10),
+            || groups.iter().all(|g| g.local_view().hash() == view.hash())
+        ));
+
+        for group in &groups {
+            group.stop();
+        }
+        for margo in &margos {
+            margo.finalize();
+        }
+    }
+
+    #[test]
+    fn concurrent_changes_are_totally_ordered() {
+        let fabric = Fabric::new();
+        let dir = TempDir::new("consistent-race").unwrap();
+        let (margos, groups, _addresses) = boot_group(&fabric, 3, &dir);
+
+        // Two members concurrently add distinct addresses; both must land,
+        // and every member must observe the same final version/hash.
+        let a = Address::tcp("joiner-a", 1);
+        let b = Address::tcp("joiner-b", 1);
+        let g1 = Arc::clone(&groups[1]);
+        let g2 = Arc::clone(&groups[2]);
+        let (a2, b2) = (a.clone(), b.clone());
+        let t1 = std::thread::spawn(move || g1.add_member(&a2).unwrap());
+        let t2 = std::thread::spawn(move || g2.add_member(&b2).unwrap());
+        t1.join().unwrap();
+        t2.join().unwrap();
+
+        let final_view = groups[0].view().unwrap();
+        assert!(final_view.contains(&a));
+        assert!(final_view.contains(&b));
+        assert_eq!(final_view.epoch, 2, "exactly two committed changes");
+
+        for group in &groups {
+            group.stop();
+        }
+        for margo in &margos {
+            margo.finalize();
+        }
+    }
+
+    #[test]
+    fn view_survives_leader_failure() {
+        let fabric = Fabric::new();
+        let dir = TempDir::new("consistent-failover").unwrap();
+        let (margos, groups, _addresses) = boot_group(&fabric, 3, &dir);
+        let extra = Address::tcp("extra", 1);
+        groups[0].add_member(&extra).unwrap();
+
+        // Kill the leader; the view remains readable and writable.
+        assert!(wait_until(
+            std::time::Duration::from_secs(10),
+            std::time::Duration::from_millis(10),
+            || groups.iter().any(|g| g.is_leader())
+        ));
+        let leader_idx = groups.iter().position(|g| g.is_leader()).unwrap();
+        groups[leader_idx].stop();
+        margos[leader_idx].finalize();
+
+        let survivor = (leader_idx + 1) % 3;
+        let view = groups[survivor].view().unwrap();
+        assert!(view.contains(&extra), "committed change survived failover");
+        groups[survivor].add_member(&Address::tcp("post-failover", 1)).unwrap();
+
+        for (i, group) in groups.iter().enumerate() {
+            if i != leader_idx {
+                group.stop();
+                margos[i].finalize();
+            }
+        }
+    }
+}

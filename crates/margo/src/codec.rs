@@ -1,0 +1,68 @@
+//! RPC argument (de)serialization.
+//!
+//! Mercury leaves argument encoding to per-RPC "proc" functions; Mochi
+//! components describe their arguments declaratively. We use serde with a
+//! JSON encoding: the encoding format is not under test anywhere in the
+//! paper, and self-describing payloads make monitoring dumps and test
+//! failures legible. Components that move *data* (not arguments) use bulk
+//! transfers, which bypass this codec entirely — matching the original
+//! stack, where large transfers never ride the RPC serializer.
+
+use bytes::Bytes;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::error::MargoError;
+
+/// Serializes a value into an RPC payload.
+pub fn encode<T: Serialize>(value: &T) -> Result<Bytes, MargoError> {
+    serde_json::to_vec(value).map(Bytes::from).map_err(|e| MargoError::Codec(e.to_string()))
+}
+
+/// Deserializes an RPC payload.
+pub fn decode<T: DeserializeOwned>(payload: &[u8]) -> Result<T, MargoError> {
+    serde_json::from_slice(payload).map_err(|e| MargoError::Codec(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Args {
+        key: String,
+        sizes: Vec<u32>,
+        flag: bool,
+    }
+
+    #[test]
+    fn round_trip() {
+        let args = Args { key: "k".into(), sizes: vec![1, 2, 3], flag: true };
+        let bytes = encode(&args).unwrap();
+        let back: Args = decode(&bytes).unwrap();
+        assert_eq!(back, args);
+    }
+
+    #[test]
+    fn unit_round_trip() {
+        let bytes = encode(&()).unwrap();
+        decode::<()>(&bytes).unwrap();
+    }
+
+    #[test]
+    fn decode_error_is_reported() {
+        let err = decode::<Args>(b"{not json").unwrap_err();
+        assert!(matches!(err, MargoError::Codec(_)));
+    }
+
+    #[test]
+    fn binary_data_via_serde_bytes_pattern() {
+        // Raw Vec<u8> round-trips (as JSON arrays — fine for small args;
+        // large data goes through bulk transfers instead).
+        let blob: Vec<u8> = (0..=255).collect();
+        let bytes = encode(&blob).unwrap();
+        let back: Vec<u8> = decode(&bytes).unwrap();
+        assert_eq!(back, blob);
+    }
+}

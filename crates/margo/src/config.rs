@@ -1,0 +1,165 @@
+//! Margo configuration document.
+//!
+//! The JSON shape extends Listing 2 with the fields Margo adds around the
+//! `argobots` section: which pool the progress loop is associated with,
+//! the default handler pool, RPC timeout, and monitoring settings.
+
+use serde::{Deserialize, Serialize};
+
+use mochi_argobots::AbtConfig;
+
+use crate::error::MargoError;
+
+/// Monitoring settings (§4).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitoringConfig {
+    /// Master switch for the default statistics monitor.
+    #[serde(default = "default_true")]
+    pub enabled: bool,
+    /// Period of the in-flight/pool-size sampler, in milliseconds.
+    /// `0` disables sampling.
+    #[serde(default = "default_sampling_period")]
+    pub sampling_period_ms: u64,
+}
+
+fn default_true() -> bool {
+    true
+}
+
+fn default_sampling_period() -> u64 {
+    100
+}
+
+impl Default for MonitoringConfig {
+    fn default() -> Self {
+        Self { enabled: true, sampling_period_ms: default_sampling_period() }
+    }
+}
+
+/// Full Margo configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MargoConfig {
+    /// Pool/xstream topology (Listing 2's `argobots` section). Defaults
+    /// to the primary-only topology when omitted, like `margo_init`.
+    #[serde(default = "AbtConfig::primary_only")]
+    pub argobots: AbtConfig,
+    /// Name of the pool associated with the network progress loop.
+    #[serde(default = "default_progress_pool")]
+    pub progress_pool: String,
+    /// Pool used for RPC handlers registered without an explicit pool.
+    #[serde(default = "default_rpc_pool")]
+    pub default_rpc_pool: String,
+    /// Default timeout for forwarded RPCs, in milliseconds.
+    #[serde(default = "default_rpc_timeout")]
+    pub rpc_timeout_ms: u64,
+    /// Monitoring settings.
+    #[serde(default)]
+    pub monitoring: MonitoringConfig,
+}
+
+fn default_progress_pool() -> String {
+    "__primary__".into()
+}
+
+fn default_rpc_pool() -> String {
+    "__primary__".into()
+}
+
+fn default_rpc_timeout() -> u64 {
+    30_000
+}
+
+impl Default for MargoConfig {
+    fn default() -> Self {
+        Self {
+            argobots: AbtConfig::primary_only(),
+            progress_pool: default_progress_pool(),
+            default_rpc_pool: default_rpc_pool(),
+            rpc_timeout_ms: default_rpc_timeout(),
+            monitoring: MonitoringConfig::default(),
+        }
+    }
+}
+
+impl MargoConfig {
+    /// Parses and validates a JSON document.
+    pub fn from_json(json: &str) -> Result<Self, MargoError> {
+        let config: MargoConfig =
+            serde_json::from_str(json).map_err(|e| MargoError::BadConfig(e.to_string()))?;
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Structural validation: delegate to Argobots, then check that the
+    /// progress and default pools exist.
+    pub fn validate(&self) -> Result<(), MargoError> {
+        self.argobots.validate()?;
+        for (role, pool) in
+            [("progress_pool", &self.progress_pool), ("default_rpc_pool", &self.default_rpc_pool)]
+        {
+            if !self.argobots.pools.iter().any(|p| &p.name == pool) {
+                return Err(MargoError::BadConfig(format!(
+                    "{role} '{pool}' is not defined in the argobots section"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        MargoConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn parses_listing2_style_document() {
+        let json = r#"
+        { "argobots": {
+            "pools": [ { "name": "MyPoolX", "type": "fifo_wait", "access": "mpmc" },
+                       { "name": "Z", "type": "fifo_wait" } ],
+            "xstreams": [ { "name": "MyES0",
+                            "scheduler": { "type": "basic", "pools": ["MyPoolX"] } },
+                          { "name": "ES1",
+                            "scheduler": { "type": "basic_wait", "pools": ["Z"] } } ] },
+          "progress_pool": "Z",
+          "default_rpc_pool": "MyPoolX" }
+        "#;
+        let config = MargoConfig::from_json(json).unwrap();
+        assert_eq!(config.progress_pool, "Z");
+        assert_eq!(config.default_rpc_pool, "MyPoolX");
+        assert_eq!(config.rpc_timeout_ms, 30_000);
+        assert!(config.monitoring.enabled);
+    }
+
+    #[test]
+    fn rejects_missing_progress_pool() {
+        let json = r#"
+        { "argobots": { "pools": [ { "name": "p" } ],
+                        "xstreams": [ { "name": "es", "scheduler": { "pools": ["p"] } } ] },
+          "progress_pool": "ghost", "default_rpc_pool": "p" }
+        "#;
+        let err = MargoConfig::from_json(json).unwrap_err();
+        assert!(matches!(err, MargoError::BadConfig(_)));
+    }
+
+    #[test]
+    fn round_trips() {
+        let config = MargoConfig::default();
+        let json = serde_json::to_string(&config).unwrap();
+        let back = MargoConfig::from_json(&json).unwrap();
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn sampling_can_be_disabled() {
+        let json = r#"{ "monitoring": { "enabled": false, "sampling_period_ms": 0 } }"#;
+        let config = MargoConfig::from_json(json).unwrap();
+        assert!(!config.monitoring.enabled);
+        assert_eq!(config.monitoring.sampling_period_ms, 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for the Margo layer.
+
+use std::fmt;
+
+use mochi_argobots::AbtError;
+use mochi_mercury::MercuryError;
+
+/// Errors surfaced by Margo operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MargoError {
+    /// Transport-level failure.
+    Transport(MercuryError),
+    /// Threading/topology failure.
+    Threading(AbtError),
+    /// Argument (de)serialization failed.
+    Codec(String),
+    /// The remote handler reported an application error.
+    Handler(String),
+    /// No handler registered for (rpc, provider) at the destination.
+    NoHandler { rpc: String, provider_id: u16 },
+    /// An RPC with this (name, provider) is already registered locally.
+    AlreadyRegistered { rpc: String, provider_id: u16 },
+    /// Local registration not found.
+    NotRegistered { rpc: String, provider_id: u16 },
+    /// The referenced pool does not exist.
+    PoolNotFound(String),
+    /// Refusing to remove a pool that registered handlers dispatch into,
+    /// or the progress pool.
+    PoolBusy { pool: String, reason: String },
+    /// A configuration document was invalid.
+    BadConfig(String),
+    /// The runtime is finalized.
+    Finalized,
+}
+
+impl fmt::Display for MargoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MargoError::Transport(e) => write!(f, "transport: {e}"),
+            MargoError::Threading(e) => write!(f, "threading: {e}"),
+            MargoError::Codec(msg) => write!(f, "codec: {msg}"),
+            MargoError::Handler(msg) => write!(f, "handler error: {msg}"),
+            MargoError::NoHandler { rpc, provider_id } => {
+                write!(f, "no handler for rpc '{rpc}' provider {provider_id}")
+            }
+            MargoError::AlreadyRegistered { rpc, provider_id } => {
+                write!(f, "rpc '{rpc}' provider {provider_id} already registered")
+            }
+            MargoError::NotRegistered { rpc, provider_id } => {
+                write!(f, "rpc '{rpc}' provider {provider_id} not registered")
+            }
+            MargoError::PoolNotFound(p) => write!(f, "pool '{p}' not found"),
+            MargoError::PoolBusy { pool, reason } => {
+                write!(f, "pool '{pool}' cannot be removed: {reason}")
+            }
+            MargoError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            MargoError::Finalized => write!(f, "margo runtime is finalized"),
+        }
+    }
+}
+
+impl std::error::Error for MargoError {}
+
+impl From<MercuryError> for MargoError {
+    fn from(e: MercuryError) -> Self {
+        MargoError::Transport(e)
+    }
+}
+
+impl From<AbtError> for MargoError {
+    fn from(e: AbtError) -> Self {
+        MargoError::Threading(e)
+    }
+}
+
+impl MargoError {
+    /// True if the failure is a timeout (common check in retry loops).
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, MargoError::Transport(MercuryError::Timeout))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_timeout_check() {
+        let e: MargoError = MercuryError::Timeout.into();
+        assert!(e.is_timeout());
+        let e: MargoError = AbtError::Shutdown.into();
+        assert!(!e.is_timeout());
+        assert!(e.to_string().contains("threading"));
+    }
+}

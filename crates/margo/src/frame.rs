@@ -1,0 +1,88 @@
+//! Binary framing for RPCs that carry raw data next to structured
+//! arguments.
+//!
+//! The JSON argument codec ([`crate::codec`]) is convenient for control
+//! messages but would inflate raw byte payloads (a JSON array of numbers
+//! costs ~3.7 bytes per byte). Data-plane RPCs — Yokan values, Warabi
+//! blob writes, REMI chunks — instead frame their payloads as
+//! `[u32 LE header length][JSON header][raw body]`, so the network
+//! model charges honest byte counts, mirroring how the real Mercury
+//! serializers ship raw buffers.
+
+use bytes::Bytes;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::error::MargoError;
+
+/// Encodes `header` + `body` into a framed payload.
+pub fn encode_framed<H: Serialize>(header: &H, body: &[u8]) -> Result<Bytes, MargoError> {
+    let header_json = serde_json::to_vec(header).map_err(|e| MargoError::Codec(e.to_string()))?;
+    let mut frame = Vec::with_capacity(4 + header_json.len() + body.len());
+    frame.extend_from_slice(&(header_json.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&header_json);
+    frame.extend_from_slice(body);
+    Ok(Bytes::from(frame))
+}
+
+/// Decodes a framed payload into its header and body slice.
+pub fn decode_framed<H: DeserializeOwned>(frame: &[u8]) -> Result<(H, &[u8]), MargoError> {
+    if frame.len() < 4 {
+        return Err(MargoError::Codec("frame shorter than header length".into()));
+    }
+    let header_len = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes")) as usize;
+    let rest = &frame[4..];
+    if rest.len() < header_len {
+        return Err(MargoError::Codec(format!(
+            "frame truncated: header {header_len} > {}",
+            rest.len()
+        )));
+    }
+    let header: H = serde_json::from_slice(&rest[..header_len])
+        .map_err(|e| MargoError::Codec(e.to_string()))?;
+    Ok((header, &rest[header_len..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Header {
+        key: String,
+        flag: bool,
+    }
+
+    #[test]
+    fn round_trip() {
+        let header = Header { key: "k".into(), flag: true };
+        let body = vec![0u8, 1, 2, 255];
+        let frame = encode_framed(&header, &body).unwrap();
+        let (back, back_body): (Header, &[u8]) = decode_framed(&frame).unwrap();
+        assert_eq!(back, header);
+        assert_eq!(back_body, &body[..]);
+    }
+
+    #[test]
+    fn empty_body() {
+        let frame = encode_framed(&42u32, &[]).unwrap();
+        let (n, body): (u32, &[u8]) = decode_framed(&frame).unwrap();
+        assert_eq!(n, 42);
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn overhead_is_small() {
+        let body = vec![7u8; 4096];
+        let frame = encode_framed(&(), &body).unwrap();
+        assert!(frame.len() < body.len() + 16, "frame {} bytes", frame.len());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let frame = encode_framed(&Header { key: "x".into(), flag: false }, b"abc").unwrap();
+        assert!(decode_framed::<Header>(&frame[..3]).is_err());
+        assert!(decode_framed::<Header>(&frame[..5]).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! `mochi-margo` — the shared runtime of every Mochi component.
+//!
+//! Margo combines Mercury (networking) and Argobots (threading) into the
+//! runtime all components of a Mochi process share (paper §3.2): it
+//! registers RPCs, dispatches incoming requests into user-level threads
+//! pulled from configurable pools, and provides the two capabilities this
+//! paper adds for dynamic services:
+//!
+//! * **performance introspection** (§4): a customizable [`monitoring`]
+//!   infrastructure with callbacks across the RPC lifecycle, a default
+//!   statistics monitor that renders Listing-1-shaped JSON, a runtime
+//!   query API, and periodic sampling of in-flight RPCs and pool sizes;
+//! * **online reconfiguration** (§5, Observation 2): pools and execution
+//!   streams can be added/removed at run time via
+//!   [`MargoRuntime::add_pool_from_json`] and friends, with validity
+//!   enforced at both the Argobots level (no duplicate names, no removing
+//!   a pool an ES uses) and the Margo level (no removing the progress pool
+//!   or a pool that registered RPC handlers run in).
+//!
+//! A [`MargoRuntime`] is one simulated process. Many runtimes share one
+//! [`mochi_mercury::Fabric`], which plays the role of the machine's
+//! interconnect.
+
+pub mod codec;
+pub mod config;
+pub mod error;
+pub mod frame;
+pub mod monitoring;
+pub mod rpc;
+pub mod runtime;
+
+pub use codec::{decode, encode};
+pub use frame::{decode_framed, encode_framed};
+pub use config::{MargoConfig, MonitoringConfig};
+pub use error::MargoError;
+pub use monitoring::{Monitor, MonitoringEvent, StatisticsMonitor};
+pub use mochi_mercury::CallContext;
+pub use rpc::{rpc_id_for_name, RpcContext, RpcHandler};
+pub use runtime::MargoRuntime;
+
+/// The provider id Margo uses for "no particular provider" — `u16::MAX`,
+/// which renders as the `65535` sentinels in Listing 1.
+pub const ANONYMOUS_PROVIDER: u16 = u16::MAX;

@@ -1,0 +1,1166 @@
+//! The Margo runtime: one simulated Mochi process.
+//!
+//! Owns the process's endpoint, its Argobots topology, the RPC handler
+//! registry, the progress loop, and the monitoring pipeline. The dynamic
+//! capabilities of the paper live here:
+//!
+//! * §4 performance introspection: every RPC lifecycle step is emitted to
+//!   the installed [`Monitor`]s; [`MargoRuntime::monitoring_json`] is the
+//!   runtime query API and `finalize` returns the final dump;
+//! * §5 online reconfiguration: [`MargoRuntime::add_pool_from_json`],
+//!   [`MargoRuntime::remove_pool`], [`MargoRuntime::add_xstream_from_json`]
+//!   and [`MargoRuntime::remove_xstream`] mutate the live topology under
+//!   the validity rules the paper describes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use serde_json::Value;
+
+use mochi_argobots::{AbtRuntime, Pool, PoolConfig, Ult, XstreamConfig};
+use mochi_mercury::{
+    Address, BulkAccess, BulkHandle, CallContext, Endpoint, Fabric, Incoming, RequestInfo,
+    ResponseStatus,
+};
+use mochi_util::time::monotonic_seconds;
+
+use crate::config::MargoConfig;
+use crate::error::MargoError;
+use crate::monitoring::{
+    BulkDirection, CompositeMonitor, Monitor, MonitoringEvent, RpcIdentity, RuntimeSample,
+    StatisticsMonitor,
+};
+use crate::rpc::{rpc_id_for_name, RpcContext, RpcHandler};
+
+/// How often the progress loop wakes to check for shutdown.
+const PROGRESS_TICK: Duration = Duration::from_millis(10);
+
+struct Registration {
+    name: Arc<str>,
+    pool: String,
+    handler: RpcHandler,
+}
+
+struct Meta {
+    progress_pool: String,
+    default_rpc_pool: String,
+    rpc_timeout: Duration,
+    monitoring_enabled: bool,
+    sampling_period: Duration,
+}
+
+struct Inner {
+    endpoint: Endpoint,
+    fabric: Fabric,
+    abt: AbtRuntime,
+    meta: Mutex<Meta>,
+    handlers: RwLock<HashMap<(u64, u16), Arc<Registration>>>,
+    monitor: RwLock<Arc<CompositeMonitor>>,
+    stats: Option<Arc<StatisticsMonitor>>,
+    in_flight_client: AtomicI64,
+    in_flight_server: AtomicI64,
+    finalized: AtomicBool,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Handle to a running Margo instance. Cheap to clone; all clones refer
+/// to the same process.
+#[derive(Clone)]
+pub struct MargoRuntime {
+    inner: Arc<Inner>,
+}
+
+impl MargoRuntime {
+    /// Boots a Margo instance at `addr` on `fabric` with `config`
+    /// (`margo_init_ext` equivalent).
+    pub fn init(fabric: &Fabric, addr: Address, config: &MargoConfig) -> Result<Self, MargoError> {
+        config.validate()?;
+        let abt = AbtRuntime::from_config(&config.argobots)?;
+        let endpoint = fabric.register(addr);
+        let stats = config.monitoring.enabled.then(|| Arc::new(StatisticsMonitor::new()));
+        let mut composite = CompositeMonitor::new();
+        if let Some(stats) = &stats {
+            composite.push(Arc::clone(stats) as Arc<dyn Monitor>);
+        }
+        let inner = Arc::new(Inner {
+            endpoint,
+            fabric: fabric.clone(),
+            abt,
+            meta: Mutex::new(Meta {
+                progress_pool: config.progress_pool.clone(),
+                default_rpc_pool: config.default_rpc_pool.clone(),
+                rpc_timeout: Duration::from_millis(config.rpc_timeout_ms),
+                monitoring_enabled: config.monitoring.enabled,
+                sampling_period: Duration::from_millis(config.monitoring.sampling_period_ms),
+            }),
+            handlers: RwLock::new(HashMap::new()),
+            monitor: RwLock::new(Arc::new(composite)),
+            stats,
+            in_flight_client: AtomicI64::new(0),
+            in_flight_server: AtomicI64::new(0),
+            finalized: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+        });
+        let runtime = Self { inner };
+        runtime.spawn_progress_loop();
+        runtime.spawn_sampler();
+        Ok(runtime)
+    }
+
+    /// Boots with the default configuration.
+    pub fn init_default(fabric: &Fabric, addr: Address) -> Result<Self, MargoError> {
+        Self::init(fabric, addr, &MargoConfig::default())
+    }
+
+    fn spawn_progress_loop(&self) {
+        let this = self.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("margo-progress-{}", self.address()))
+            .spawn(move || {
+                while !this.inner.finalized.load(Ordering::SeqCst) {
+                    match this.inner.endpoint.progress(PROGRESS_TICK) {
+                        Ok(Some(incoming)) => this.dispatch(incoming),
+                        Ok(None) => {}
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn progress loop");
+        self.inner.threads.lock().push(handle);
+    }
+
+    fn spawn_sampler(&self) {
+        let (enabled, period) = {
+            let meta = self.inner.meta.lock();
+            (meta.monitoring_enabled, meta.sampling_period)
+        };
+        if !enabled || period.is_zero() {
+            return;
+        }
+        let this = self.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("margo-sampler-{}", self.address()))
+            .spawn(move || {
+                while !this.inner.finalized.load(Ordering::SeqCst) {
+                    std::thread::sleep(period);
+                    let sample = RuntimeSample {
+                        time_s: monotonic_seconds(),
+                        in_flight_client: this.inner.in_flight_client.load(Ordering::Relaxed),
+                        in_flight_server: this.inner.in_flight_server.load(Ordering::Relaxed),
+                        pools: this.inner.abt.pool_stats(),
+                    };
+                    this.emit(&MonitoringEvent::Sample(sample));
+                }
+            })
+            .expect("spawn sampler");
+        self.inner.threads.lock().push(handle);
+    }
+
+    /// This process's address.
+    pub fn address(&self) -> Address {
+        self.inner.endpoint.address().clone()
+    }
+
+    /// The fabric this process is attached to.
+    pub fn fabric(&self) -> &Fabric {
+        &self.inner.fabric
+    }
+
+    /// The underlying endpoint (advanced uses: raw bulk exposure).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.inner.endpoint
+    }
+
+    /// The Argobots runtime (read-mostly; use the `add_*`/`remove_*`
+    /// methods on `MargoRuntime` for reconfiguration so Margo-level
+    /// validity checks run).
+    pub fn abt(&self) -> &AbtRuntime {
+        &self.inner.abt
+    }
+
+    fn ensure_live(&self) -> Result<(), MargoError> {
+        if self.inner.finalized.load(Ordering::SeqCst) {
+            Err(MargoError::Finalized)
+        } else {
+            Ok(())
+        }
+    }
+
+    pub(crate) fn identity_for(
+        &self,
+        rpc_id: u64,
+        name: &Arc<str>,
+        provider_id: u16,
+        context: CallContext,
+    ) -> RpcIdentity {
+        RpcIdentity { rpc_id, rpc_name: Arc::clone(name), provider_id, context }
+    }
+
+    pub(crate) fn emit(&self, event: &MonitoringEvent) {
+        if self.inner.meta.lock().monitoring_enabled {
+            let monitor = Arc::clone(&*self.inner.monitor.read());
+            monitor.observe(event);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Registration
+    // ------------------------------------------------------------------
+
+    /// Registers a raw handler for `(rpc_name, provider_id)`, dispatching
+    /// its ULTs into `pool` (or the configured default pool).
+    pub fn register(
+        &self,
+        rpc_name: &str,
+        provider_id: u16,
+        pool: Option<&str>,
+        handler: RpcHandler,
+    ) -> Result<u64, MargoError> {
+        self.ensure_live()?;
+        let pool_name = match pool {
+            Some(p) => p.to_string(),
+            None => self.inner.meta.lock().default_rpc_pool.clone(),
+        };
+        if self.inner.abt.find_pool(&pool_name).is_none() {
+            return Err(MargoError::PoolNotFound(pool_name));
+        }
+        let rpc_id = rpc_id_for_name(rpc_name);
+        let mut handlers = self.inner.handlers.write();
+        if handlers.contains_key(&(rpc_id, provider_id)) {
+            return Err(MargoError::AlreadyRegistered {
+                rpc: rpc_name.to_string(),
+                provider_id,
+            });
+        }
+        handlers.insert(
+            (rpc_id, provider_id),
+            Arc::new(Registration { name: Arc::from(rpc_name), pool: pool_name, handler }),
+        );
+        Ok(rpc_id)
+    }
+
+    /// Registers a typed handler: arguments are decoded, the closure's
+    /// `Ok` output is encoded and sent back, `Err` becomes an
+    /// application-level error response. This is the shape component
+    /// providers use.
+    pub fn register_typed<I, O, F>(
+        &self,
+        rpc_name: &str,
+        provider_id: u16,
+        pool: Option<&str>,
+        f: F,
+    ) -> Result<u64, MargoError>
+    where
+        I: DeserializeOwned,
+        O: Serialize,
+        F: Fn(I, &RpcContext) -> Result<O, String> + Send + Sync + 'static,
+    {
+        let handler: RpcHandler = Arc::new(move |ctx: RpcContext| {
+            match ctx.args::<I>() {
+                Ok(input) => match f(input, &ctx) {
+                    Ok(output) => {
+                        let _ = ctx.respond(&output);
+                    }
+                    Err(message) => {
+                        let _ = ctx.respond_err(message);
+                    }
+                },
+                Err(e) => {
+                    let _ = ctx.respond_err(format!("argument decoding failed: {e}"));
+                }
+            }
+        });
+        self.register(rpc_name, provider_id, pool, handler)
+    }
+
+    /// Removes a registration.
+    pub fn deregister(&self, rpc_name: &str, provider_id: u16) -> Result<(), MargoError> {
+        let rpc_id = rpc_id_for_name(rpc_name);
+        match self.inner.handlers.write().remove(&(rpc_id, provider_id)) {
+            Some(_) => Ok(()),
+            None => Err(MargoError::NotRegistered { rpc: rpc_name.to_string(), provider_id }),
+        }
+    }
+
+    /// Names and pools of all registered RPCs: `(name, provider_id, pool)`.
+    pub fn registrations(&self) -> Vec<(String, u16, String)> {
+        let mut list: Vec<(String, u16, String)> = self
+            .inner
+            .handlers
+            .read()
+            .iter()
+            .map(|((_, provider), reg)| (reg.name.to_string(), *provider, reg.pool.clone()))
+            .collect();
+        list.sort();
+        list
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch (server side)
+    // ------------------------------------------------------------------
+
+    fn dispatch(&self, incoming: Incoming) {
+        let (request, oneway) = match incoming {
+            Incoming::Request(request) => (request, false),
+            Incoming::OneWay(ow) => (
+                RequestInfo {
+                    source: ow.source,
+                    rpc_id: ow.rpc_id,
+                    provider_id: ow.provider_id,
+                    xid: 0,
+                    context: CallContext::TOP_LEVEL,
+                    payload: ow.payload,
+                },
+                true,
+            ),
+        };
+        let registration = {
+            let handlers = self.inner.handlers.read();
+            handlers.get(&(request.rpc_id, request.provider_id)).cloned()
+        };
+        let Some(registration) = registration else {
+            if !oneway {
+                let _ = self.inner.endpoint.respond(
+                    &request,
+                    ResponseStatus::NoHandler,
+                    Bytes::new(),
+                );
+            }
+            return;
+        };
+        let identity = self.identity_for(
+            request.rpc_id,
+            &registration.name,
+            request.provider_id,
+            request.context,
+        );
+        self.emit(&MonitoringEvent::RequestReceived {
+            identity: identity.clone(),
+            source: request.source.clone(),
+            payload_size: request.payload.len(),
+            pool: registration.pool.clone(),
+        });
+        self.inner.in_flight_server.fetch_add(1, Ordering::Relaxed);
+        let received_at = Instant::now();
+        let this = self.clone();
+        let reg = Arc::clone(&registration);
+        let ult_name = registration.name.to_string();
+        let ult = Ult::new(ult_name, move || {
+            let source = request.source.clone();
+            let queue_wait_s = received_at.elapsed().as_secs_f64();
+            this.emit(&MonitoringEvent::HandlerStart {
+                identity: identity.clone(),
+                source: source.clone(),
+                queue_wait_s,
+            });
+            let ctx = RpcContext {
+                margo: this.clone(),
+                request,
+                rpc_name: Arc::clone(&reg.name),
+                responded: AtomicBool::new(false),
+                oneway,
+            };
+            let start = Instant::now();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                (reg.handler)(ctx)
+            }));
+            // `ctx` moved into the handler; on panic we can no longer tell
+            // whether it responded. Mercury's correlation map simply drops
+            // duplicate xids, so a best-effort error response is safe: if
+            // the handler already answered, the waiter is gone and the
+            // response is ignored.
+            let ok = outcome.is_ok();
+            this.emit(&MonitoringEvent::HandlerEnd {
+                identity,
+                source,
+                duration_s: start.elapsed().as_secs_f64(),
+                ok,
+            });
+            this.inner.in_flight_server.fetch_sub(1, Ordering::Relaxed);
+        });
+        if self.inner.abt.submit(&registration.pool, ult).is_err() && !oneway {
+            // The pool disappeared between registration and dispatch
+            // (shutdown race): report rather than hang the caller.
+            // The request was moved into the ULT; nothing to respond to.
+            self.inner.in_flight_server.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Forward (client side)
+    // ------------------------------------------------------------------
+
+    /// Calls `(rpc_name, provider_id)` at `dest` with the default timeout
+    /// from top-level context.
+    pub fn forward<I: Serialize, O: DeserializeOwned>(
+        &self,
+        dest: &Address,
+        rpc_name: &str,
+        provider_id: u16,
+        input: &I,
+    ) -> Result<O, MargoError> {
+        self.forward_with_context(dest, rpc_name, provider_id, input, CallContext::TOP_LEVEL)
+    }
+
+    /// Calls with an explicit calling context (used by [`RpcContext`] for
+    /// nested RPCs so monitoring can attribute them to their parent).
+    pub fn forward_with_context<I: Serialize, O: DeserializeOwned>(
+        &self,
+        dest: &Address,
+        rpc_name: &str,
+        provider_id: u16,
+        input: &I,
+        context: CallContext,
+    ) -> Result<O, MargoError> {
+        let timeout = self.inner.meta.lock().rpc_timeout;
+        self.forward_full(dest, rpc_name, provider_id, input, context, timeout)
+    }
+
+    /// Calls with an explicit timeout.
+    pub fn forward_timeout<I: Serialize, O: DeserializeOwned>(
+        &self,
+        dest: &Address,
+        rpc_name: &str,
+        provider_id: u16,
+        input: &I,
+        timeout: Duration,
+    ) -> Result<O, MargoError> {
+        self.forward_full(dest, rpc_name, provider_id, input, CallContext::TOP_LEVEL, timeout)
+    }
+
+    /// Fully explicit forward.
+    pub fn forward_full<I: Serialize, O: DeserializeOwned>(
+        &self,
+        dest: &Address,
+        rpc_name: &str,
+        provider_id: u16,
+        input: &I,
+        context: CallContext,
+        timeout: Duration,
+    ) -> Result<O, MargoError> {
+        self.ensure_live()?;
+        let payload = crate::codec::encode(input)?;
+        let rpc_id = rpc_id_for_name(rpc_name);
+        let name: Arc<str> = Arc::from(rpc_name);
+        let identity = self.identity_for(rpc_id, &name, provider_id, context);
+        self.emit(&MonitoringEvent::ForwardStart {
+            identity: identity.clone(),
+            dest: dest.clone(),
+            payload_size: payload.len(),
+        });
+        self.inner.in_flight_client.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let result = (|| -> Result<O, MargoError> {
+            let pending =
+                self.inner.endpoint.send_request(dest, rpc_id, provider_id, context, payload)?;
+            let response = pending.wait(timeout)?;
+            match response.status {
+                ResponseStatus::Ok => crate::codec::decode(&response.payload),
+                ResponseStatus::Error(message) => Err(MargoError::Handler(message)),
+                ResponseStatus::NoHandler => {
+                    Err(MargoError::NoHandler { rpc: rpc_name.to_string(), provider_id })
+                }
+            }
+        })();
+        self.inner.in_flight_client.fetch_sub(1, Ordering::Relaxed);
+        self.emit(&MonitoringEvent::ForwardEnd {
+            identity,
+            dest: dest.clone(),
+            duration_s: start.elapsed().as_secs_f64(),
+            ok: result.is_ok(),
+        });
+        result
+    }
+
+    /// Raw-payload forward for data-plane RPCs using [`crate::frame`]
+    /// encoding (or any custom encoding): sends `payload` verbatim and
+    /// returns the raw response payload. Fully monitored like
+    /// [`MargoRuntime::forward`].
+    pub fn forward_raw(
+        &self,
+        dest: &Address,
+        rpc_name: &str,
+        provider_id: u16,
+        payload: Bytes,
+        context: CallContext,
+        timeout: Duration,
+    ) -> Result<Bytes, MargoError> {
+        self.ensure_live()?;
+        let rpc_id = rpc_id_for_name(rpc_name);
+        let name: Arc<str> = Arc::from(rpc_name);
+        let identity = self.identity_for(rpc_id, &name, provider_id, context);
+        self.emit(&MonitoringEvent::ForwardStart {
+            identity: identity.clone(),
+            dest: dest.clone(),
+            payload_size: payload.len(),
+        });
+        self.inner.in_flight_client.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let result = (|| -> Result<Bytes, MargoError> {
+            let pending =
+                self.inner.endpoint.send_request(dest, rpc_id, provider_id, context, payload)?;
+            let response = pending.wait(timeout)?;
+            match response.status {
+                ResponseStatus::Ok => Ok(response.payload),
+                ResponseStatus::Error(message) => Err(MargoError::Handler(message)),
+                ResponseStatus::NoHandler => {
+                    Err(MargoError::NoHandler { rpc: rpc_name.to_string(), provider_id })
+                }
+            }
+        })();
+        self.inner.in_flight_client.fetch_sub(1, Ordering::Relaxed);
+        self.emit(&MonitoringEvent::ForwardEnd {
+            identity,
+            dest: dest.clone(),
+            duration_s: start.elapsed().as_secs_f64(),
+            ok: result.is_ok(),
+        });
+        result
+    }
+
+    /// Fire-and-forget notification to `(rpc_name, provider_id)` at `dest`.
+    pub fn notify<I: Serialize>(
+        &self,
+        dest: &Address,
+        rpc_name: &str,
+        provider_id: u16,
+        input: &I,
+    ) -> Result<(), MargoError> {
+        self.ensure_live()?;
+        let payload = crate::codec::encode(input)?;
+        let rpc_id = rpc_id_for_name(rpc_name);
+        self.inner.endpoint.send_oneway(dest, rpc_id, provider_id, payload)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk transfers
+    // ------------------------------------------------------------------
+
+    /// Exposes an in-memory buffer for remote bulk access.
+    pub fn expose_bulk(&self, buffer: Arc<Mutex<Vec<u8>>>, access: BulkAccess) -> BulkHandle {
+        self.inner.endpoint.expose_bulk(buffer, access)
+    }
+
+    /// Exposes a file region for remote bulk access (REMI's mmap path).
+    pub fn expose_bulk_file(
+        &self,
+        path: impl Into<std::path::PathBuf>,
+        size: usize,
+        access: BulkAccess,
+    ) -> std::io::Result<BulkHandle> {
+        self.inner.endpoint.expose_bulk_file(path, size, access)
+    }
+
+    /// Revokes a bulk registration.
+    pub fn unexpose_bulk(&self, handle: &BulkHandle) {
+        self.inner.endpoint.unexpose_bulk(handle);
+    }
+
+    /// Pulls remote bulk data; records the transfer in monitoring.
+    pub fn bulk_pull(
+        &self,
+        remote: &BulkHandle,
+        remote_offset: usize,
+        local: &BulkHandle,
+        local_offset: usize,
+        len: usize,
+    ) -> Result<(), MargoError> {
+        let start = Instant::now();
+        let result = self.inner.endpoint.bulk_pull(remote, remote_offset, local, local_offset, len);
+        self.emit(&MonitoringEvent::Bulk {
+            direction: BulkDirection::Pull,
+            peer: remote.owner.clone(),
+            size: len,
+            duration_s: start.elapsed().as_secs_f64(),
+        });
+        result.map_err(MargoError::from)
+    }
+
+    /// Pushes local bulk data; records the transfer in monitoring.
+    pub fn bulk_push(
+        &self,
+        local: &BulkHandle,
+        local_offset: usize,
+        remote: &BulkHandle,
+        remote_offset: usize,
+        len: usize,
+    ) -> Result<(), MargoError> {
+        let start = Instant::now();
+        let result = self.inner.endpoint.bulk_push(local, local_offset, remote, remote_offset, len);
+        self.emit(&MonitoringEvent::Bulk {
+            direction: BulkDirection::Push,
+            peer: remote.owner.clone(),
+            size: len,
+            duration_s: start.elapsed().as_secs_f64(),
+        });
+        result.map_err(MargoError::from)
+    }
+
+    // ------------------------------------------------------------------
+    // Online reconfiguration (§5, Observation 2)
+    // ------------------------------------------------------------------
+
+    /// `margo_find_pool_by_name`.
+    pub fn find_pool_by_name(&self, name: &str) -> Option<Arc<Pool>> {
+        self.inner.abt.find_pool(name)
+    }
+
+    /// `margo_add_pool_from_json`: adds a pool described by a JSON object
+    /// (`{"name": …, "type": …, "access": …}`).
+    pub fn add_pool_from_json(&self, json: &str) -> Result<(), MargoError> {
+        let config: PoolConfig =
+            serde_json::from_str(json).map_err(|e| MargoError::BadConfig(e.to_string()))?;
+        self.add_pool(config)
+    }
+
+    /// Adds a pool from a parsed configuration.
+    pub fn add_pool(&self, config: PoolConfig) -> Result<(), MargoError> {
+        self.ensure_live()?;
+        self.inner.abt.add_pool(config)?;
+        Ok(())
+    }
+
+    /// Removes a pool, enforcing Margo-level validity on top of the
+    /// Argobots rules: the progress pool and pools with registered RPC
+    /// handlers cannot be removed.
+    pub fn remove_pool(&self, name: &str) -> Result<(), MargoError> {
+        self.ensure_live()?;
+        {
+            let meta = self.inner.meta.lock();
+            if meta.progress_pool == name {
+                return Err(MargoError::PoolBusy {
+                    pool: name.to_string(),
+                    reason: "it is the progress pool".into(),
+                });
+            }
+        }
+        let users: Vec<String> = self
+            .inner
+            .handlers
+            .read()
+            .values()
+            .filter(|r| r.pool == name)
+            .map(|r| r.name.to_string())
+            .collect();
+        if !users.is_empty() {
+            return Err(MargoError::PoolBusy {
+                pool: name.to_string(),
+                reason: format!("RPC handler(s) {users:?} dispatch into it"),
+            });
+        }
+        self.inner.abt.remove_pool(name)?;
+        Ok(())
+    }
+
+    /// Adds and starts an xstream described by a JSON object
+    /// (`{"name": …, "scheduler": {"type": …, "pools": […]}}`).
+    pub fn add_xstream_from_json(&self, json: &str) -> Result<(), MargoError> {
+        let config: XstreamConfig =
+            serde_json::from_str(json).map_err(|e| MargoError::BadConfig(e.to_string()))?;
+        self.add_xstream(config)
+    }
+
+    /// Adds and starts an xstream from a parsed configuration.
+    pub fn add_xstream(&self, config: XstreamConfig) -> Result<(), MargoError> {
+        self.ensure_live()?;
+        self.inner.abt.add_xstream(config)?;
+        Ok(())
+    }
+
+    /// Stops and removes an xstream.
+    pub fn remove_xstream(&self, name: &str) -> Result<(), MargoError> {
+        self.ensure_live()?;
+        self.inner.abt.remove_xstream(name)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Snapshot of the full configuration as JSON (what Bedrock reports).
+    pub fn config_json(&self) -> Value {
+        let meta = self.inner.meta.lock();
+        serde_json::json!({
+            "argobots": self.inner.abt.config(),
+            "progress_pool": meta.progress_pool,
+            "default_rpc_pool": meta.default_rpc_pool,
+            "rpc_timeout_ms": meta.rpc_timeout.as_millis() as u64,
+            "monitoring": {
+                "enabled": meta.monitoring_enabled,
+                "sampling_period_ms": meta.sampling_period.as_millis() as u64,
+            },
+            "rpcs": self.registrations().iter().map(|(name, provider, pool)| {
+                serde_json::json!({"name": name, "provider_id": provider, "pool": pool})
+            }).collect::<Vec<_>>(),
+        })
+    }
+
+    /// The monitoring statistics accumulated so far (the runtime query
+    /// API of §4), or `None` when monitoring is disabled.
+    pub fn monitoring_json(&self) -> Option<Value> {
+        self.inner.stats.as_ref().map(|s| s.to_json())
+    }
+
+    /// Installs an additional user monitor alongside the default
+    /// statistics monitor ("this infrastructure lets users inject
+    /// callbacks to be invoked at various points in the lifetime of an
+    /// RPC").
+    pub fn add_monitor(&self, monitor: Arc<dyn Monitor>) {
+        let mut guard = self.inner.monitor.write();
+        let mut composite = CompositeMonitor::new();
+        if let Some(stats) = &self.inner.stats {
+            composite.push(Arc::clone(stats) as Arc<dyn Monitor>);
+        }
+        // Rebuild: composite is immutable once installed (cheap, rare op).
+        // Existing extra monitors are preserved by chaining the old one.
+        composite.push(Arc::clone(&*guard) as Arc<dyn Monitor>);
+        composite.push(monitor);
+        *guard = Arc::new(composite);
+    }
+
+    /// Name of the pool used for handlers registered without an explicit
+    /// pool.
+    pub fn default_rpc_pool(&self) -> String {
+        self.inner.meta.lock().default_rpc_pool.clone()
+    }
+
+    /// Default timeout applied to forwarded RPCs.
+    pub fn rpc_timeout(&self) -> Duration {
+        self.inner.meta.lock().rpc_timeout
+    }
+
+    /// Number of RPCs this process forwarded that are still in flight.
+    pub fn in_flight_client(&self) -> i64 {
+        self.inner.in_flight_client.load(Ordering::Relaxed)
+    }
+
+    /// Number of handler ULTs received and not yet completed.
+    pub fn in_flight_server(&self) -> i64 {
+        self.inner.in_flight_server.load(Ordering::Relaxed)
+    }
+
+    /// Whether the runtime has been finalized.
+    pub fn is_finalized(&self) -> bool {
+        self.inner.finalized.load(Ordering::SeqCst)
+    }
+
+    /// Shuts the process down: the endpoint closes (peers see a dead
+    /// node), the progress loop and sampler exit, all xstreams join, and
+    /// the final monitoring dump is returned ("outputs them as JSON when
+    /// shutting down the service").
+    pub fn finalize(&self) -> Option<Value> {
+        if self.inner.finalized.swap(true, Ordering::SeqCst) {
+            return self.monitoring_json();
+        }
+        self.inner.endpoint.shutdown();
+        let threads = std::mem::take(&mut *self.inner.threads.lock());
+        for handle in threads {
+            let _ = handle.join();
+        }
+        self.inner.abt.shutdown();
+        self.monitoring_json()
+    }
+}
+
+impl std::fmt::Debug for MargoRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MargoRuntime")
+            .field("address", &self.inner.endpoint.address())
+            .field("finalized", &self.is_finalized())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Double-checked shutdown: finalizing an already-finalized runtime is a
+/// no-op, and dropping the last handle finalizes implicitly.
+impl Drop for Inner {
+    fn drop(&mut self) {
+        self.finalized.store(true, Ordering::SeqCst);
+        self.endpoint.shutdown();
+        self.abt.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mochi_mercury::Fabric;
+
+    fn boot(fabric: &Fabric, host: &str) -> MargoRuntime {
+        MargoRuntime::init_default(fabric, Address::tcp(host, 1)).unwrap()
+    }
+
+    fn register_echo(server: &MargoRuntime, provider_id: u16) {
+        server
+            .register_typed(
+                "echo",
+                provider_id,
+                None,
+                |input: String, _ctx| Ok(input),
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn echo_roundtrip() {
+        let fabric = Fabric::new();
+        let server = boot(&fabric, "server");
+        let client = boot(&fabric, "client");
+        register_echo(&server, 0);
+        let out: String =
+            client.forward(&server.address(), "echo", 0, &"hello".to_string()).unwrap();
+        assert_eq!(out, "hello");
+        server.finalize();
+        client.finalize();
+    }
+
+    #[test]
+    fn provider_ids_route_independently() {
+        let fabric = Fabric::new();
+        let server = boot(&fabric, "server");
+        let client = boot(&fabric, "client");
+        server
+            .register_typed("whoami", 1, None, |_: (), _| Ok("provider-1".to_string()))
+            .unwrap();
+        server
+            .register_typed("whoami", 2, None, |_: (), _| Ok("provider-2".to_string()))
+            .unwrap();
+        let a: String = client.forward(&server.address(), "whoami", 1, &()).unwrap();
+        let b: String = client.forward(&server.address(), "whoami", 2, &()).unwrap();
+        assert_eq!(a, "provider-1");
+        assert_eq!(b, "provider-2");
+        let err = client.forward::<(), String>(&server.address(), "whoami", 3, &()).unwrap_err();
+        assert!(matches!(err, MargoError::NoHandler { .. }));
+        server.finalize();
+        client.finalize();
+    }
+
+    #[test]
+    fn handler_error_propagates() {
+        let fabric = Fabric::new();
+        let server = boot(&fabric, "server");
+        let client = boot(&fabric, "client");
+        server
+            .register_typed::<(), (), _>("fail", 0, None, |_, _| Err("nope".into()))
+            .unwrap();
+        let err = client.forward::<(), ()>(&server.address(), "fail", 0, &()).unwrap_err();
+        assert_eq!(err, MargoError::Handler("nope".into()));
+        server.finalize();
+        client.finalize();
+    }
+
+    #[test]
+    fn self_forward_works() {
+        let fabric = Fabric::new();
+        let node = boot(&fabric, "solo");
+        register_echo(&node, 0);
+        let out: String = node.forward(&node.address(), "echo", 0, &"loop".to_string()).unwrap();
+        assert_eq!(out, "loop");
+        node.finalize();
+    }
+
+    #[test]
+    fn nested_rpc_carries_parent_context() {
+        let fabric = Fabric::new();
+        let front = boot(&fabric, "front");
+        let back = boot(&fabric, "back");
+        register_echo(&back, 0);
+        let back_addr = back.address();
+        front
+            .register_typed("relay", 5, None, move |input: String, ctx| {
+                ctx.forward::<String, String>(&back_addr, "echo", 0, &input)
+                    .map_err(|e| e.to_string())
+            })
+            .unwrap();
+        let client = boot(&fabric, "client");
+        let out: String =
+            client.forward(&front.address(), "relay", 5, &"via".to_string()).unwrap();
+        assert_eq!(out, "via");
+        // The nested call shows up in back's monitoring keyed by its
+        // parent (relay's rpc_id, provider 5).
+        let stats = back.monitoring_json().unwrap();
+        let relay_id = rpc_id_for_name("relay");
+        let echo_id = rpc_id_for_name("echo");
+        let key = format!("{relay_id}:5:{echo_id}:0");
+        assert!(
+            stats["rpcs"].as_object().unwrap().contains_key(&key),
+            "expected nested key {key} in {:?}",
+            stats["rpcs"].as_object().unwrap().keys()
+        );
+        front.finalize();
+        back.finalize();
+        client.finalize();
+    }
+
+    #[test]
+    fn monitoring_reports_listing1_shape() {
+        let fabric = Fabric::new();
+        let server = boot(&fabric, "server");
+        let client = boot(&fabric, "client");
+        register_echo(&server, 0);
+        for _ in 0..3 {
+            let _: String =
+                client.forward(&server.address(), "echo", 0, &"x".to_string()).unwrap();
+        }
+        let stats = server.monitoring_json().unwrap();
+        let echo_id = rpc_id_for_name("echo");
+        let key = format!("65535:65535:{echo_id}:0");
+        let entry = &stats["rpcs"][&key];
+        assert_eq!(entry["name"], "echo");
+        let target = entry["target"].as_object().unwrap();
+        let peer_key = format!("received from {}", client.address());
+        let ult = &target[&peer_key]["ult"]["duration"];
+        assert_eq!(ult["num"], 3);
+        assert!(ult["avg"].as_f64().unwrap() >= 0.0);
+        // Client-side origin stats too.
+        let client_stats = client.monitoring_json().unwrap();
+        let origin = &client_stats["rpcs"][&key]["origin"];
+        let sent = &origin[format!("sent to {}", server.address())]["forward"]["duration"];
+        assert_eq!(sent["num"], 3);
+        server.finalize();
+        client.finalize();
+    }
+
+    #[test]
+    fn online_pool_and_xstream_reconfiguration() {
+        let fabric = Fabric::new();
+        let server = boot(&fabric, "server");
+        // Listing-2-style additions at run time.
+        server.add_pool_from_json(r#"{"name": "MyPoolX", "type": "fifo_wait"}"#).unwrap();
+        server
+            .add_xstream_from_json(
+                r#"{"name": "MyES1", "scheduler": {"type": "basic_wait", "pools": ["MyPoolX"]}}"#,
+            )
+            .unwrap();
+        assert!(server.find_pool_by_name("MyPoolX").is_some());
+        // Route an RPC through the new pool.
+        server
+            .register_typed("work", 0, Some("MyPoolX"), |n: u64, _| Ok(n * 2))
+            .unwrap();
+        let client = boot(&fabric, "client");
+        let out: u64 = client.forward(&server.address(), "work", 0, &21u64).unwrap();
+        assert_eq!(out, 42);
+        // Removing the pool while its handler exists must fail...
+        let err = server.remove_pool("MyPoolX").unwrap_err();
+        assert!(matches!(err, MargoError::PoolBusy { .. }));
+        // ...as must removing the progress pool.
+        let err = server.remove_pool("__primary__").unwrap_err();
+        assert!(matches!(err, MargoError::PoolBusy { .. }));
+        // Deregister, stop the ES, then removal succeeds.
+        server.deregister("work", 0).unwrap();
+        server.remove_xstream("MyES1").unwrap();
+        server.remove_pool("MyPoolX").unwrap();
+        assert!(server.find_pool_by_name("MyPoolX").is_none());
+        server.finalize();
+        client.finalize();
+    }
+
+    #[test]
+    fn rpcs_keep_flowing_during_reconfiguration() {
+        let fabric = Fabric::new();
+        let server = boot(&fabric, "server");
+        let client = boot(&fabric, "client");
+        register_echo(&server, 0);
+        let stop = Arc::new(AtomicBool::new(false));
+        let client2 = client.clone();
+        let server_addr = server.address();
+        let stop2 = Arc::clone(&stop);
+        let traffic = std::thread::spawn(move || {
+            let mut count = 0u64;
+            while !stop2.load(Ordering::SeqCst) {
+                let out: String = client2
+                    .forward(&server_addr, "echo", 0, &"live".to_string())
+                    .expect("echo during reconfig");
+                assert_eq!(out, "live");
+                count += 1;
+            }
+            count
+        });
+        for i in 0..10 {
+            let pool = format!("dyn-{i}");
+            server
+                .add_pool_from_json(&format!(r#"{{"name": "{pool}", "type": "fifo_wait"}}"#))
+                .unwrap();
+            let es = format!("dyn-es-{i}");
+            server
+                .add_xstream_from_json(&format!(
+                    r#"{{"name": "{es}", "scheduler": {{"type": "basic_wait", "pools": ["{pool}"]}}}}"#
+                ))
+                .unwrap();
+            server.remove_xstream(&es).unwrap();
+            server.remove_pool(&pool).unwrap();
+        }
+        stop.store(true, Ordering::SeqCst);
+        let count = traffic.join().unwrap();
+        assert!(count > 0);
+        server.finalize();
+        client.finalize();
+    }
+
+    #[test]
+    fn notify_oneway_reaches_handler() {
+        let fabric = Fabric::new();
+        let server = boot(&fabric, "server");
+        let client = boot(&fabric, "client");
+        let seen = Arc::new(AtomicBool::new(false));
+        let seen2 = Arc::clone(&seen);
+        server
+            .register(
+                "event",
+                0,
+                None,
+                Arc::new(move |ctx: RpcContext| {
+                    let value: String = ctx.args().unwrap();
+                    assert_eq!(value, "fire");
+                    seen2.store(true, Ordering::SeqCst);
+                }),
+            )
+            .unwrap();
+        client.notify(&server.address(), "event", 0, &"fire".to_string()).unwrap();
+        assert!(mochi_util::time::wait_until(
+            Duration::from_secs(5),
+            Duration::from_millis(1),
+            || seen.load(Ordering::SeqCst)
+        ));
+        server.finalize();
+        client.finalize();
+    }
+
+    #[test]
+    fn finalize_makes_peers_time_out() {
+        let fabric = Fabric::new();
+        let server = boot(&fabric, "server");
+        let client = boot(&fabric, "client");
+        register_echo(&server, 0);
+        server.finalize();
+        let err = client
+            .forward_timeout::<String, String>(
+                &server.address(),
+                "echo",
+                0,
+                &"x".to_string(),
+                Duration::from_millis(50),
+            )
+            .unwrap_err();
+        assert!(err.is_timeout());
+        client.finalize();
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let fabric = Fabric::new();
+        let server = boot(&fabric, "server");
+        register_echo(&server, 0);
+        let err = server
+            .register_typed::<String, String, _>("echo", 0, None, |s, _| Ok(s))
+            .unwrap_err();
+        assert!(matches!(err, MargoError::AlreadyRegistered { .. }));
+        server.finalize();
+    }
+
+    #[test]
+    fn registration_into_unknown_pool_rejected() {
+        let fabric = Fabric::new();
+        let server = boot(&fabric, "server");
+        let err = server
+            .register_typed::<(), (), _>("x", 0, Some("ghost"), |_, _| Ok(()))
+            .unwrap_err();
+        assert_eq!(err, MargoError::PoolNotFound("ghost".into()));
+        server.finalize();
+    }
+
+    #[test]
+    fn config_json_reflects_runtime() {
+        let fabric = Fabric::new();
+        let server = boot(&fabric, "server");
+        register_echo(&server, 9);
+        let config = server.config_json();
+        assert_eq!(config["progress_pool"], "__primary__");
+        let rpcs = config["rpcs"].as_array().unwrap();
+        assert_eq!(rpcs.len(), 1);
+        assert_eq!(rpcs[0]["name"], "echo");
+        assert_eq!(rpcs[0]["provider_id"], 9);
+        server.finalize();
+    }
+
+    #[test]
+    fn handler_panic_reported_as_failure_not_crash() {
+        let fabric = Fabric::new();
+        let server = boot(&fabric, "server");
+        let client = boot(&fabric, "client");
+        server
+            .register(
+                "boom",
+                0,
+                None,
+                Arc::new(|_ctx: RpcContext| panic!("intentional")),
+            )
+            .unwrap();
+        // The panic is contained; the client times out (no response was
+        // sent) rather than the whole process dying.
+        let err = client
+            .forward_timeout::<(), ()>(
+                &server.address(),
+                "boom",
+                0,
+                &(),
+                Duration::from_millis(100),
+            )
+            .unwrap_err();
+        assert!(err.is_timeout());
+        // Server still alive and serving.
+        register_echo(&server, 0);
+        let out: String = client.forward(&server.address(), "echo", 0, &"ok".to_string()).unwrap();
+        assert_eq!(out, "ok");
+        server.finalize();
+        client.finalize();
+    }
+
+    #[test]
+    fn sampler_populates_progress_section() {
+        let fabric = Fabric::new();
+        let mut config = MargoConfig::default();
+        config.monitoring.sampling_period_ms = 5;
+        let server =
+            MargoRuntime::init(&fabric, Address::tcp("sampled", 1), &config).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let stats = server.monitoring_json().unwrap();
+        assert!(stats["progress"]["samples"].as_u64().unwrap() >= 2);
+        assert!(stats["progress"]["pool_sizes"].as_object().unwrap().contains_key("__primary__"));
+        server.finalize();
+    }
+
+    #[test]
+    fn user_monitor_receives_events() {
+        use crate::monitoring::{Monitor, MonitoringEvent};
+        struct CountForwards(AtomicI64);
+        impl Monitor for CountForwards {
+            fn observe(&self, event: &MonitoringEvent) {
+                if matches!(event, MonitoringEvent::ForwardEnd { .. }) {
+                    self.0.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+        let fabric = Fabric::new();
+        let server = boot(&fabric, "server");
+        let client = boot(&fabric, "client");
+        register_echo(&server, 0);
+        let counter = Arc::new(CountForwards(AtomicI64::new(0)));
+        client.add_monitor(counter.clone());
+        for _ in 0..4 {
+            let _: String =
+                client.forward(&server.address(), "echo", 0, &"m".to_string()).unwrap();
+        }
+        assert_eq!(counter.0.load(Ordering::SeqCst), 4);
+        server.finalize();
+        client.finalize();
+    }
+}

@@ -1,0 +1,49 @@
+//! Property tests for the Margo layer: the binary frame codec and the
+//! JSON argument codec always round-trip; RPC ids are stable.
+
+use proptest::prelude::*;
+
+use mochi_margo::{decode, decode_framed, encode, encode_framed, rpc_id_for_name};
+
+proptest! {
+    #[test]
+    fn frame_codec_round_trips(
+        key in proptest::collection::vec(any::<u8>(), 0..64),
+        body in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let frame = encode_framed(&key, &body).unwrap();
+        let (k2, b2): (Vec<u8>, &[u8]) = decode_framed(&frame).unwrap();
+        prop_assert_eq!(k2, key);
+        prop_assert_eq!(b2, &body[..]);
+    }
+
+    #[test]
+    fn frame_decoding_never_panics_on_garbage(
+        garbage in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Must return Ok or Err, never panic or read out of bounds.
+        let _ = decode_framed::<Vec<u8>>(&garbage);
+    }
+
+    #[test]
+    fn json_codec_round_trips(
+        text in ".*",
+        numbers in proptest::collection::vec(any::<i64>(), 0..32),
+        flag in any::<bool>(),
+    ) {
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Args { text: String, numbers: Vec<i64>, flag: bool }
+        let args = Args { text, numbers, flag };
+        let bytes = encode(&args).unwrap();
+        let back: Args = decode(&bytes).unwrap();
+        prop_assert_eq!(back, args);
+    }
+
+    #[test]
+    fn rpc_ids_are_deterministic_and_u32(name in ".{0,64}") {
+        let a = rpc_id_for_name(&name);
+        let b = rpc_id_for_name(&name);
+        prop_assert_eq!(a, b);
+        prop_assert!(a <= u32::MAX as u64);
+    }
+}

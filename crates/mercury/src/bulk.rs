@@ -1,0 +1,296 @@
+//! RDMA-emulating bulk transfers.
+//!
+//! Mercury exposes large payloads through *bulk handles*: the origin
+//! registers a memory region, ships a compact descriptor inside the RPC
+//! arguments, and the target pulls/pushes the data with RDMA. We keep the
+//! same three-step shape:
+//!
+//! 1. [`BulkRegistry::expose`] (or [`BulkRegistry::expose_file`]) registers
+//!    a region and returns a serializable [`BulkHandle`] descriptor,
+//! 2. the descriptor travels inside an RPC payload,
+//! 3. the remote side calls [`crate::endpoint::Endpoint::bulk_pull`] /
+//!    [`crate::endpoint::Endpoint::bulk_push`], which
+//!    move the bytes and charge the modeled transfer time.
+//!
+//! File-backed regions emulate REMI's mmap-and-RDMA migration path without
+//! reading whole files into memory at registration time.
+
+use std::collections::HashMap;
+use std::fs::OpenOptions;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+
+use mochi_util::unique_u64;
+
+use crate::address::Address;
+use crate::error::MercuryError;
+
+/// Access rights of a registered region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BulkAccess {
+    /// Remote peers may only read (pull from) the region.
+    ReadOnly,
+    /// Remote peers may only write (push to) the region.
+    WriteOnly,
+    /// Remote peers may read and write.
+    ReadWrite,
+}
+
+/// Serializable descriptor of a registered region. This is what travels
+/// inside RPC arguments, like a packed `hg_bulk_t`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BulkHandle {
+    /// Registry key.
+    pub id: u64,
+    /// Region size in bytes.
+    pub size: usize,
+    /// Address of the process that registered the region.
+    pub owner: Address,
+    /// Access rights granted to remote peers.
+    pub access: BulkAccess,
+}
+
+enum Storage {
+    Memory(Arc<Mutex<Vec<u8>>>),
+    File { path: PathBuf },
+}
+
+struct Region {
+    storage: Storage,
+    size: usize,
+    access: BulkAccess,
+}
+
+/// Registry of exposed regions. One per fabric; in a real deployment each
+/// node's NIC plays this role, here a shared map suffices because all
+/// simulated processes live in one address space.
+pub struct BulkRegistry {
+    regions: RwLock<HashMap<u64, Region>>,
+}
+
+impl Default for BulkRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BulkRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self { regions: RwLock::new(HashMap::new()) }
+    }
+
+    /// Exposes an in-memory buffer and returns its descriptor. The buffer
+    /// is shared: writes through `bulk_push` are visible to the owner.
+    pub fn expose(
+        &self,
+        owner: &Address,
+        buffer: Arc<Mutex<Vec<u8>>>,
+        access: BulkAccess,
+    ) -> BulkHandle {
+        let size = buffer.lock().len();
+        let id = unique_u64();
+        self.regions.write().insert(id, Region { storage: Storage::Memory(buffer), size, access });
+        BulkHandle { id, size, owner: owner.clone(), access }
+    }
+
+    /// Convenience: exposes an owned byte vector read-only.
+    pub fn expose_bytes(&self, owner: &Address, bytes: Vec<u8>) -> BulkHandle {
+        self.expose(owner, Arc::new(Mutex::new(bytes)), BulkAccess::ReadOnly)
+    }
+
+    /// Exposes a file region (the mmap+RDMA path of REMI). The file must
+    /// exist for `ReadOnly`; for writable access it is created/extended to
+    /// `size` on first write.
+    pub fn expose_file(
+        &self,
+        owner: &Address,
+        path: impl Into<PathBuf>,
+        size: usize,
+        access: BulkAccess,
+    ) -> io::Result<BulkHandle> {
+        let path = path.into();
+        if access == BulkAccess::ReadOnly {
+            let metadata = std::fs::metadata(&path)?;
+            if (metadata.len() as usize) < size {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("file {} shorter than exposed size {size}", path.display()),
+                ));
+            }
+        }
+        let id = unique_u64();
+        self.regions.write().insert(id, Region { storage: Storage::File { path }, size, access });
+        Ok(BulkHandle { id, size, owner: owner.clone(), access })
+    }
+
+    /// Revokes a registration. Outstanding transfers referencing the id
+    /// fail with `BulkHandleInvalid`.
+    pub fn unexpose(&self, handle: &BulkHandle) {
+        self.regions.write().remove(&handle.id);
+    }
+
+    /// Number of live registrations (diagnostics / leak tests).
+    pub fn len(&self) -> usize {
+        self.regions.read().len()
+    }
+
+    /// Whether the registry has no registrations.
+    pub fn is_empty(&self) -> bool {
+        self.regions.read().is_empty()
+    }
+
+    fn check_range(region: &Region, offset: usize, len: usize) -> Result<(), MercuryError> {
+        if offset.checked_add(len).is_none_or(|end| end > region.size) {
+            return Err(MercuryError::BulkOutOfRange { offset, len, size: region.size });
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `offset` from the region behind `id`.
+    pub(crate) fn read(&self, id: u64, offset: usize, len: usize) -> Result<Vec<u8>, MercuryError> {
+        let regions = self.regions.read();
+        let region = regions.get(&id).ok_or(MercuryError::BulkHandleInvalid(id))?;
+        if region.access == BulkAccess::WriteOnly {
+            return Err(MercuryError::Remote("bulk region is write-only".into()));
+        }
+        Self::check_range(region, offset, len)?;
+        match &region.storage {
+            Storage::Memory(buf) => Ok(buf.lock()[offset..offset + len].to_vec()),
+            Storage::File { path } => {
+                use std::os::unix::fs::FileExt;
+                let file = OpenOptions::new()
+                    .read(true)
+                    .open(path)
+                    .map_err(|e| MercuryError::Remote(format!("open {}: {e}", path.display())))?;
+                let mut out = vec![0u8; len];
+                file.read_exact_at(&mut out, offset as u64)
+                    .map_err(|e| MercuryError::Remote(format!("read {}: {e}", path.display())))?;
+                Ok(out)
+            }
+        }
+    }
+
+    /// Writes `data` at `offset` into the region behind `id`.
+    pub(crate) fn write(&self, id: u64, offset: usize, data: &[u8]) -> Result<(), MercuryError> {
+        let regions = self.regions.read();
+        let region = regions.get(&id).ok_or(MercuryError::BulkHandleInvalid(id))?;
+        if region.access == BulkAccess::ReadOnly {
+            return Err(MercuryError::Remote("bulk region is read-only".into()));
+        }
+        Self::check_range(region, offset, data.len())?;
+        match &region.storage {
+            Storage::Memory(buf) => {
+                buf.lock()[offset..offset + data.len()].copy_from_slice(data);
+                Ok(())
+            }
+            Storage::File { path } => {
+                use std::os::unix::fs::FileExt;
+                let file = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create(true)
+                    .truncate(false)
+                    .open(path)
+                    .map_err(|e| MercuryError::Remote(format!("open {}: {e}", path.display())))?;
+                file.write_all_at(data, offset as u64)
+                    .map_err(|e| MercuryError::Remote(format!("write {}: {e}", path.display())))?;
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owner() -> Address {
+        Address::tcp("n1", 1)
+    }
+
+    #[test]
+    fn expose_read_roundtrip() {
+        let reg = BulkRegistry::new();
+        let h = reg.expose_bytes(&owner(), (0u8..100).collect());
+        assert_eq!(h.size, 100);
+        assert_eq!(reg.read(h.id, 10, 5).unwrap(), vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn write_visible_through_shared_buffer() {
+        let reg = BulkRegistry::new();
+        let buf = Arc::new(Mutex::new(vec![0u8; 8]));
+        let h = reg.expose(&owner(), Arc::clone(&buf), BulkAccess::ReadWrite);
+        reg.write(h.id, 2, &[7, 8]).unwrap();
+        assert_eq!(*buf.lock(), vec![0, 0, 7, 8, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn access_rights_enforced() {
+        let reg = BulkRegistry::new();
+        let ro = reg.expose(&owner(), Arc::new(Mutex::new(vec![1, 2, 3])), BulkAccess::ReadOnly);
+        let wo = reg.expose(&owner(), Arc::new(Mutex::new(vec![0; 3])), BulkAccess::WriteOnly);
+        assert!(reg.write(ro.id, 0, &[9]).is_err());
+        assert!(reg.read(wo.id, 0, 1).is_err());
+        assert!(reg.read(ro.id, 0, 1).is_ok());
+        assert!(reg.write(wo.id, 0, &[9]).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let reg = BulkRegistry::new();
+        let h = reg.expose_bytes(&owner(), vec![0; 10]);
+        let err = reg.read(h.id, 8, 5).unwrap_err();
+        assert!(matches!(err, MercuryError::BulkOutOfRange { .. }));
+        // Overflow-safe.
+        let err = reg.read(h.id, usize::MAX, 2).unwrap_err();
+        assert!(matches!(err, MercuryError::BulkOutOfRange { .. }));
+    }
+
+    #[test]
+    fn unexpose_invalidates_handle() {
+        let reg = BulkRegistry::new();
+        let h = reg.expose_bytes(&owner(), vec![1]);
+        reg.unexpose(&h);
+        assert!(matches!(reg.read(h.id, 0, 1), Err(MercuryError::BulkHandleInvalid(_))));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn file_region_roundtrip() {
+        let dir = mochi_util::TempDir::new("bulk").unwrap();
+        let path = dir.path().join("data.bin");
+        std::fs::write(&path, (0u8..64).collect::<Vec<_>>()).unwrap();
+        let reg = BulkRegistry::new();
+        let h = reg.expose_file(&owner(), &path, 64, BulkAccess::ReadOnly).unwrap();
+        assert_eq!(reg.read(h.id, 60, 4).unwrap(), vec![60, 61, 62, 63]);
+
+        let out_path = dir.path().join("out.bin");
+        let h2 = reg.expose_file(&owner(), &out_path, 64, BulkAccess::WriteOnly).unwrap();
+        reg.write(h2.id, 0, &[9u8; 64]).unwrap();
+        assert_eq!(std::fs::read(&out_path).unwrap(), vec![9u8; 64]);
+    }
+
+    #[test]
+    fn file_region_too_short_rejected() {
+        let dir = mochi_util::TempDir::new("bulk2").unwrap();
+        let path = dir.path().join("short.bin");
+        std::fs::write(&path, b"abc").unwrap();
+        let reg = BulkRegistry::new();
+        assert!(reg.expose_file(&owner(), &path, 10, BulkAccess::ReadOnly).is_err());
+    }
+
+    #[test]
+    fn handle_serializes() {
+        let reg = BulkRegistry::new();
+        let h = reg.expose_bytes(&owner(), vec![1, 2, 3]);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: BulkHandle = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
+}

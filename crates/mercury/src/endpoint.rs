@@ -1,0 +1,573 @@
+//! Endpoints: the per-process attachment point to the fabric.
+//!
+//! An [`Endpoint`] owns the mailbox for one address. The upper layer
+//! (Margo's progress loop) repeatedly calls [`Endpoint::progress`], which
+//! internally completes responses to outstanding requests and hands
+//! requests/notifications back to the caller for dispatch — the same
+//! division of labor as Mercury's `HG_Progress`/`HG_Trigger`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use mochi_util::time::precise_sleep;
+
+use crate::address::Address;
+use crate::bulk::{BulkAccess, BulkHandle};
+use crate::error::MercuryError;
+use crate::fabric::FabricInner;
+use crate::message::{Envelope, Message, OneWayBody, RequestBody, ResponseBody, ResponseStatus};
+
+/// Calling context carried by requests: identifies the parent RPC when a
+/// handler issues nested RPCs (Listing 1 reports these fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallContext {
+    /// RPC id of the parent handler, or `u64::MAX` at top level.
+    pub parent_rpc_id: u64,
+    /// Provider id of the parent handler, or `u16::MAX` at top level.
+    pub parent_provider_id: u16,
+}
+
+impl CallContext {
+    /// Context for calls made outside any handler.
+    pub const TOP_LEVEL: CallContext =
+        CallContext { parent_rpc_id: u64::MAX, parent_provider_id: u16::MAX };
+}
+
+impl Default for CallContext {
+    fn default() -> Self {
+        Self::TOP_LEVEL
+    }
+}
+
+/// An incoming message surfaced by [`Endpoint::progress`].
+#[derive(Debug)]
+pub enum Incoming {
+    /// A request that must eventually be answered via [`Endpoint::respond`].
+    Request(RequestInfo),
+    /// A fire-and-forget notification.
+    OneWay(OneWayInfo),
+}
+
+impl Incoming {
+    /// RPC id of the incoming message.
+    pub fn rpc_id(&self) -> u64 {
+        match self {
+            Incoming::Request(r) => r.rpc_id,
+            Incoming::OneWay(o) => o.rpc_id,
+        }
+    }
+
+    /// Target provider id.
+    pub fn provider_id(&self) -> u16 {
+        match self {
+            Incoming::Request(r) => r.provider_id,
+            Incoming::OneWay(o) => o.provider_id,
+        }
+    }
+
+    /// Payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        match self {
+            Incoming::Request(r) => &r.payload,
+            Incoming::OneWay(o) => &o.payload,
+        }
+    }
+}
+
+/// A received request plus everything needed to respond to it.
+#[derive(Debug, Clone)]
+pub struct RequestInfo {
+    /// Address of the requester.
+    pub source: Address,
+    /// RPC id.
+    pub rpc_id: u64,
+    /// Target provider id.
+    pub provider_id: u16,
+    /// Correlation id (echoed in the response).
+    pub xid: u64,
+    /// Context the request was issued from.
+    pub context: CallContext,
+    /// Serialized input.
+    pub payload: Bytes,
+}
+
+/// A received one-way notification.
+#[derive(Debug, Clone)]
+pub struct OneWayInfo {
+    /// Address of the sender.
+    pub source: Address,
+    /// RPC id.
+    pub rpc_id: u64,
+    /// Target provider id.
+    pub provider_id: u16,
+    /// Serialized payload.
+    pub payload: Bytes,
+}
+
+type PendingMap = Mutex<HashMap<u64, Sender<ResponseBody>>>;
+
+/// An outstanding request; wait on it for the response.
+#[must_use = "wait on the pending request to obtain the response"]
+pub struct PendingRequest {
+    xid: u64,
+    rx: Receiver<ResponseBody>,
+    pending: Arc<PendingMap>,
+}
+
+impl PendingRequest {
+    /// Blocks until the response arrives or `timeout` elapses.
+    pub fn wait(self, timeout: Duration) -> Result<ResponseBody, MercuryError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(resp) => Ok(resp),
+            Err(RecvTimeoutError::Timeout) => {
+                self.pending.lock().remove(&self.xid);
+                Err(MercuryError::Timeout)
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(MercuryError::LocalShutdown),
+        }
+    }
+}
+
+/// A process's attachment to the fabric.
+pub struct Endpoint {
+    addr: Address,
+    /// Identifies this endpoint to the fabric (see `Fabric::kill_if_owner`).
+    uid: u64,
+    mailbox: Receiver<Envelope>,
+    fabric: Arc<FabricInner>,
+    pending: Arc<PendingMap>,
+    next_xid: AtomicU64,
+    closed: AtomicBool,
+}
+
+impl Endpoint {
+    pub(crate) fn new(
+        addr: Address,
+        mailbox: Receiver<Envelope>,
+        uid: u64,
+        fabric: Arc<FabricInner>,
+    ) -> Self {
+        Self {
+            addr,
+            uid,
+            mailbox,
+            fabric,
+            pending: Arc::new(Mutex::new(HashMap::new())),
+            next_xid: AtomicU64::new(1),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// This endpoint's address.
+    pub fn address(&self) -> &Address {
+        &self.addr
+    }
+
+    fn fabric_handle(&self) -> crate::fabric::Fabric {
+        crate::fabric::Fabric { inner: Arc::clone(&self.fabric) }
+    }
+
+    fn ensure_open(&self) -> Result<(), MercuryError> {
+        if self.closed.load(Ordering::Relaxed) {
+            Err(MercuryError::LocalShutdown)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Sends a request; the returned [`PendingRequest`] completes when a
+    /// response is processed by *some* call to [`Endpoint::progress`] on
+    /// this endpoint (typically the runtime's progress loop).
+    pub fn send_request(
+        &self,
+        dest: &Address,
+        rpc_id: u64,
+        provider_id: u16,
+        context: CallContext,
+        payload: Bytes,
+    ) -> Result<PendingRequest, MercuryError> {
+        self.ensure_open()?;
+        let xid = self.next_xid.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        self.pending.lock().insert(xid, tx);
+        let envelope = Envelope {
+            source: self.addr.clone(),
+            dest: dest.clone(),
+            message: Message::Request(RequestBody {
+                rpc_id,
+                provider_id,
+                xid,
+                parent_rpc_id: context.parent_rpc_id,
+                parent_provider_id: context.parent_provider_id,
+                payload,
+            }),
+        };
+        if let Err(e) = self.fabric_handle().send(envelope) {
+            self.pending.lock().remove(&xid);
+            return Err(e);
+        }
+        Ok(PendingRequest { xid, rx, pending: Arc::clone(&self.pending) })
+    }
+
+    /// Sends a fire-and-forget notification.
+    pub fn send_oneway(
+        &self,
+        dest: &Address,
+        rpc_id: u64,
+        provider_id: u16,
+        payload: Bytes,
+    ) -> Result<(), MercuryError> {
+        self.ensure_open()?;
+        let envelope = Envelope {
+            source: self.addr.clone(),
+            dest: dest.clone(),
+            message: Message::OneWay(OneWayBody { rpc_id, provider_id, payload }),
+        };
+        self.fabric_handle().send(envelope)
+    }
+
+    /// Answers `request` with `status` and `payload`.
+    pub fn respond(
+        &self,
+        request: &RequestInfo,
+        status: ResponseStatus,
+        payload: Bytes,
+    ) -> Result<(), MercuryError> {
+        self.ensure_open()?;
+        let envelope = Envelope {
+            source: self.addr.clone(),
+            dest: request.source.clone(),
+            message: Message::Response(ResponseBody { xid: request.xid, status, payload }),
+        };
+        self.fabric_handle().send(envelope)
+    }
+
+    /// Drives the endpoint for up to `timeout`: responses to outstanding
+    /// requests are completed internally; the first request or one-way
+    /// message is returned for dispatch. `Ok(None)` means either the
+    /// timeout elapsed quietly or progress was made on responses only —
+    /// mirroring `HG_Progress`, which returns as soon as progress happens.
+    pub fn progress(&self, timeout: Duration) -> Result<Option<Incoming>, MercuryError> {
+        use crossbeam::channel::TryRecvError;
+        let deadline = std::time::Instant::now() + timeout;
+        let mut made_progress = false;
+        loop {
+            if self.closed.load(Ordering::Relaxed) {
+                return Err(MercuryError::LocalShutdown);
+            }
+            let envelope = if made_progress {
+                // Already completed at least one response: drain without
+                // blocking and return.
+                match self.mailbox.try_recv() {
+                    Ok(env) => env,
+                    Err(TryRecvError::Empty) => return Ok(None),
+                    Err(TryRecvError::Disconnected) => return Err(MercuryError::LocalShutdown),
+                }
+            } else {
+                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                match self.mailbox.recv_timeout(remaining) {
+                    Ok(env) => env,
+                    Err(RecvTimeoutError::Timeout) => return Ok(None),
+                    Err(RecvTimeoutError::Disconnected) => return Err(MercuryError::LocalShutdown),
+                }
+            };
+            match envelope.message {
+                Message::Response(resp) => {
+                    if let Some(waiter) = self.pending.lock().remove(&resp.xid) {
+                        let _ = waiter.send(resp);
+                    }
+                    // Responses never surface to the caller; drain whatever
+                    // else is queued and then report progress.
+                    made_progress = true;
+                }
+                Message::Request(req) => {
+                    return Ok(Some(Incoming::Request(RequestInfo {
+                        source: envelope.source,
+                        rpc_id: req.rpc_id,
+                        provider_id: req.provider_id,
+                        xid: req.xid,
+                        context: CallContext {
+                            parent_rpc_id: req.parent_rpc_id,
+                            parent_provider_id: req.parent_provider_id,
+                        },
+                        payload: req.payload,
+                    })));
+                }
+                Message::OneWay(ow) => {
+                    return Ok(Some(Incoming::OneWay(OneWayInfo {
+                        source: envelope.source,
+                        rpc_id: ow.rpc_id,
+                        provider_id: ow.provider_id,
+                        payload: ow.payload,
+                    })));
+                }
+            }
+        }
+    }
+
+    /// Exposes an in-memory buffer for bulk access by remote peers.
+    pub fn expose_bulk(&self, buffer: Arc<Mutex<Vec<u8>>>, access: BulkAccess) -> BulkHandle {
+        self.fabric.bulk.expose(&self.addr, buffer, access)
+    }
+
+    /// Exposes a file region for bulk access by remote peers.
+    pub fn expose_bulk_file(
+        &self,
+        path: impl Into<std::path::PathBuf>,
+        size: usize,
+        access: BulkAccess,
+    ) -> std::io::Result<BulkHandle> {
+        self.fabric.bulk.expose_file(&self.addr, path, size, access)
+    }
+
+    /// Revokes a bulk registration made by this endpoint.
+    pub fn unexpose_bulk(&self, handle: &BulkHandle) {
+        self.fabric.bulk.unexpose(handle);
+    }
+
+    fn bulk_check_reachable(&self, remote: &BulkHandle) -> Result<(), MercuryError> {
+        use crate::fault::FaultDecision;
+        let (decision, _) = self.fabric.faults.decide(&self.addr, &remote.owner);
+        if decision == FaultDecision::Drop {
+            // RDMA to an unreachable peer surfaces as a timeout in real
+            // deployments; we fail fast but with the same error class.
+            return Err(MercuryError::Timeout);
+        }
+        Ok(())
+    }
+
+    fn charge_bulk_time(&self, remote: &BulkHandle, len: usize) {
+        let delay = self.fabric_handle().bulk_delay(&self.addr, &remote.owner, len);
+        precise_sleep(delay);
+    }
+
+    /// Pulls `len` bytes from `remote[remote_offset..]` into
+    /// `local[local_offset..]` (both must be registered). Charges the
+    /// modeled transfer time against the calling thread, like a blocking
+    /// `margo_bulk_transfer`.
+    pub fn bulk_pull(
+        &self,
+        remote: &BulkHandle,
+        remote_offset: usize,
+        local: &BulkHandle,
+        local_offset: usize,
+        len: usize,
+    ) -> Result<(), MercuryError> {
+        self.ensure_open()?;
+        self.bulk_check_reachable(remote)?;
+        let data = self.fabric.bulk.read(remote.id, remote_offset, len)?;
+        self.fabric.bulk.write(local.id, local_offset, &data)?;
+        self.charge_bulk_time(remote, len);
+        Ok(())
+    }
+
+    /// Pushes `len` bytes from `local[local_offset..]` into
+    /// `remote[remote_offset..]`.
+    pub fn bulk_push(
+        &self,
+        local: &BulkHandle,
+        local_offset: usize,
+        remote: &BulkHandle,
+        remote_offset: usize,
+        len: usize,
+    ) -> Result<(), MercuryError> {
+        self.ensure_open()?;
+        self.bulk_check_reachable(remote)?;
+        let data = self.fabric.bulk.read(local.id, local_offset, len)?;
+        self.fabric.bulk.write(remote.id, remote_offset, &data)?;
+        self.charge_bulk_time(remote, len);
+        Ok(())
+    }
+
+    /// Marks the endpoint closed locally and tells the fabric to drop
+    /// traffic addressed to it — unless a newer endpoint has since been
+    /// registered at the same address (a restarted process).
+    pub fn shutdown(&self) {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.fabric_handle().kill_if_owner(&self.addr, self.uid);
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        if !self.closed.load(Ordering::Relaxed) {
+            self.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Fabric;
+    use crate::netmodel::NetworkModel;
+
+    fn pair(fabric: &Fabric) -> (Endpoint, Endpoint) {
+        (fabric.register(Address::tcp("n1", 1)), fabric.register(Address::tcp("n2", 1)))
+    }
+
+    /// Serves `count` requests on `server` by echoing the payload back.
+    fn echo_server(server: &Endpoint, count: usize) {
+        for _ in 0..count {
+            let incoming = server.progress(Duration::from_secs(5)).unwrap().unwrap();
+            if let Incoming::Request(req) = incoming {
+                let payload = req.payload.clone();
+                server.respond(&req, ResponseStatus::Ok, payload).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let fabric = Fabric::new();
+        let (client, server) = pair(&fabric);
+        let pending = client
+            .send_request(
+                server.address(),
+                42,
+                0,
+                CallContext::TOP_LEVEL,
+                Bytes::from_static(b"ping"),
+            )
+            .unwrap();
+
+        std::thread::scope(|s| {
+            s.spawn(|| echo_server(&server, 1));
+            // The client needs its own progress to complete the pending
+            // request; run it here.
+            let incoming = client.progress(Duration::from_secs(5)).unwrap();
+            assert!(incoming.is_none(), "response should be consumed internally");
+            let resp = pending.wait(Duration::from_secs(1)).unwrap();
+            assert_eq!(resp.status, ResponseStatus::Ok);
+            assert_eq!(&resp.payload[..], b"ping");
+        });
+    }
+
+    #[test]
+    fn request_to_dead_endpoint_times_out() {
+        let fabric = Fabric::new();
+        let (client, server) = pair(&fabric);
+        let dest = server.address().clone();
+        server.shutdown();
+        let pending = client
+            .send_request(&dest, 1, 0, CallContext::TOP_LEVEL, Bytes::new())
+            .unwrap();
+        let err = pending.wait(Duration::from_millis(50)).unwrap_err();
+        assert_eq!(err, MercuryError::Timeout);
+    }
+
+    #[test]
+    fn oneway_delivery() {
+        let fabric = Fabric::new();
+        let (client, server) = pair(&fabric);
+        client.send_oneway(server.address(), 7, 3, Bytes::from_static(b"note")).unwrap();
+        let incoming = server.progress(Duration::from_secs(1)).unwrap().unwrap();
+        match incoming {
+            Incoming::OneWay(ow) => {
+                assert_eq!(ow.rpc_id, 7);
+                assert_eq!(ow.provider_id, 3);
+                assert_eq!(&ow.payload[..], b"note");
+                assert_eq!(&ow.source, client.address());
+            }
+            other => panic!("expected OneWay, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn context_propagates_to_server() {
+        let fabric = Fabric::new();
+        let (client, server) = pair(&fabric);
+        let ctx = CallContext { parent_rpc_id: 99, parent_provider_id: 4 };
+        let _pending =
+            client.send_request(server.address(), 1, 0, ctx, Bytes::new()).unwrap();
+        let incoming = server.progress(Duration::from_secs(1)).unwrap().unwrap();
+        match incoming {
+            Incoming::Request(req) => assert_eq!(req.context, ctx),
+            other => panic!("expected Request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn progress_timeout_returns_none() {
+        let fabric = Fabric::new();
+        let (_client, server) = pair(&fabric);
+        assert!(server.progress(Duration::from_millis(10)).unwrap().is_none());
+    }
+
+    #[test]
+    fn closed_endpoint_errors_locally() {
+        let fabric = Fabric::new();
+        let (client, server) = pair(&fabric);
+        client.shutdown();
+        let Err(err) =
+            client.send_request(server.address(), 1, 0, CallContext::TOP_LEVEL, Bytes::new())
+        else {
+            panic!("send on closed endpoint should fail")
+        };
+        assert_eq!(err, MercuryError::LocalShutdown);
+        assert_eq!(client.progress(Duration::ZERO).unwrap_err(), MercuryError::LocalShutdown);
+    }
+
+    #[test]
+    fn bulk_pull_moves_data() {
+        let fabric = Fabric::new();
+        let (client, server) = pair(&fabric);
+        let remote_buf = Arc::new(Mutex::new((0u8..100).collect::<Vec<_>>()));
+        let remote = server.expose_bulk(Arc::clone(&remote_buf), BulkAccess::ReadOnly);
+        let local_buf = Arc::new(Mutex::new(vec![0u8; 50]));
+        let local = client.expose_bulk(Arc::clone(&local_buf), BulkAccess::ReadWrite);
+        client.bulk_pull(&remote, 10, &local, 0, 50).unwrap();
+        assert_eq!(&local_buf.lock()[..5], &[10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn bulk_push_moves_data() {
+        let fabric = Fabric::new();
+        let (client, server) = pair(&fabric);
+        let remote_buf = Arc::new(Mutex::new(vec![0u8; 10]));
+        let remote = server.expose_bulk(Arc::clone(&remote_buf), BulkAccess::WriteOnly);
+        let local_buf = Arc::new(Mutex::new(vec![5u8; 10]));
+        let local = client.expose_bulk(Arc::clone(&local_buf), BulkAccess::ReadOnly);
+        client.bulk_push(&local, 0, &remote, 0, 10).unwrap();
+        assert_eq!(*remote_buf.lock(), vec![5u8; 10]);
+    }
+
+    #[test]
+    fn bulk_to_partitioned_peer_fails() {
+        let fabric = Fabric::new();
+        let (client, server) = pair(&fabric);
+        let remote = server.expose_bulk(Arc::new(Mutex::new(vec![0u8; 4])), BulkAccess::ReadWrite);
+        let local = client.expose_bulk(Arc::new(Mutex::new(vec![0u8; 4])), BulkAccess::ReadWrite);
+        fabric.faults().set_partition(&[vec!["n1".into()], vec!["n2".into()]]);
+        let err = client.bulk_pull(&remote, 0, &local, 0, 4).unwrap_err();
+        assert_eq!(err, MercuryError::Timeout);
+    }
+
+    #[test]
+    fn bulk_transfer_charges_modeled_time() {
+        let fabric = Fabric::new();
+        fabric.set_model(NetworkModel {
+            inter_node: crate::netmodel::LinkParams {
+                latency_us: 0.0,
+                bandwidth_gib_s: 1.0, // 1 MiB at 1 GiB/s ≈ 0.98 ms
+                jitter_frac: 0.0,
+            },
+            ..NetworkModel::instant()
+        });
+        let (client, server) = pair(&fabric);
+        let size = 1 << 20;
+        let remote = server.expose_bulk(Arc::new(Mutex::new(vec![1u8; size])), BulkAccess::ReadOnly);
+        let local = client.expose_bulk(Arc::new(Mutex::new(vec![0u8; size])), BulkAccess::ReadWrite);
+        let t0 = std::time::Instant::now();
+        client.bulk_pull(&remote, 0, &local, 0, size).unwrap();
+        assert!(t0.elapsed() >= Duration::from_micros(900));
+    }
+}

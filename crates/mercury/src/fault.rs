@@ -1,0 +1,262 @@
+//! Fault injection for the simulated fabric.
+//!
+//! Resilience is one of the paper's four dynamic-service requirements
+//! (§2.3) and its experiments need controllable failures. The
+//! [`FaultPlane`] sits on the fabric's send path and can:
+//!
+//! * drop messages on a link with a configurable probability,
+//! * add extra delay to a link,
+//! * partition the fabric into groups that cannot reach each other,
+//! * blackhole individual addresses (a "crashed" process whose peers only
+//!   notice through timeouts — exactly how SWIM and Raft experience real
+//!   node deaths).
+//!
+//! All randomness is drawn from a seeded RNG so failure schedules replay
+//! deterministically.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use mochi_util::SeededRng;
+
+use crate::address::Address;
+
+/// Per-directed-link fault configuration.
+#[derive(Debug, Clone, Default)]
+struct LinkFaults {
+    drop_probability: f64,
+    extra_delay: Duration,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Faults keyed by (source host, dest host); `None` host = wildcard.
+    links: HashMap<(Option<String>, Option<String>), LinkFaults>,
+    /// Host → partition group id. Hosts in different groups can't talk.
+    /// Hosts absent from the map are in the implicit group `usize::MAX`.
+    partition: HashMap<String, usize>,
+    /// Addresses whose traffic (in and out) is silently dropped.
+    blackholes: HashSet<Address>,
+    rng: Option<SeededRng>,
+}
+
+/// Decision made for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Deliver after the network-model delay (plus `extra`).
+    Deliver,
+    /// Silently drop the message.
+    Drop,
+}
+
+/// Shared fault-injection state, cloneable across the fabric.
+#[derive(Debug, Default)]
+pub struct FaultPlane {
+    inner: Mutex<Inner>,
+}
+
+impl FaultPlane {
+    /// Creates a fault plane with no faults configured.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs the RNG used for probabilistic drops. Without one, drop
+    /// probabilities of neither 0 nor 1 round to "always deliver".
+    pub fn set_seed(&self, seed: u64) {
+        self.inner.lock().rng = Some(SeededRng::new(seed));
+    }
+
+    /// Sets the drop probability for messages from `source` host to
+    /// `dest` host. `None` acts as a wildcard.
+    pub fn set_drop_probability(&self, source: Option<&str>, dest: Option<&str>, p: f64) {
+        let mut inner = self.inner.lock();
+        let key = (source.map(str::to_string), dest.map(str::to_string));
+        inner.links.entry(key).or_default().drop_probability = p.clamp(0.0, 1.0);
+    }
+
+    /// Adds a fixed extra delay to messages from `source` host to `dest`
+    /// host. `None` acts as a wildcard.
+    pub fn set_extra_delay(&self, source: Option<&str>, dest: Option<&str>, delay: Duration) {
+        let mut inner = self.inner.lock();
+        let key = (source.map(str::to_string), dest.map(str::to_string));
+        inner.links.entry(key).or_default().extra_delay = delay;
+    }
+
+    /// Partitions the fabric: hosts listed in `groups[i]` can only reach
+    /// hosts in the same group. Hosts not listed can reach each other but
+    /// nobody inside a group.
+    pub fn set_partition(&self, groups: &[Vec<String>]) {
+        let mut inner = self.inner.lock();
+        inner.partition.clear();
+        for (gid, group) in groups.iter().enumerate() {
+            for host in group {
+                inner.partition.insert(host.clone(), gid);
+            }
+        }
+    }
+
+    /// Removes any partition.
+    pub fn heal_partition(&self) {
+        self.inner.lock().partition.clear();
+    }
+
+    /// Blackholes `addr`: all traffic to and from it is dropped, which is
+    /// how peers experience a crashed process.
+    pub fn blackhole(&self, addr: &Address) {
+        self.inner.lock().blackholes.insert(addr.clone());
+    }
+
+    /// Removes a blackhole (the process "recovered").
+    pub fn unblackhole(&self, addr: &Address) {
+        self.inner.lock().blackholes.remove(addr);
+    }
+
+    /// Clears all configured faults.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.links.clear();
+        inner.partition.clear();
+        inner.blackholes.clear();
+    }
+
+    /// Decides the fate of a message and returns any extra delay.
+    pub fn decide(&self, source: &Address, dest: &Address) -> (FaultDecision, Duration) {
+        let mut inner = self.inner.lock();
+
+        if inner.blackholes.contains(source) || inner.blackholes.contains(dest) {
+            return (FaultDecision::Drop, Duration::ZERO);
+        }
+
+        let sg = inner.partition.get(source.host()).copied().unwrap_or(usize::MAX);
+        let dg = inner.partition.get(dest.host()).copied().unwrap_or(usize::MAX);
+        if sg != dg {
+            return (FaultDecision::Drop, Duration::ZERO);
+        }
+
+        // Most specific matching rule wins: (s,d), (s,*), (*,d), (*,*).
+        let keys = [
+            (Some(source.host().to_string()), Some(dest.host().to_string())),
+            (Some(source.host().to_string()), None),
+            (None, Some(dest.host().to_string())),
+            (None, None),
+        ];
+        let mut faults: Option<LinkFaults> = None;
+        for key in keys {
+            if let Some(f) = inner.links.get(&key) {
+                faults = Some(f.clone());
+                break;
+            }
+        }
+        let Some(faults) = faults else {
+            return (FaultDecision::Deliver, Duration::ZERO);
+        };
+
+        if faults.drop_probability >= 1.0 {
+            return (FaultDecision::Drop, Duration::ZERO);
+        }
+        if faults.drop_probability > 0.0 {
+            let dropped = match inner.rng.as_mut() {
+                Some(rng) => rng.chance(faults.drop_probability),
+                None => false,
+            };
+            if dropped {
+                return (FaultDecision::Drop, Duration::ZERO);
+            }
+        }
+        (FaultDecision::Deliver, faults.extra_delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(host: &str) -> Address {
+        Address::tcp(host, 1)
+    }
+
+    #[test]
+    fn default_delivers_everything() {
+        let f = FaultPlane::new();
+        let (d, extra) = f.decide(&addr("a"), &addr("b"));
+        assert_eq!(d, FaultDecision::Deliver);
+        assert_eq!(extra, Duration::ZERO);
+    }
+
+    #[test]
+    fn full_drop_on_specific_link_only() {
+        let f = FaultPlane::new();
+        f.set_drop_probability(Some("a"), Some("b"), 1.0);
+        assert_eq!(f.decide(&addr("a"), &addr("b")).0, FaultDecision::Drop);
+        // Reverse direction unaffected.
+        assert_eq!(f.decide(&addr("b"), &addr("a")).0, FaultDecision::Deliver);
+        assert_eq!(f.decide(&addr("a"), &addr("c")).0, FaultDecision::Deliver);
+    }
+
+    #[test]
+    fn wildcard_rules_apply() {
+        let f = FaultPlane::new();
+        f.set_drop_probability(None, Some("sink"), 1.0);
+        assert_eq!(f.decide(&addr("x"), &addr("sink")).0, FaultDecision::Drop);
+        assert_eq!(f.decide(&addr("x"), &addr("y")).0, FaultDecision::Deliver);
+    }
+
+    #[test]
+    fn probabilistic_drop_is_seeded_and_roughly_calibrated() {
+        let f = FaultPlane::new();
+        f.set_seed(1234);
+        f.set_drop_probability(Some("a"), Some("b"), 0.3);
+        let drops = (0..10_000)
+            .filter(|_| f.decide(&addr("a"), &addr("b")).0 == FaultDecision::Drop)
+            .count();
+        assert!((2700..3300).contains(&drops), "drops={drops}");
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic() {
+        let f = FaultPlane::new();
+        f.set_partition(&[vec!["a".into(), "b".into()], vec!["c".into()]]);
+        assert_eq!(f.decide(&addr("a"), &addr("b")).0, FaultDecision::Deliver);
+        assert_eq!(f.decide(&addr("a"), &addr("c")).0, FaultDecision::Drop);
+        assert_eq!(f.decide(&addr("c"), &addr("b")).0, FaultDecision::Drop);
+        // Unlisted hosts form their own implicit group...
+        assert_eq!(f.decide(&addr("x"), &addr("y")).0, FaultDecision::Deliver);
+        // ...separate from listed ones.
+        assert_eq!(f.decide(&addr("x"), &addr("a")).0, FaultDecision::Drop);
+        f.heal_partition();
+        assert_eq!(f.decide(&addr("a"), &addr("c")).0, FaultDecision::Deliver);
+    }
+
+    #[test]
+    fn blackhole_swallows_both_directions() {
+        let f = FaultPlane::new();
+        let dead = addr("dead");
+        f.blackhole(&dead);
+        assert_eq!(f.decide(&dead, &addr("b")).0, FaultDecision::Drop);
+        assert_eq!(f.decide(&addr("b"), &dead).0, FaultDecision::Drop);
+        f.unblackhole(&dead);
+        assert_eq!(f.decide(&addr("b"), &dead).0, FaultDecision::Deliver);
+    }
+
+    #[test]
+    fn extra_delay_reported() {
+        let f = FaultPlane::new();
+        f.set_extra_delay(Some("a"), None, Duration::from_millis(5));
+        let (d, extra) = f.decide(&addr("a"), &addr("b"));
+        assert_eq!(d, FaultDecision::Deliver);
+        assert_eq!(extra, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let f = FaultPlane::new();
+        f.blackhole(&addr("dead"));
+        f.set_partition(&[vec!["a".into()], vec!["b".into()]]);
+        f.set_drop_probability(None, None, 1.0);
+        f.clear();
+        assert_eq!(f.decide(&addr("a"), &addr("b")).0, FaultDecision::Deliver);
+    }
+}

@@ -1,0 +1,39 @@
+//! `mochi-mercury` — a simulated HPC network fabric.
+//!
+//! This crate stands in for the Mercury RPC transport layer of the Mochi
+//! stack (Soumagne et al., CLUSTER'13). The real Mercury speaks libfabric /
+//! verbs / shared memory on an HPC cluster; everything the paper builds is
+//! *above* that transport, so we replace it with an in-process fabric that
+//! preserves the observable behavior:
+//!
+//! * processes own [`endpoint::Endpoint`]s registered in a [`fabric::Fabric`]
+//!   under Mercury-style string addresses (`na+sm://…`, `ofi+tcp://…`),
+//! * request/response messaging with per-request correlation and timeouts,
+//! * RDMA-style **bulk transfers** ([`bulk`]) that move large payloads
+//!   between registered memory regions, timed by a bandwidth model,
+//! * a configurable [`netmodel::NetworkModel`] (latency + bandwidth + jitter
+//!   per link class) so benchmarks exhibit realistic shapes,
+//! * a [`fault::FaultPlane`] that can drop or delay messages, partition the
+//!   fabric, and crash endpoints — the substrate for every resilience
+//!   experiment in the paper's §7.
+//!
+//! Nothing here knows about providers, pools, or monitoring; that is
+//! `mochi-margo`'s job, mirroring the layering of the original stack.
+
+pub mod address;
+pub mod bulk;
+pub mod endpoint;
+pub mod error;
+pub mod fabric;
+pub mod fault;
+pub mod message;
+pub mod netmodel;
+
+pub use address::Address;
+pub use bulk::{BulkAccess, BulkHandle, BulkRegistry};
+pub use endpoint::{CallContext, Endpoint, Incoming, OneWayInfo, PendingRequest, RequestInfo};
+pub use error::MercuryError;
+pub use fabric::Fabric;
+pub use fault::{FaultDecision, FaultPlane};
+pub use message::{Envelope, Message, RequestBody, ResponseBody, ResponseStatus};
+pub use netmodel::{LinkClass, LinkParams, NetworkModel};

@@ -1,0 +1,183 @@
+//! Latency/bandwidth model for simulated links.
+//!
+//! The model classifies each (source, destination) pair into a
+//! [`LinkClass`] and applies that class's [`LinkParams`]: a fixed one-way
+//! latency, a bandwidth that stretches large payloads, and optional
+//! uniform jitter. Defaults are zero-cost (instant delivery) so unit tests
+//! run fast; benchmarks install parameters representative of an HPC
+//! interconnect (sub-µs shared memory, ~2 µs / 12.5 GB/s fabric).
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::Address;
+
+/// Where two endpoints sit relative to each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// Same address (a process talking to itself) — Margo turns these into
+    /// function calls; we model them as free.
+    SelfLoop,
+    /// Same host: shared-memory transport.
+    IntraNode,
+    /// Different hosts: network transport.
+    InterNode,
+}
+
+/// Parameters of one link class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// One-way base latency in microseconds.
+    pub latency_us: f64,
+    /// Bandwidth in GiB/s; `f64::INFINITY` disables the size term.
+    pub bandwidth_gib_s: f64,
+    /// Uniform jitter as a fraction of base latency (0.0 = none).
+    pub jitter_frac: f64,
+}
+
+impl LinkParams {
+    /// Zero-cost link (default for tests).
+    pub const fn free() -> Self {
+        Self { latency_us: 0.0, bandwidth_gib_s: f64::INFINITY, jitter_frac: 0.0 }
+    }
+
+    /// Computes the modeled one-way delay for `payload` bytes, using
+    /// `jitter_draw` in `[0,1)` for the jitter term.
+    pub fn delay(&self, payload: usize, jitter_draw: f64) -> Duration {
+        let mut us = self.latency_us;
+        if self.bandwidth_gib_s.is_finite() && self.bandwidth_gib_s > 0.0 {
+            let bytes_per_us = self.bandwidth_gib_s * (1u64 << 30) as f64 / 1e6;
+            us += payload as f64 / bytes_per_us;
+        }
+        if self.jitter_frac > 0.0 {
+            us += self.latency_us * self.jitter_frac * jitter_draw;
+        }
+        if us <= 0.0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos((us * 1000.0) as u64)
+        }
+    }
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        Self::free()
+    }
+}
+
+/// Per-class link parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Parameters for intra-node (shared-memory) links.
+    pub intra_node: LinkParams,
+    /// Parameters for inter-node (fabric) links.
+    pub inter_node: LinkParams,
+}
+
+impl NetworkModel {
+    /// Everything instant: the default for unit tests.
+    pub fn instant() -> Self {
+        Self::default()
+    }
+
+    /// Parameters representative of a modern HPC interconnect: 0.4 µs /
+    /// 20 GiB/s shared memory, 2 µs / 12.5 GiB/s across nodes, 10% jitter.
+    pub fn hpc() -> Self {
+        Self {
+            intra_node: LinkParams { latency_us: 0.4, bandwidth_gib_s: 20.0, jitter_frac: 0.1 },
+            inter_node: LinkParams { latency_us: 2.0, bandwidth_gib_s: 12.5, jitter_frac: 0.1 },
+        }
+    }
+
+    /// Parameters exaggerating latency (e.g. a congested or wide-area
+    /// link); useful to make timing-sensitive tests deterministic.
+    pub fn slow(latency: Duration) -> Self {
+        let us = latency.as_secs_f64() * 1e6;
+        let p = LinkParams { latency_us: us, bandwidth_gib_s: 1.0, jitter_frac: 0.0 };
+        Self { intra_node: p, inter_node: p }
+    }
+
+    /// Classifies a (source, destination) pair.
+    pub fn classify(source: &Address, dest: &Address) -> LinkClass {
+        if source == dest {
+            LinkClass::SelfLoop
+        } else if source.same_node(dest) {
+            LinkClass::IntraNode
+        } else {
+            LinkClass::InterNode
+        }
+    }
+
+    /// Modeled one-way delay for `payload` bytes from `source` to `dest`.
+    pub fn delay(&self, source: &Address, dest: &Address, payload: usize, jitter_draw: f64) -> Duration {
+        match Self::classify(source, dest) {
+            LinkClass::SelfLoop => Duration::ZERO,
+            LinkClass::IntraNode => self.intra_node.delay(payload, jitter_draw),
+            LinkClass::InterNode => self.inter_node.delay(payload, jitter_draw),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_link_is_zero() {
+        let p = LinkParams::free();
+        assert_eq!(p.delay(1 << 30, 0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_term() {
+        let p = LinkParams { latency_us: 2.0, bandwidth_gib_s: f64::INFINITY, jitter_frac: 0.0 };
+        assert_eq!(p.delay(0, 0.0), Duration::from_nanos(2000));
+        // Payload ignored with infinite bandwidth.
+        assert_eq!(p.delay(1 << 20, 0.0), Duration::from_nanos(2000));
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_size() {
+        let p = LinkParams { latency_us: 0.0, bandwidth_gib_s: 1.0, jitter_frac: 0.0 };
+        // 1 GiB at 1 GiB/s = 1 s.
+        let d = p.delay(1 << 30, 0.0);
+        assert!((d.as_secs_f64() - 1.0).abs() < 1e-6);
+        // 1 MiB at 1 GiB/s ≈ 0.977 ms.
+        let d = p.delay(1 << 20, 0.0);
+        assert!((d.as_secs_f64() - (1.0 / 1024.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_adds_bounded_noise() {
+        let p = LinkParams { latency_us: 10.0, bandwidth_gib_s: f64::INFINITY, jitter_frac: 0.5 };
+        let lo = p.delay(0, 0.0);
+        let hi = p.delay(0, 0.999);
+        assert_eq!(lo, Duration::from_micros(10));
+        assert!(hi > lo && hi < Duration::from_micros(16));
+    }
+
+    #[test]
+    fn classification() {
+        let a = Address::tcp("n1", 1);
+        let b = Address::tcp("n1", 2);
+        let c = Address::tcp("n2", 1);
+        assert_eq!(NetworkModel::classify(&a, &a), LinkClass::SelfLoop);
+        assert_eq!(NetworkModel::classify(&a, &b), LinkClass::IntraNode);
+        assert_eq!(NetworkModel::classify(&a, &c), LinkClass::InterNode);
+    }
+
+    #[test]
+    fn hpc_model_orders_links() {
+        let m = NetworkModel::hpc();
+        let a = Address::tcp("n1", 1);
+        let b = Address::tcp("n1", 2);
+        let c = Address::tcp("n2", 1);
+        let self_d = m.delay(&a, &a, 100, 0.0);
+        let intra = m.delay(&a, &b, 100, 0.0);
+        let inter = m.delay(&a, &c, 100, 0.0);
+        assert_eq!(self_d, Duration::ZERO);
+        assert!(intra < inter);
+    }
+}

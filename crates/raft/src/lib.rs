@@ -1,0 +1,32 @@
+//! `mochi-raft` — Raft consensus over Margo (paper §7, Observation 11).
+//!
+//! "To enable consensus across multiple Mochi components, we developed
+//! Mochi-RAFT, a RAFT implementation based on C-RAFT and Margo." This
+//! crate is a from-scratch Raft (Ongaro & Ousterhout, ATC'14) whose
+//! messages ride Margo RPCs:
+//!
+//! * leader election with randomized timeouts,
+//! * log replication with conflict back-off and commitment via the
+//!   match-index median,
+//! * durable state (term/vote metadata, log, snapshots) in the node's
+//!   data directory, so a crashed node restarts where it left off,
+//! * snapshotting with `InstallSnapshot` for laggards,
+//! * single-server membership changes (add/remove),
+//! * a client session with leader redirection and retry.
+//!
+//! The replicated state machine is abstract ([`StateMachine`]) so the
+//! composability claim of §2.3 holds verbatim: "individual Yokan
+//! instances are unaware of their database being RAFT-replicated across
+//! nodes, while Mochi-RAFT itself does not need to know that the commands
+//! it logs represent Yokan key-value pairs."
+
+pub mod client;
+pub mod messages;
+pub mod node;
+pub mod storage;
+pub mod types;
+
+pub use client::RaftClient;
+pub use node::{RaftConfig, RaftNode};
+pub use storage::RaftStorage;
+pub use types::{LogEntry, LogIndex, RaftCommand, Role, StateMachine, Term};

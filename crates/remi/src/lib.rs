@@ -1,0 +1,28 @@
+//! `mochi-remi` — REsource MIgration (paper §6, Observations 4–5).
+//!
+//! "Most data managed by Mochi components resides in files stored in a
+//! local storage device. Migrating a resource from a node to another often
+//! comes down to transferring files between two nodes." REMI does exactly
+//! that, with the two strategies the paper describes:
+//!
+//! * [`Strategy::Rdma`] — each file is exposed as a bulk region and the
+//!   destination pulls it whole ("memory mapping the files and using RDMA
+//!   to transfer the data"). Best for large files: one handshake per file,
+//!   then bandwidth-bound.
+//! * [`Strategy::ChunkedRpc`] — files are packed together into fixed-size
+//!   chunks sent as a *pipelined* window of RPCs ("more efficient when
+//!   sending multiple small files, since they can be packed together into
+//!   larger chunks and the transfer of chunks can be pipelined").
+//!
+//! Every file carries a CRC-64 checksum verified at the destination.
+//! Experiment E5 reproduces the crossover between the two strategies.
+
+pub mod client;
+pub mod fileset;
+pub mod protocol;
+pub mod provider;
+
+pub use client::{MigrationOptions, MigrationReport, RemiClient};
+pub use fileset::{FileEntry, FileSet};
+pub use protocol::Strategy;
+pub use provider::RemiProvider;

@@ -1,0 +1,80 @@
+//! SWIM protocol tuning.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Tuning parameters of the SWIM failure detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwimConfig {
+    /// Protocol period: one direct ping per period (ms).
+    pub period_ms: u64,
+    /// Timeout for a direct ping before indirect probing (ms).
+    pub ping_timeout_ms: u64,
+    /// Number of members asked to ping indirectly (SWIM's `k`).
+    pub indirect_count: usize,
+    /// Periods a member stays suspected before being declared dead.
+    pub suspicion_periods: u32,
+    /// Maximum number of times one update is piggybacked before being
+    /// dropped from the dissemination buffer.
+    pub piggyback_limit: u32,
+    /// RNG seed for peer selection (deterministic tests).
+    pub seed: u64,
+}
+
+impl Default for SwimConfig {
+    fn default() -> Self {
+        Self {
+            period_ms: 100,
+            ping_timeout_ms: 30,
+            indirect_count: 2,
+            suspicion_periods: 3,
+            piggyback_limit: 8,
+            seed: 0x55176,
+        }
+    }
+}
+
+impl SwimConfig {
+    /// A fast configuration for tests (10 ms periods).
+    pub fn fast() -> Self {
+        Self { period_ms: 10, ping_timeout_ms: 5, suspicion_periods: 3, ..Default::default() }
+    }
+
+    /// Protocol period as a [`Duration`].
+    pub fn period(&self) -> Duration {
+        Duration::from_millis(self.period_ms)
+    }
+
+    /// Ping timeout as a [`Duration`].
+    pub fn ping_timeout(&self) -> Duration {
+        Duration::from_millis(self.ping_timeout_ms)
+    }
+
+    /// Worst-case detection latency bound implied by the parameters:
+    /// one period to probe + suspicion window.
+    pub fn detection_bound(&self) -> Duration {
+        Duration::from_millis(self.period_ms * (2 + self.suspicion_periods as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let config = SwimConfig::default();
+        assert!(config.ping_timeout_ms < config.period_ms);
+        assert!(config.indirect_count >= 1);
+        assert!(config.detection_bound() > config.period());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let config = SwimConfig::fast();
+        let json = serde_json::to_string(&config).unwrap();
+        let back: SwimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+    }
+}

@@ -1,0 +1,31 @@
+//! `mochi-ssg` — scalable service groups: dynamic membership and failure
+//! detection (paper §6 Observation 7 and §7 Observation 12).
+//!
+//! SSG "maintains a dynamic view of a group of processes and allows this
+//! view to be retrieved by client applications", with fault detection
+//! "based on the SWIM gossip protocol" (Das et al., DSN'02; Snyder et
+//! al., PMBS'14). This crate implements:
+//!
+//! * [`view::GroupView`] — an epoch-numbered, hashable membership view
+//!   (the hash is the Colza trick: clients attach it to RPCs so providers
+//!   can detect stale views),
+//! * [`swim`] — the SWIM state machine: periodic random-member pings,
+//!   k indirect ping-reqs on timeout, suspicion with incarnation-numbered
+//!   refutation, and piggybacked dissemination of membership updates,
+//! * [`group::SsgGroup`] — the member-side object: bootstrap from a list
+//!   of addresses (one of the paper's three bootstrap methods), join,
+//!   leave, observe, callbacks on membership changes,
+//! * [`group::ViewObserver`] — the client-application side: fetch the
+//!   current view from any member.
+//!
+//! SSG provides *eventual* consistency of the view, as the paper states;
+//! the consistent-view alternative is `mochi-raft`.
+
+pub mod config;
+pub mod group;
+pub mod swim;
+pub mod view;
+
+pub use config::SwimConfig;
+pub use group::{SsgGroup, ViewObserver};
+pub use view::{GroupView, MemberState};

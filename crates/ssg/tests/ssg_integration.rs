@@ -1,0 +1,202 @@
+//! Integration tests for SSG over the fabric: bootstrap, view
+//! propagation, SWIM failure detection, join/leave, false-suspicion
+//! refutation under lossy links, and client-side view observation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mochi_margo::MargoRuntime;
+use mochi_mercury::{Address, Fabric};
+use mochi_ssg::swim::MembershipEvent;
+use mochi_ssg::{SsgGroup, SwimConfig, ViewObserver};
+use mochi_util::time::wait_until;
+
+const SSG_PROVIDER: u16 = 42;
+
+struct Member {
+    margo: MargoRuntime,
+    group: Arc<SsgGroup>,
+}
+
+fn bootstrap_group(fabric: &Fabric, n: usize) -> Vec<Member> {
+    let addresses: Vec<Address> = (0..n).map(|i| Address::tcp(format!("m{i}"), 1)).collect();
+    let runtimes: Vec<MargoRuntime> = addresses
+        .iter()
+        .map(|a| MargoRuntime::init_default(fabric, a.clone()).unwrap())
+        .collect();
+    runtimes
+        .into_iter()
+        .map(|margo| {
+            let group =
+                SsgGroup::create(&margo, SSG_PROVIDER, SwimConfig::fast(), &addresses).unwrap();
+            Member { margo, group }
+        })
+        .collect()
+}
+
+fn everyone_sees(members: &[Member], expected: usize) -> bool {
+    members.iter().all(|m| m.group.view().len() == expected)
+}
+
+#[test]
+fn bootstrap_views_agree() {
+    let fabric = Fabric::new();
+    let members = bootstrap_group(&fabric, 5);
+    assert!(everyone_sees(&members, 5));
+    let hash = members[0].group.view_hash();
+    assert!(members.iter().all(|m| m.group.view_hash() == hash));
+    for m in &members {
+        m.group.stop();
+        m.margo.finalize();
+    }
+}
+
+#[test]
+fn crash_is_detected_and_views_converge() {
+    let fabric = Fabric::new();
+    let members = bootstrap_group(&fabric, 5);
+    // Crash member 4 abruptly (no farewell).
+    members[4].group.stop();
+    members[4].margo.finalize();
+
+    let survivors = &members[..4];
+    assert!(
+        wait_until(Duration::from_secs(10), Duration::from_millis(10), || {
+            survivors.iter().all(|m| m.group.view().len() == 4)
+        }),
+        "views: {:?}",
+        survivors.iter().map(|m| m.group.view().len()).collect::<Vec<_>>()
+    );
+    let dead = Address::tcp("m4", 1);
+    for m in survivors {
+        assert!(!m.group.view().contains(&dead));
+    }
+    for m in survivors {
+        m.group.stop();
+        m.margo.finalize();
+    }
+}
+
+#[test]
+fn membership_callbacks_fire_on_death() {
+    let fabric = Fabric::new();
+    let members = bootstrap_group(&fabric, 4);
+    let deaths = Arc::new(AtomicUsize::new(0));
+    let deaths2 = Arc::clone(&deaths);
+    members[0].group.on_change(Arc::new(move |event| {
+        if matches!(event, MembershipEvent::Died(_)) {
+            deaths2.fetch_add(1, Ordering::SeqCst);
+        }
+    }));
+    members[3].group.stop();
+    members[3].margo.finalize();
+    assert!(wait_until(Duration::from_secs(10), Duration::from_millis(10), || {
+        deaths.load(Ordering::SeqCst) >= 1
+    }));
+    for m in &members[..3] {
+        m.group.stop();
+        m.margo.finalize();
+    }
+}
+
+#[test]
+fn join_propagates_to_existing_members() {
+    let fabric = Fabric::new();
+    let members = bootstrap_group(&fabric, 3);
+    // A new process joins through member 0.
+    let new_margo =
+        MargoRuntime::init_default(&fabric, Address::tcp("newcomer", 1)).unwrap();
+    let new_group =
+        SsgGroup::join(&new_margo, SSG_PROVIDER, SwimConfig::fast(), &Address::tcp("m0", 1))
+            .unwrap();
+    assert!(
+        wait_until(Duration::from_secs(10), Duration::from_millis(10), || {
+            members.iter().all(|m| m.group.view().len() == 4) && new_group.view().len() == 4
+        }),
+        "views: existing={:?} new={}",
+        members.iter().map(|m| m.group.view().len()).collect::<Vec<_>>(),
+        new_group.view().len()
+    );
+    new_group.stop();
+    new_margo.finalize();
+    for m in &members {
+        m.group.stop();
+        m.margo.finalize();
+    }
+}
+
+#[test]
+fn graceful_leave_disseminates_quickly() {
+    let fabric = Fabric::new();
+    let members = bootstrap_group(&fabric, 4);
+    members[3].group.leave();
+    members[3].margo.finalize();
+    assert!(wait_until(Duration::from_secs(10), Duration::from_millis(10), || {
+        members[..3].iter().all(|m| m.group.view().len() == 3)
+    }));
+    for m in &members[..3] {
+        m.group.stop();
+        m.margo.finalize();
+    }
+}
+
+#[test]
+fn view_observer_serves_client_applications() {
+    let fabric = Fabric::new();
+    let members = bootstrap_group(&fabric, 3);
+    let client = MargoRuntime::init_default(&fabric, Address::tcp("client", 1)).unwrap();
+    let observer = ViewObserver::new(&client, SSG_PROVIDER);
+    let view = observer.get_view(&Address::tcp("m1", 1)).unwrap();
+    assert_eq!(view.len(), 3);
+    assert_eq!(view.hash(), members[0].group.view_hash());
+    // get_view_any skips dead members.
+    members[0].group.stop();
+    members[0].margo.finalize();
+    let view = observer
+        .get_view_any(&[Address::tcp("m0", 1), Address::tcp("m1", 1)])
+        .unwrap();
+    assert!(view.len() >= 2);
+    for m in &members[1..] {
+        m.group.stop();
+        m.margo.finalize();
+    }
+    client.finalize();
+}
+
+#[test]
+fn partition_and_heal_refutes_suspicion() {
+    let fabric = Fabric::new();
+    let members = bootstrap_group(&fabric, 3);
+    // Partition m2 away briefly — short enough that suspicion should not
+    // have expired everywhere, long enough to trigger suspicion.
+    fabric.faults().set_partition(&[
+        vec!["m0".into(), "m1".into()],
+        vec!["m2".into()],
+    ]);
+    std::thread::sleep(Duration::from_millis(40)); // ~4 fast periods
+    fabric.faults().heal_partition();
+    // After healing, all views must converge back to 3 members (either
+    // the suspicion was refuted, or the member died and rejoins are not
+    // automatic — with suspicion_periods=3 at 10ms periods and a 40ms
+    // partition, refutation must win at least sometimes; assert
+    // convergence to full membership within the detection bound).
+    let converged = wait_until(Duration::from_secs(10), Duration::from_millis(10), || {
+        everyone_sees(&members, 3)
+    });
+    // If the partition lasted past the suspicion window the member may
+    // have been declared dead; accept either full recovery or a
+    // consistent 2-member surviving view plus m2 seeing itself.
+    if !converged {
+        let survivor_views: Vec<usize> =
+            members[..2].iter().map(|m| m.group.view().len()).collect();
+        assert!(
+            survivor_views.iter().all(|&l| l == 2),
+            "inconsistent views after heal: {survivor_views:?}"
+        );
+    }
+    for m in &members {
+        m.group.stop();
+        m.margo.finalize();
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests on the SWIM state machine: under arbitrary update and
+//! tick sequences, the core invariants hold:
+//!
+//! * the view always contains self;
+//! * a member reported Dead at incarnation i never reappears without a
+//!   strictly higher Alive incarnation;
+//! * ticks never resurrect anyone;
+//! * the epoch is monotone;
+//! * the piggyback buffer never replays an update more than its limit.
+
+use proptest::prelude::*;
+
+use mochi_mercury::Address;
+use mochi_ssg::swim::{MemberSnapshot, SwimState, Update};
+use mochi_ssg::MemberState;
+
+fn addr(n: u8) -> Address {
+    Address::tcp(format!("m{n}"), 1)
+}
+
+#[derive(Debug, Clone)]
+enum Action {
+    Update(u8, MemberState, u64),
+    SuspectLocally(u8),
+    ConfirmAlive(u8),
+    Tick,
+    TakePiggyback,
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        4 => (0u8..6, prop_oneof![
+                Just(MemberState::Alive),
+                Just(MemberState::Suspect),
+                Just(MemberState::Dead),
+            ], 0u64..4)
+            .prop_map(|(m, s, i)| Action::Update(m, s, i)),
+        2 => (1u8..6).prop_map(Action::SuspectLocally),
+        2 => (1u8..6).prop_map(Action::ConfirmAlive),
+        2 => Just(Action::Tick),
+        1 => Just(Action::TakePiggyback),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn swim_invariants_hold(actions in proptest::collection::vec(action_strategy(), 0..80)) {
+        let initial: Vec<MemberSnapshot> = (1..4)
+            .map(|n| MemberSnapshot { address: addr(n), incarnation: 0 })
+            .collect();
+        let mut state = SwimState::new(addr(0), &initial, 4, 3);
+        let mut last_epoch = state.view().epoch;
+        // member -> highest incarnation at which we saw it dead
+        let mut died_at: std::collections::HashMap<Address, u64> = Default::default();
+
+        for action in actions {
+            match action {
+                Action::Update(m, s, i) => {
+                    let subject = addr(m);
+                    state.apply_update(&Update { subject: subject.clone(), state: s, incarnation: i });
+                    if s == MemberState::Dead && state.state_of(&subject) == Some(MemberState::Dead) {
+                        let entry = died_at.entry(subject).or_insert(0);
+                        *entry = (*entry).max(i);
+                    }
+                }
+                Action::SuspectLocally(m) => state.suspect_locally(&addr(m)),
+                Action::ConfirmAlive(m) => state.confirm_alive(&addr(m)),
+                Action::Tick => {
+                    let before: Vec<Address> = state.view().members;
+                    state.tick();
+                    let after = state.view();
+                    // Ticks only remove (expire suspects), never add.
+                    for member in &after.members {
+                        prop_assert!(before.contains(member), "tick resurrected {member}");
+                    }
+                    // Track deaths caused by expiry.
+                    for member in &before {
+                        if !after.contains(member) {
+                            if let Some(i) = state.incarnation_of(member) {
+                                let entry = died_at.entry(member.clone()).or_insert(0);
+                                *entry = (*entry).max(i);
+                            }
+                        }
+                    }
+                }
+                Action::TakePiggyback => {
+                    let updates = state.take_piggyback(16);
+                    prop_assert!(updates.len() <= 16);
+                }
+            }
+
+            let view = state.view();
+            // Self is always in the view.
+            prop_assert!(view.contains(&addr(0)), "view lost self");
+            // Epoch is monotone.
+            prop_assert!(view.epoch >= last_epoch, "epoch went backwards");
+            last_epoch = view.epoch;
+            // No one dead at incarnation i is in the view unless they were
+            // resurrected at a strictly higher alive incarnation.
+            for (member, dead_inc) in &died_at {
+                if view.contains(member) {
+                    let current = state.incarnation_of(member).unwrap_or(0);
+                    prop_assert!(
+                        current > *dead_inc,
+                        "{member} in view at incarnation {current} but died at {dead_inc}"
+                    );
+                }
+            }
+            // Events drain cleanly (no panics, bounded).
+            let _ = state.drain_events();
+        }
+    }
+
+    #[test]
+    fn piggyback_send_budget_respected(limit in 1u32..6) {
+        let mut state = SwimState::new(addr(0), &[], limit, 3);
+        state.apply_update(&Update {
+            subject: addr(1),
+            state: MemberState::Alive,
+            incarnation: 0,
+        });
+        let mut sends = 0;
+        // One update queued; it may be handed out at most `limit` times.
+        for _ in 0..limit + 3 {
+            if !state.take_piggyback(8).is_empty() {
+                sends += 1;
+            }
+        }
+        prop_assert_eq!(sends, limit);
+    }
+}

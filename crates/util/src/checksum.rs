@@ -1,0 +1,130 @@
+//! CRC-32 (IEEE 802.3) and CRC-64 (ECMA-182) checksums.
+//!
+//! Mercury derives RPC identifiers by hashing the RPC name; REMI verifies
+//! migrated file contents with a checksum. Both use these table-driven
+//! implementations.
+
+/// Reflected polynomial for CRC-32 (IEEE).
+const CRC32_POLY: u32 = 0xEDB8_8320;
+/// Reflected polynomial for CRC-64 (ECMA-182, as used by XZ).
+const CRC64_POLY: u64 = 0xC96C_5795_D787_0F42;
+
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ CRC32_POLY } else { crc >> 1 };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+fn crc64_table() -> &'static [u64; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u64; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u64; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u64;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ CRC64_POLY } else { crc >> 1 };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// Computes the CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// Computes the CRC-64 (ECMA-182) of `data`.
+pub fn crc64(data: &[u8]) -> u64 {
+    let table = crc64_table();
+    let mut crc = !0u64;
+    for &b in data {
+        crc = (crc >> 8) ^ table[((crc ^ b as u64) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// Incremental CRC-64 hasher for streaming data (chunked migrations).
+#[derive(Debug, Clone)]
+pub struct Crc64Hasher {
+    state: u64,
+}
+
+impl Default for Crc64Hasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc64Hasher {
+    /// Creates a hasher in its initial state.
+    pub fn new() -> Self {
+        Self { state: !0u64 }
+    }
+
+    /// Feeds `data` into the hasher.
+    pub fn update(&mut self, data: &[u8]) {
+        let table = crc64_table();
+        for &b in data {
+            self.state = (self.state >> 8) ^ table[((self.state ^ b as u64) & 0xff) as usize];
+        }
+    }
+
+    /// Finalizes and returns the checksum. The hasher may keep being fed,
+    /// in which case later calls cover all bytes seen so far.
+    pub fn finish(&self) -> u64 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc64_known_vectors() {
+        // CRC-64/XZ check value for "123456789".
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let mut h = Crc64Hasher::new();
+        for chunk in data.chunks(733) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finish(), crc64(&data));
+    }
+
+    #[test]
+    fn different_data_different_crc() {
+        assert_ne!(crc32(b"hello"), crc32(b"hellp"));
+        assert_ne!(crc64(b"hello"), crc64(b"hellp"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Log-bucketed histogram with percentile queries.
+//!
+//! The benchmark harness reports latency distributions (p50/p95/p99) for
+//! RPCs, reconfigurations, migrations, and failovers. A log-spaced bucket
+//! layout gives ~4% relative error across nine decades while staying a
+//! fixed, small size — the same trade-off HdrHistogram makes.
+
+/// Number of buckets per octave (doubling of value).
+const SUB_BUCKETS: usize = 16;
+/// Number of octaves covered, from `MIN_VALUE` upward.
+const OCTAVES: usize = 40;
+/// Values below this (in the recorded unit) land in bucket 0.
+const MIN_VALUE: f64 = 1e-9;
+
+/// A fixed-size log-bucketed histogram of nonnegative `f64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; SUB_BUCKETS * OCTAVES + 2],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_index(value: f64) -> usize {
+        if value <= MIN_VALUE {
+            return 0;
+        }
+        let octave = (value / MIN_VALUE).log2();
+        let idx = (octave * SUB_BUCKETS as f64) as usize + 1;
+        idx.min(SUB_BUCKETS * OCTAVES + 1)
+    }
+
+    fn bucket_value(index: usize) -> f64 {
+        if index == 0 {
+            return MIN_VALUE;
+        }
+        // Midpoint (geometric) of the bucket's value range.
+        MIN_VALUE * 2f64.powf((index as f64 - 0.5) / SUB_BUCKETS as f64)
+    }
+
+    /// Records one sample. Negative samples are clamped to zero.
+    pub fn record(&mut self, value: f64) {
+        let v = value.max(0.0);
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum recorded sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Approximate value at quantile `q` in `[0, 1]` (0 when empty).
+    /// Accuracy is bounded by the bucket width (~4.4% relative).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// One-line summary: `n=.. mean=.. p50=.. p95=.. p99=.. max=..`.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={:.3e} p50={:.3e} p95={:.3e} p99={:.3e} max={:.3e}",
+            self.count,
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut h = Histogram::new();
+        h.record(0.005);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 0.005);
+        assert_eq!(h.max(), 0.005);
+        let p50 = h.quantile(0.5);
+        assert!((p50 - 0.005).abs() / 0.005 < 0.05, "p50={p50}");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_accurate() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000 {
+            h.record(i as f64 * 1e-6); // 1us .. 10ms uniform
+        }
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!((p50 - 5e-3).abs() / 5e-3 < 0.06, "p50={p50}");
+        assert!((p95 - 9.5e-3).abs() / 9.5e-3 < 0.06, "p95={p95}");
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 0..100 {
+            a.record(i as f64);
+            b.record((i + 100) as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert_eq!(a.max(), 199.0);
+        assert_eq!(a.min(), 0.0);
+    }
+
+    #[test]
+    fn extreme_values_clamped_not_lost() {
+        let mut h = Histogram::new();
+        h.record(-5.0); // clamped to 0
+        h.record(1e30); // beyond top bucket
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 1e30);
+    }
+}

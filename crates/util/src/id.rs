@@ -1,0 +1,78 @@
+//! Process-unique identifier generation.
+//!
+//! Identifiers combine a random per-process prefix with a monotonically
+//! increasing counter, so two simulated "processes" in the same OS process
+//! still mint distinct ids, and ids never repeat within a run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+static COUNTER: AtomicU64 = AtomicU64::new(1);
+
+fn process_salt() -> u64 {
+    // Derived once from wall-clock nanoseconds and the OS process id; the
+    // salt only needs to differ between OS processes that might share a
+    // filesystem (e.g. temp dirs), not to be cryptographic.
+    static SALT: AtomicU64 = AtomicU64::new(0);
+    let mut salt = SALT.load(Ordering::Relaxed);
+    if salt == 0 {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e3779b97f4a7c15);
+        salt = nanos ^ ((std::process::id() as u64) << 32) | 1;
+        SALT.store(salt, Ordering::Relaxed);
+    }
+    salt
+}
+
+/// Returns a 64-bit identifier unique within this OS process and very
+/// unlikely to collide across processes.
+pub fn unique_u64() -> u64 {
+    let c = COUNTER.fetch_add(1, Ordering::Relaxed);
+    // SplitMix64 finalizer over (salt + counter) to spread bits.
+    let mut z = process_salt().wrapping_add(c.wrapping_mul(0x9e3779b97f4a7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Returns a short lowercase hex token (12 chars) for naming artifacts such
+/// as temporary directories and migration transfers.
+pub fn unique_token() -> String {
+    format!("{:012x}", unique_u64() & 0xffff_ffff_ffff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_unique() {
+        let mut seen = HashSet::new();
+        for _ in 0..10_000 {
+            assert!(seen.insert(unique_u64()));
+        }
+    }
+
+    #[test]
+    fn ids_unique_across_threads() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| (0..1000).map(|_| unique_u64()).collect::<Vec<_>>()))
+            .collect();
+        let mut seen = HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(seen.insert(id));
+            }
+        }
+    }
+
+    #[test]
+    fn token_is_12_hex_chars() {
+        let t = unique_token();
+        assert_eq!(t.len(), 12);
+        assert!(t.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -1,0 +1,35 @@
+//! Shared utilities for the `mochi-rs` workspace.
+//!
+//! This crate hosts the small, dependency-light building blocks that every
+//! other crate in the workspace relies on:
+//!
+//! * [`id`] — process-unique 64-bit identifiers,
+//! * [`checksum`] — CRC-32/CRC-64 used for RPC name hashing and data
+//!   integrity verification during migration,
+//! * [`stats`] — streaming statistics accumulators shaped like the
+//!   `{num, avg, min, max, var}` blocks of the paper's Listing 1,
+//! * [`histogram`] — a log-bucketed latency histogram with percentile
+//!   queries for the benchmark harness,
+//! * [`rng`] — a seedable RNG wrapper so that fault-injection experiments
+//!   are reproducible,
+//! * [`tempdir`] — self-cleaning unique temporary directories (stand-in for
+//!   node-local storage and the "parallel file system" checkpoint area),
+//! * [`time`] — monotonic clock helpers and precise short sleeps used by
+//!   the simulated network model,
+//! * [`bytesize`] — human-readable byte-size formatting for reports.
+
+pub mod bytesize;
+pub mod checksum;
+pub mod histogram;
+pub mod id;
+pub mod rng;
+pub mod stats;
+pub mod tempdir;
+pub mod time;
+
+pub use checksum::{crc32, crc64};
+pub use histogram::Histogram;
+pub use id::unique_u64;
+pub use rng::SeededRng;
+pub use stats::StreamStats;
+pub use tempdir::TempDir;

@@ -1,0 +1,193 @@
+//! Seedable RNG wrapper for reproducible experiments.
+//!
+//! Fault-injection tests (SWIM, Raft, elasticity) and workload generators
+//! must be replayable from a single `u64` seed. This module wraps a
+//! `rand::rngs::StdRng` behind a small API so callers do not depend on the
+//! `rand` version directly, and adds the derivation helpers we need
+//! (per-component child seeds).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG derived from a `u64` seed.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SeededRng {
+    /// Creates a generator from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { inner: StdRng::seed_from_u64(seed), seed }
+    }
+
+    /// The seed this generator was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child generator, e.g. one per SWIM member,
+    /// so adding members does not perturb the streams of existing ones.
+    pub fn child(&self, label: &str) -> SeededRng {
+        let mut h = self.seed;
+        for b in label.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        SeededRng::new(h)
+    }
+
+    /// Uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.inner.random()
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi)` as u64. Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.inner.random_bool(p)
+    }
+
+    /// Picks a uniformly random element of `items`, or `None` if empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.range(0, items.len())])
+        }
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Fills `buf` with deterministic pseudo-random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.inner.fill(buf);
+    }
+
+    /// Samples an exponential distribution with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.inner.random_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Samples a Zipf-like rank in `[0, n)` with exponent `s` via inverse
+    /// transform over the truncated harmonic weights. Used by skewed KV
+    /// workload generators.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        debug_assert!(n > 0);
+        // Small n in our workloads; linear scan is fine and exact.
+        let total: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+        let mut target = self.next_f64() * total;
+        for k in 1..=n {
+            target -= 1.0 / (k as f64).powf(s);
+            if target <= 0.0 {
+                return k - 1;
+            }
+        }
+        n - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SeededRng::new(42);
+        let mut b = SeededRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn child_streams_are_independent_and_deterministic() {
+        let root = SeededRng::new(7);
+        let mut c1 = root.child("swim/0");
+        let mut c1b = root.child("swim/0");
+        let mut c2 = root.child("swim/1");
+        assert_eq!(c1.next_u64(), c1b.next_u64());
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = SeededRng::new(3);
+        for _ in 0..1000 {
+            let v = r.range(5, 10);
+            assert!((5..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SeededRng::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SeededRng::new(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut r = SeededRng::new(11);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[r.zipf(10, 1.2)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[0] > counts[9]);
+    }
+
+    #[test]
+    fn exponential_mean_roughly_correct() {
+        let mut r = SeededRng::new(13);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(2.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean={mean}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Streaming statistics accumulators.
+//!
+//! The Margo monitoring system of the paper (Listing 1) reports, for every
+//! measured quantity, a block of the form `{num, avg, min, max, var, sum}`.
+//! [`StreamStats`] computes exactly that, in one pass, using Welford's
+//! online algorithm so the variance is numerically stable.
+
+use serde::{Deserialize, Serialize};
+
+/// One-pass accumulator of count/mean/min/max/variance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamStats {
+    num: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    mean: f64,
+    /// Sum of squared deviations from the running mean (Welford's M2).
+    m2: f64,
+}
+
+impl Default for StreamStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self { num: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, mean: 0.0, m2: 0.0 }
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, x: f64) {
+        self.num += 1;
+        self.sum += x;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+        let delta = x - self.mean;
+        self.mean += delta / self.num as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &StreamStats) {
+        if other.num == 0 {
+            return;
+        }
+        if self.num == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.num as f64;
+        let n2 = other.num as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.num += other.num;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations recorded.
+    pub fn num(&self) -> u64 {
+        self.num
+    }
+
+    /// Sum of all observations (0 when empty).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn avg(&self) -> f64 {
+        if self.num == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Minimum observation (0 when empty, mirroring Margo's JSON output).
+    pub fn min(&self) -> f64 {
+        if self.num == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.num == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn var(&self) -> f64 {
+        if self.num < 2 {
+            0.0
+        } else {
+            self.m2 / self.num as f64
+        }
+    }
+
+    /// Renders the Listing-1-shaped JSON block
+    /// `{"num": .., "avg": .., "min": .., "max": .., "var": .., "sum": ..}`.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "num": self.num,
+            "avg": self.avg(),
+            "min": self.min(),
+            "max": self.max(),
+            "var": self.var(),
+            "sum": self.sum,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(values: &[f64]) -> (f64, f64) {
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = StreamStats::new();
+        assert_eq!(s.num(), 0);
+        assert_eq!(s.avg(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.var(), 0.0);
+    }
+
+    #[test]
+    fn matches_naive_mean_and_variance() {
+        let values = [3.0, 1.5, -2.25, 10.0, 0.0, 4.5, 4.5];
+        let mut s = StreamStats::new();
+        for &v in &values {
+            s.push(v);
+        }
+        let (mean, var) = naive(&values);
+        assert!((s.avg() - mean).abs() < 1e-12);
+        assert!((s.var() - var).abs() < 1e-12);
+        assert_eq!(s.min(), -2.25);
+        assert_eq!(s.max(), 10.0);
+        assert_eq!(s.num(), 7);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0];
+        let mut s1 = StreamStats::new();
+        let mut s2 = StreamStats::new();
+        let mut all = StreamStats::new();
+        for &v in &a {
+            s1.push(v);
+            all.push(v);
+        }
+        for &v in &b {
+            s2.push(v);
+            all.push(v);
+        }
+        s1.merge(&s2);
+        assert_eq!(s1.num(), all.num());
+        assert!((s1.avg() - all.avg()).abs() < 1e-12);
+        assert!((s1.var() - all.var()).abs() < 1e-9);
+        assert_eq!(s1.min(), all.min());
+        assert_eq!(s1.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = StreamStats::new();
+        s.push(5.0);
+        let before = s.clone();
+        s.merge(&StreamStats::new());
+        assert_eq!(s, before);
+
+        let mut empty = StreamStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn json_shape_matches_listing1() {
+        let mut s = StreamStats::new();
+        s.push(0.083);
+        let j = s.to_json();
+        for key in ["num", "avg", "min", "max", "var", "sum"] {
+            assert!(j.get(key).is_some(), "missing key {key}");
+        }
+    }
+}

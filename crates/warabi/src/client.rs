@@ -1,0 +1,140 @@
+//! Warabi's client library: blob target handles.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mochi_margo::{decode_framed, encode_framed, CallContext, MargoError, MargoRuntime};
+use mochi_mercury::{Address, BulkAccess};
+use parking_lot::Mutex;
+
+use crate::provider::rpc;
+use crate::provider::{BulkArgs, ReadArgs, WriteHeader};
+use crate::target::BlobId;
+
+/// Transfers larger than this use the bulk (RDMA-model) path.
+const BULK_THRESHOLD: u64 = 64 * 1024;
+
+/// Handle to a remote blob target.
+#[derive(Clone)]
+pub struct TargetHandle {
+    margo: MargoRuntime,
+    address: Address,
+    provider_id: u16,
+    timeout: Duration,
+}
+
+impl TargetHandle {
+    /// Creates a handle to the target served by `(address, provider_id)`.
+    pub fn new(margo: &MargoRuntime, address: Address, provider_id: u16) -> Self {
+        let timeout = margo.rpc_timeout();
+        Self { margo: margo.clone(), address, provider_id, timeout }
+    }
+
+    /// Overrides the per-RPC timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Allocates a zero-filled blob.
+    pub fn create(&self, size: u64) -> Result<BlobId, MargoError> {
+        self.margo.forward_timeout(&self.address, rpc::CREATE, self.provider_id, &size, self.timeout)
+    }
+
+    /// Writes `data` at `offset`; large writes use the bulk path.
+    pub fn write(&self, id: BlobId, offset: u64, data: &[u8]) -> Result<(), MargoError> {
+        if data.len() as u64 >= BULK_THRESHOLD {
+            return self.write_bulk(id, offset, data);
+        }
+        let payload = encode_framed(&WriteHeader { id, offset }, data)?;
+        let _ = self.margo.forward_raw(
+            &self.address,
+            rpc::WRITE,
+            self.provider_id,
+            payload,
+            CallContext::TOP_LEVEL,
+            self.timeout,
+        )?;
+        Ok(())
+    }
+
+    /// Writes through the bulk path explicitly.
+    pub fn write_bulk(&self, id: BlobId, offset: u64, data: &[u8]) -> Result<(), MargoError> {
+        let buffer = Arc::new(Mutex::new(data.to_vec()));
+        let handle = self.margo.expose_bulk(Arc::clone(&buffer), BulkAccess::ReadOnly);
+        let result: Result<bool, MargoError> = self.margo.forward_timeout(
+            &self.address,
+            rpc::WRITE_BULK,
+            self.provider_id,
+            &BulkArgs { id, offset, len: data.len() as u64, handle: handle.clone() },
+            self.timeout,
+        );
+        self.margo.unexpose_bulk(&handle);
+        result.map(|_| ())
+    }
+
+    /// Reads `len` bytes at `offset`; large reads use the bulk path.
+    pub fn read(&self, id: BlobId, offset: u64, len: u64) -> Result<Vec<u8>, MargoError> {
+        if len >= BULK_THRESHOLD {
+            return self.read_bulk(id, offset, len);
+        }
+        let args = serde_json::to_vec(&ReadArgs { id, offset, len })
+            .map_err(|e| MargoError::Codec(e.to_string()))?;
+        let reply = self.margo.forward_raw(
+            &self.address,
+            rpc::READ,
+            self.provider_id,
+            bytes::Bytes::from(args),
+            CallContext::TOP_LEVEL,
+            self.timeout,
+        )?;
+        let (len, body): (u64, &[u8]) = decode_framed(&reply)?;
+        Ok(body[..len as usize].to_vec())
+    }
+
+    /// Reads through the bulk path explicitly.
+    pub fn read_bulk(&self, id: BlobId, offset: u64, len: u64) -> Result<Vec<u8>, MargoError> {
+        let buffer = Arc::new(Mutex::new(vec![0u8; len as usize]));
+        let handle = self.margo.expose_bulk(Arc::clone(&buffer), BulkAccess::WriteOnly);
+        let result: Result<bool, MargoError> = self.margo.forward_timeout(
+            &self.address,
+            rpc::READ_BULK,
+            self.provider_id,
+            &BulkArgs { id, offset, len, handle: handle.clone() },
+            self.timeout,
+        );
+        self.margo.unexpose_bulk(&handle);
+        result?;
+        let data = Arc::try_unwrap(buffer)
+            .map(|m| m.into_inner())
+            .unwrap_or_else(|arc| arc.lock().clone());
+        Ok(data)
+    }
+
+    /// Size of a blob.
+    pub fn size(&self, id: BlobId) -> Result<u64, MargoError> {
+        self.margo.forward_timeout(&self.address, rpc::SIZE, self.provider_id, &id, self.timeout)
+    }
+
+    /// Forces a blob to durable storage.
+    pub fn persist(&self, id: BlobId) -> Result<(), MargoError> {
+        let _: bool = self.margo.forward_timeout(
+            &self.address,
+            rpc::PERSIST,
+            self.provider_id,
+            &id,
+            self.timeout,
+        )?;
+        Ok(())
+    }
+
+    /// Deletes a blob; returns whether it existed.
+    pub fn erase(&self, id: BlobId) -> Result<bool, MargoError> {
+        self.margo.forward_timeout(&self.address, rpc::ERASE, self.provider_id, &id, self.timeout)
+    }
+
+    /// Lists all blob ids.
+    pub fn list(&self) -> Result<Vec<BlobId>, MargoError> {
+        self.margo.forward_timeout(&self.address, rpc::LIST, self.provider_id, &(), self.timeout)
+    }
+}

@@ -1,0 +1,20 @@
+//! `mochi-warabi` — the blob storage component.
+//!
+//! Warabi providers manage *targets*: collections of fixed-size blobs
+//! identified by numeric ids. In the paper's composition example (§3.2),
+//! a dataset component stores metadata in Yokan and bulk data in Warabi;
+//! our examples reproduce that split. Like Yokan, Warabi follows the
+//! Figure-1 anatomy (provider + abstract target backends + client handle)
+//! and ships a Bedrock module with migration/checkpoint hooks.
+//!
+//! Data-plane RPCs offer both an inline (framed) path for small blobs and
+//! a bulk (RDMA-model) path for large ones, mirroring the real component.
+
+pub mod bedrock;
+pub mod client;
+pub mod provider;
+pub mod target;
+
+pub use client::TargetHandle;
+pub use provider::WarabiProvider;
+pub use target::{create_target, BlobId, BlobTarget, TargetConfig, WarabiError};

@@ -1,0 +1,202 @@
+//! The Warabi provider: serves a [`BlobTarget`] over Margo RPCs, with an
+//! inline path for small transfers and a bulk (RDMA-model) path for
+//! large ones.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use mochi_margo::{decode_framed, encode_framed, MargoError, MargoRuntime, RpcContext};
+use mochi_mercury::{BulkAccess, BulkHandle};
+use parking_lot::Mutex;
+
+use crate::target::{BlobId, BlobTarget};
+
+/// RPC names registered by a Warabi provider.
+pub mod rpc {
+    /// Allocate a blob.
+    pub const CREATE: &str = "warabi_create";
+    /// Inline write (framed).
+    pub const WRITE: &str = "warabi_write";
+    /// Inline read (framed response).
+    pub const READ: &str = "warabi_read";
+    /// Bulk write: server pulls from the client's exposed region.
+    pub const WRITE_BULK: &str = "warabi_write_bulk";
+    /// Bulk read: server pushes into the client's exposed region.
+    pub const READ_BULK: &str = "warabi_read_bulk";
+    /// Blob size.
+    pub const SIZE: &str = "warabi_size";
+    /// Force to durable storage.
+    pub const PERSIST: &str = "warabi_persist";
+    /// Delete a blob.
+    pub const ERASE: &str = "warabi_erase";
+    /// List blob ids.
+    pub const LIST: &str = "warabi_list";
+
+    /// Every name above.
+    pub const ALL: [&str; 9] =
+        [CREATE, WRITE, READ, WRITE_BULK, READ_BULK, SIZE, PERSIST, ERASE, LIST];
+}
+
+/// Framed header of inline `WRITE` (body = data).
+#[derive(Debug, Serialize, Deserialize)]
+pub struct WriteHeader {
+    /// Target blob.
+    pub id: BlobId,
+    /// Write offset.
+    pub offset: u64,
+}
+
+/// Arguments of inline `READ`.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ReadArgs {
+    /// Target blob.
+    pub id: BlobId,
+    /// Read offset.
+    pub offset: u64,
+    /// Bytes to read.
+    pub len: u64,
+}
+
+/// Arguments of the bulk transfer RPCs.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct BulkArgs {
+    /// Target blob.
+    pub id: BlobId,
+    /// Offset within the blob.
+    pub offset: u64,
+    /// Bytes to transfer.
+    pub len: u64,
+    /// Client-exposed region (readable for `WRITE_BULK`, writable for
+    /// `READ_BULK`).
+    pub handle: BulkHandle,
+}
+
+/// A registered Warabi provider.
+pub struct WarabiProvider {
+    margo: MargoRuntime,
+    provider_id: u16,
+    target: Arc<dyn BlobTarget>,
+}
+
+impl WarabiProvider {
+    /// Registers a provider serving `target` under `provider_id`.
+    pub fn register(
+        margo: &MargoRuntime,
+        provider_id: u16,
+        pool: Option<&str>,
+        target: Arc<dyn BlobTarget>,
+    ) -> Result<Arc<Self>, MargoError> {
+        let t = Arc::clone(&target);
+        margo.register_typed(rpc::CREATE, provider_id, pool, move |size: u64, _| {
+            t.create(size).map_err(|e| e.to_string())
+        })?;
+
+        let t = Arc::clone(&target);
+        margo.register(
+            rpc::WRITE,
+            provider_id,
+            pool,
+            Arc::new(move |ctx: RpcContext| {
+                let result = (|| -> Result<(), String> {
+                    let (header, body): (WriteHeader, &[u8]) =
+                        decode_framed(ctx.payload()).map_err(|e| e.to_string())?;
+                    t.write(header.id, header.offset, body).map_err(|e| e.to_string())
+                })();
+                match result {
+                    Ok(()) => {
+                        let _ = ctx.respond(&true);
+                    }
+                    Err(message) => {
+                        let _ = ctx.respond_err(message);
+                    }
+                }
+            }),
+        )?;
+
+        let t = Arc::clone(&target);
+        margo.register(
+            rpc::READ,
+            provider_id,
+            pool,
+            Arc::new(move |ctx: RpcContext| {
+                let result = (|| -> Result<Bytes, String> {
+                    let args: ReadArgs = ctx.args().map_err(|e| e.to_string())?;
+                    let data =
+                        t.read(args.id, args.offset, args.len).map_err(|e| e.to_string())?;
+                    encode_framed(&(data.len() as u64), &data).map_err(|e| e.to_string())
+                })();
+                match result {
+                    Ok(payload) => {
+                        let _ = ctx.respond_bytes(payload);
+                    }
+                    Err(message) => {
+                        let _ = ctx.respond_err(message);
+                    }
+                }
+            }),
+        )?;
+
+        let t = Arc::clone(&target);
+        margo.register_typed(rpc::WRITE_BULK, provider_id, pool, move |args: BulkArgs, ctx| {
+            // Pull the client's data into a scratch buffer, then write it.
+            let scratch = Arc::new(Mutex::new(vec![0u8; args.len as usize]));
+            let local = ctx.expose_bulk(Arc::clone(&scratch), BulkAccess::ReadWrite);
+            let pulled = ctx.bulk_pull(&args.handle, 0, &local, 0, args.len as usize);
+            ctx.margo().unexpose_bulk(&local);
+            pulled.map_err(|e| e.to_string())?;
+            let data = scratch.lock();
+            t.write(args.id, args.offset, &data).map_err(|e| e.to_string())?;
+            Ok(true)
+        })?;
+
+        let t = Arc::clone(&target);
+        margo.register_typed(rpc::READ_BULK, provider_id, pool, move |args: BulkArgs, ctx| {
+            let data = t.read(args.id, args.offset, args.len).map_err(|e| e.to_string())?;
+            let scratch = Arc::new(Mutex::new(data));
+            let local = ctx.expose_bulk(Arc::clone(&scratch), BulkAccess::ReadOnly);
+            let pushed = ctx.bulk_push(&local, 0, &args.handle, 0, args.len as usize);
+            ctx.margo().unexpose_bulk(&local);
+            pushed.map_err(|e| e.to_string())?;
+            Ok(true)
+        })?;
+
+        let t = Arc::clone(&target);
+        margo.register_typed(rpc::SIZE, provider_id, pool, move |id: BlobId, _| {
+            t.size(id).map_err(|e| e.to_string())
+        })?;
+        let t = Arc::clone(&target);
+        margo.register_typed(rpc::PERSIST, provider_id, pool, move |id: BlobId, _| {
+            t.persist(id).map(|()| true).map_err(|e| e.to_string())
+        })?;
+        let t = Arc::clone(&target);
+        margo.register_typed(rpc::ERASE, provider_id, pool, move |id: BlobId, _| {
+            t.erase(id).map_err(|e| e.to_string())
+        })?;
+        let t = Arc::clone(&target);
+        margo.register_typed(rpc::LIST, provider_id, pool, move |_: (), _| {
+            t.list().map_err(|e| e.to_string())
+        })?;
+
+        Ok(Arc::new(Self { margo: margo.clone(), provider_id, target }))
+    }
+
+    /// This provider's id.
+    pub fn provider_id(&self) -> u16 {
+        self.provider_id
+    }
+
+    /// Direct access to the backing target.
+    pub fn target(&self) -> &Arc<dyn BlobTarget> {
+        &self.target
+    }
+
+    /// Deregisters all RPCs.
+    pub fn deregister(&self) -> Result<(), MargoError> {
+        for name in rpc::ALL {
+            self.margo.deregister(name, self.provider_id)?;
+        }
+        Ok(())
+    }
+}

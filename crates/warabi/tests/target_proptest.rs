@@ -1,0 +1,130 @@
+//! Property tests: both blob-target backends behave identically to a
+//! simple model under arbitrary operation sequences, and the file target
+//! preserves everything across reopen.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use mochi_util::TempDir;
+use mochi_warabi::target::{FileTarget, MemoryTarget};
+use mochi_warabi::{BlobId, BlobTarget, WarabiError};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u16),
+    Write(usize, u16, Vec<u8>),
+    Read(usize, u16, u16),
+    Erase(usize),
+    List,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => (1u16..512).prop_map(Op::Create),
+        4 => (any::<usize>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(b, o, d)| Op::Write(b, o, d)),
+        3 => (any::<usize>(), any::<u16>(), 0u16..64).prop_map(|(b, o, l)| Op::Read(b, o, l)),
+        1 => any::<usize>().prop_map(Op::Erase),
+        1 => Just(Op::List),
+    ]
+}
+
+fn run_against_model(target: &dyn BlobTarget, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut model: BTreeMap<BlobId, Vec<u8>> = BTreeMap::new();
+    let mut ids: Vec<BlobId> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Create(size) => {
+                let id = target.create(*size as u64).unwrap();
+                model.insert(id, vec![0u8; *size as usize]);
+                ids.push(id);
+            }
+            Op::Write(blob_sel, offset, data) => {
+                if ids.is_empty() {
+                    continue;
+                }
+                let id = ids[blob_sel % ids.len()];
+                let result = target.write(id, *offset as u64, data);
+                match model.get_mut(&id) {
+                    Some(blob) if *offset as usize + data.len() <= blob.len() => {
+                        result.unwrap();
+                        blob[*offset as usize..*offset as usize + data.len()]
+                            .copy_from_slice(data);
+                    }
+                    Some(_) => {
+                        let out_of_bounds = matches!(result, Err(WarabiError::OutOfBounds { .. }));
+                        prop_assert!(out_of_bounds);
+                    }
+                    None => prop_assert!(matches!(result, Err(WarabiError::NoSuchBlob(_)))),
+                }
+            }
+            Op::Read(blob_sel, offset, len) => {
+                if ids.is_empty() {
+                    continue;
+                }
+                let id = ids[blob_sel % ids.len()];
+                let result = target.read(id, *offset as u64, *len as u64);
+                match model.get(&id) {
+                    Some(blob) if (*offset as usize + *len as usize) <= blob.len() => {
+                        let expected =
+                            blob[*offset as usize..*offset as usize + *len as usize].to_vec();
+                        prop_assert_eq!(result.unwrap(), expected);
+                    }
+                    Some(_) => {
+                        let out_of_bounds = matches!(result, Err(WarabiError::OutOfBounds { .. }));
+                        prop_assert!(out_of_bounds);
+                    }
+                    None => prop_assert!(matches!(result, Err(WarabiError::NoSuchBlob(_)))),
+                }
+            }
+            Op::Erase(blob_sel) => {
+                if ids.is_empty() {
+                    continue;
+                }
+                let id = ids[blob_sel % ids.len()];
+                let existed = target.erase(id).unwrap();
+                prop_assert_eq!(existed, model.remove(&id).is_some());
+            }
+            Op::List => {
+                let listed = target.list().unwrap();
+                let expected: Vec<BlobId> = model.keys().copied().collect();
+                prop_assert_eq!(listed, expected);
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn memory_target_matches_model(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        run_against_model(&MemoryTarget::new(), &ops)?;
+    }
+
+    #[test]
+    fn file_target_matches_model_and_survives_reopen(
+        ops in proptest::collection::vec(op_strategy(), 0..40),
+    ) {
+        let dir = TempDir::new("warabi-prop").unwrap();
+        let target = FileTarget::open(dir.path()).unwrap();
+        run_against_model(&target, &ops)?;
+        // Reopen: contents identical.
+        let expected: Vec<(BlobId, Vec<u8>)> = target
+            .list()
+            .unwrap()
+            .into_iter()
+            .map(|id| {
+                let size = target.size(id).unwrap();
+                (id, target.read(id, 0, size).unwrap())
+            })
+            .collect();
+        drop(target);
+        let reopened = FileTarget::open(dir.path()).unwrap();
+        for (id, data) in expected {
+            prop_assert_eq!(reopened.read(id, 0, data.len() as u64).unwrap(), data);
+        }
+    }
+}

@@ -1,0 +1,670 @@
+//! The `"lsm"` backend: a from-scratch log-structured merge tree.
+//!
+//! Layout inside the provider's data directory:
+//!
+//! * `wal.log` — write-ahead log of operations since the last flush,
+//!   each record CRC-protected; replayed on open, truncated on flush;
+//! * `sst-<seq>.tbl` — immutable sorted tables, newest sequence wins;
+//!   tombstones mark deletions until compaction drops them.
+//!
+//! The memtable flushes once it exceeds `memtable_bytes`; when more than
+//! `max_tables` tables accumulate, a full compaction merges them into
+//! one. This gives Yokan real on-disk state — the thing REMI migrates,
+//! checkpoints copy, and crash-restart tests recover.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::ops::Bound;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use mochi_util::crc32;
+
+use super::{Database, YokanError};
+
+/// Tuning knobs of the LSM backend.
+#[derive(Debug, Clone, Copy)]
+pub struct LsmConfig {
+    /// Flush the memtable to an SSTable beyond this many bytes.
+    pub memtable_bytes: usize,
+    /// Compact when the number of SSTables exceeds this.
+    pub max_tables: usize,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        Self { memtable_bytes: 4 << 20, max_tables: 4 }
+    }
+}
+
+const OP_PUT: u8 = 1;
+const OP_ERASE: u8 = 2;
+/// Value length marking a tombstone in an SSTable.
+const TOMBSTONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct ValueLoc {
+    offset: u64,
+    len: u32, // TOMBSTONE for deletions
+}
+
+struct SsTable {
+    path: PathBuf,
+    seq: u64,
+    file: File,
+    index: BTreeMap<Vec<u8>, ValueLoc>,
+}
+
+impl SsTable {
+    /// Writes `entries` (sorted; `None` value = tombstone) as table `seq`.
+    fn write(
+        dir: &Path,
+        seq: u64,
+        entries: &BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    ) -> Result<SsTable, YokanError> {
+        let path = dir.join(format!("sst-{seq:010}.tbl"));
+        let mut buffer = Vec::new();
+        let mut index = BTreeMap::new();
+        for (key, value) in entries {
+            buffer.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            match value {
+                Some(v) => buffer.extend_from_slice(&(v.len() as u32).to_le_bytes()),
+                None => buffer.extend_from_slice(&TOMBSTONE.to_le_bytes()),
+            }
+            buffer.extend_from_slice(key);
+            let offset = buffer.len() as u64;
+            if let Some(v) = value {
+                buffer.extend_from_slice(v);
+                index.insert(key.clone(), ValueLoc { offset, len: v.len() as u32 });
+            } else {
+                index.insert(key.clone(), ValueLoc { offset, len: TOMBSTONE });
+            }
+        }
+        let crc = crc32(&buffer);
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .read(true)
+            .open(&path)
+            .map_err(|e| YokanError::Io(format!("create {}: {e}", path.display())))?;
+        file.write_all(&buffer)?;
+        file.write_all(&crc.to_le_bytes())?;
+        file.sync_data().ok();
+        Ok(SsTable { path, seq, file, index })
+    }
+
+    /// Opens and validates an existing table.
+    fn open(path: PathBuf) -> Result<SsTable, YokanError> {
+        let seq: u64 = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .and_then(|s| s.strip_prefix("sst-"))
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| YokanError::Corrupt(format!("bad table name {}", path.display())))?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .open(&path)
+            .map_err(|e| YokanError::Io(format!("open {}: {e}", path.display())))?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)?;
+        if data.len() < 4 {
+            return Err(YokanError::Corrupt(format!("{} too short", path.display())));
+        }
+        let (body, crc_bytes) = data.split_at(data.len() - 4);
+        let stored_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        if crc32(body) != stored_crc {
+            return Err(YokanError::Corrupt(format!("{} checksum mismatch", path.display())));
+        }
+        let mut index = BTreeMap::new();
+        let mut pos = 0usize;
+        while pos < body.len() {
+            if pos + 8 > body.len() {
+                return Err(YokanError::Corrupt(format!("{} truncated record", path.display())));
+            }
+            let klen = u32::from_le_bytes(body[pos..pos + 4].try_into().unwrap()) as usize;
+            let vlen_raw = u32::from_le_bytes(body[pos + 4..pos + 8].try_into().unwrap());
+            pos += 8;
+            if pos + klen > body.len() {
+                return Err(YokanError::Corrupt(format!("{} truncated key", path.display())));
+            }
+            let key = body[pos..pos + klen].to_vec();
+            pos += klen;
+            let offset = pos as u64;
+            if vlen_raw != TOMBSTONE {
+                let vlen = vlen_raw as usize;
+                if pos + vlen > body.len() {
+                    return Err(YokanError::Corrupt(format!(
+                        "{} truncated value",
+                        path.display()
+                    )));
+                }
+                pos += vlen;
+            }
+            index.insert(key, ValueLoc { offset, len: vlen_raw });
+        }
+        Ok(SsTable { path, seq, file, index })
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Option<Vec<u8>>>, YokanError> {
+        match self.index.get(key) {
+            None => Ok(None),
+            Some(loc) if loc.len == TOMBSTONE => Ok(Some(None)),
+            Some(loc) => {
+                let mut value = vec![0u8; loc.len as usize];
+                self.file
+                    .read_exact_at(&mut value, loc.offset)
+                    .map_err(|e| YokanError::Io(format!("read {}: {e}", self.path.display())))?;
+                Ok(Some(Some(value)))
+            }
+        }
+    }
+}
+
+struct Inner {
+    memtable: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    memtable_bytes: usize,
+    wal: File,
+    wal_path: PathBuf,
+    /// Oldest → newest.
+    tables: Vec<SsTable>,
+    next_seq: u64,
+}
+
+/// The LSM database.
+pub struct LsmDatabase {
+    dir: PathBuf,
+    config: LsmConfig,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for LsmDatabase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LsmDatabase")
+            .field("dir", &self.dir)
+            .field("tables", &self.table_count())
+            .finish_non_exhaustive()
+    }
+}
+
+fn wal_record(op: u8, key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut record = Vec::with_capacity(13 + key.len() + value.len());
+    record.push(op);
+    record.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    record.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    record.extend_from_slice(key);
+    record.extend_from_slice(value);
+    let crc = crc32(&record);
+    record.extend_from_slice(&crc.to_le_bytes());
+    record
+}
+
+/// Replays a WAL buffer, stopping cleanly at the first partial or corrupt
+/// record (a crash mid-append).
+fn replay_wal(data: &[u8], memtable: &mut BTreeMap<Vec<u8>, Option<Vec<u8>>>) -> usize {
+    let mut pos = 0usize;
+    let mut bytes = 0usize;
+    while pos + 13 <= data.len() {
+        let op = data[pos];
+        let klen = u32::from_le_bytes(data[pos + 1..pos + 5].try_into().unwrap()) as usize;
+        let vlen = u32::from_le_bytes(data[pos + 5..pos + 9].try_into().unwrap()) as usize;
+        let total = 9 + klen + vlen + 4;
+        if pos + total > data.len() {
+            break;
+        }
+        let record = &data[pos..pos + total];
+        let (body, crc_bytes) = record.split_at(total - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        if crc32(body) != stored {
+            break;
+        }
+        let key = record[9..9 + klen].to_vec();
+        let value = record[9 + klen..9 + klen + vlen].to_vec();
+        match op {
+            OP_PUT => {
+                bytes += klen + vlen;
+                memtable.insert(key, Some(value));
+            }
+            OP_ERASE => {
+                bytes += klen;
+                memtable.insert(key, None);
+            }
+            _ => break,
+        }
+        pos += total;
+    }
+    bytes
+}
+
+impl LsmDatabase {
+    /// Opens (or creates) a database in `dir`, replaying any WAL and
+    /// loading existing tables.
+    pub fn open(dir: impl Into<PathBuf>, config: LsmConfig) -> Result<Self, YokanError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut table_paths: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().is_some_and(|x| x == "tbl")
+                    && p.file_name().is_some_and(|n| n.to_string_lossy().starts_with("sst-"))
+            })
+            .collect();
+        table_paths.sort();
+        let mut tables = Vec::with_capacity(table_paths.len());
+        for path in table_paths {
+            tables.push(SsTable::open(path)?);
+        }
+        let next_seq = tables.last().map(|t| t.seq + 1).unwrap_or(0);
+
+        let wal_path = dir.join("wal.log");
+        let mut memtable = BTreeMap::new();
+        let mut memtable_bytes = 0;
+        if wal_path.exists() {
+            let data = std::fs::read(&wal_path)?;
+            memtable_bytes = replay_wal(&data, &mut memtable);
+        }
+        let wal = OpenOptions::new().create(true).append(true).open(&wal_path)?;
+        Ok(Self {
+            dir,
+            config,
+            inner: Mutex::new(Inner { memtable, memtable_bytes, wal, wal_path, tables, next_seq }),
+        })
+    }
+
+    /// The data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of SSTables on disk (diagnostics / compaction tests).
+    pub fn table_count(&self) -> usize {
+        self.inner.lock().tables.len()
+    }
+
+    fn append_wal(inner: &mut Inner, op: u8, key: &[u8], value: &[u8]) -> Result<(), YokanError> {
+        let record = wal_record(op, key, value);
+        inner.wal.write_all(&record)?;
+        Ok(())
+    }
+
+    fn flush_locked(&self, inner: &mut Inner) -> Result<(), YokanError> {
+        if inner.memtable.is_empty() {
+            return Ok(());
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let table = SsTable::write(&self.dir, seq, &inner.memtable)?;
+        inner.tables.push(table);
+        inner.memtable.clear();
+        inner.memtable_bytes = 0;
+        // Truncate the WAL: everything is in the new table.
+        inner.wal = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&inner.wal_path)?;
+        if inner.tables.len() > self.config.max_tables {
+            self.compact_locked(inner)?;
+        }
+        Ok(())
+    }
+
+    fn compact_locked(&self, inner: &mut Inner) -> Result<(), YokanError> {
+        // Merge all tables oldest→newest; newest value wins; drop
+        // tombstones (nothing older remains to resurrect).
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        for table in &inner.tables {
+            for key in table.index.keys() {
+                let value = table.get(key)?.expect("key from index");
+                merged.insert(key.clone(), value);
+            }
+        }
+        merged.retain(|_, v| v.is_some());
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let new_table = SsTable::write(&self.dir, seq, &merged)?;
+        let old: Vec<PathBuf> = inner.tables.iter().map(|t| t.path.clone()).collect();
+        inner.tables = vec![new_table];
+        for path in old {
+            std::fs::remove_file(&path).ok();
+        }
+        Ok(())
+    }
+
+    /// Looks a key up across memtable and tables; `Some(None)` = deleted.
+    fn lookup(&self, inner: &Inner, key: &[u8]) -> Result<Option<Option<Vec<u8>>>, YokanError> {
+        if let Some(value) = inner.memtable.get(key) {
+            return Ok(Some(value.clone()));
+        }
+        for table in inner.tables.iter().rev() {
+            if let Some(found) = table.get(key)? {
+                return Ok(Some(found));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Merged view of live keys (prefix-filtered), for list/len/dump.
+    fn merged_keys(
+        &self,
+        inner: &Inner,
+        prefix: &[u8],
+    ) -> Result<BTreeMap<Vec<u8>, bool>, YokanError> {
+        let mut alive: BTreeMap<Vec<u8>, bool> = BTreeMap::new();
+        let range = (Bound::Included(prefix.to_vec()), Bound::Unbounded);
+        for table in &inner.tables {
+            for (key, loc) in table.index.range::<Vec<u8>, _>(range.clone()) {
+                if !key.starts_with(prefix) {
+                    break;
+                }
+                alive.insert(key.clone(), loc.len != TOMBSTONE);
+            }
+        }
+        for (key, value) in inner.memtable.range::<Vec<u8>, _>(range) {
+            if !key.starts_with(prefix) {
+                break;
+            }
+            alive.insert(key.clone(), value.is_some());
+        }
+        Ok(alive)
+    }
+}
+
+impl Database for LsmDatabase {
+    fn backend_name(&self) -> &'static str {
+        "lsm"
+    }
+
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), YokanError> {
+        let mut inner = self.inner.lock();
+        Self::append_wal(&mut inner, OP_PUT, key, value)?;
+        inner.memtable.insert(key.to_vec(), Some(value.to_vec()));
+        inner.memtable_bytes += key.len() + value.len();
+        if inner.memtable_bytes >= self.config.memtable_bytes {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, YokanError> {
+        let inner = self.inner.lock();
+        Ok(self.lookup(&inner, key)?.flatten())
+    }
+
+    fn erase(&self, key: &[u8]) -> Result<bool, YokanError> {
+        let mut inner = self.inner.lock();
+        let existed = self.lookup(&inner, key)?.flatten().is_some();
+        if existed {
+            Self::append_wal(&mut inner, OP_ERASE, key, &[])?;
+            inner.memtable.insert(key.to_vec(), None);
+            inner.memtable_bytes += key.len();
+        }
+        Ok(existed)
+    }
+
+    fn list_keys(
+        &self,
+        prefix: &[u8],
+        start_after: Option<&[u8]>,
+        max: usize,
+    ) -> Result<Vec<Vec<u8>>, YokanError> {
+        // K-way merge over the memtable and every table index, newest
+        // source winning on ties, stopping after `max` live keys — O(max)
+        // per page instead of O(range).
+        let inner = self.inner.lock();
+        let lower: Bound<Vec<u8>> = match start_after {
+            Some(s) if s >= prefix => Bound::Excluded(s.to_vec()),
+            _ => Bound::Included(prefix.to_vec()),
+        };
+        // Sources ordered oldest → newest; the memtable is last (newest).
+        type KeyCursor<'a> = Box<dyn Iterator<Item = (&'a Vec<u8>, bool)> + 'a>;
+        let mut cursors: Vec<KeyCursor<'_>> = Vec::new();
+        for table in &inner.tables {
+            cursors.push(Box::new(
+                table
+                    .index
+                    .range::<Vec<u8>, _>((lower.clone(), Bound::Unbounded))
+                    .map(|(k, loc)| (k, loc.len != TOMBSTONE)),
+            ));
+        }
+        cursors.push(Box::new(
+            inner
+                .memtable
+                .range::<Vec<u8>, _>((lower.clone(), Bound::Unbounded))
+                .map(|(k, v)| (k, v.is_some())),
+        ));
+        let mut heads: Vec<Option<(&Vec<u8>, bool)>> =
+            cursors.iter_mut().map(|c| c.next()).collect();
+        let mut out: Vec<Vec<u8>> = Vec::new();
+        while out.len() < max {
+            // Smallest key among heads; among ties, the newest source
+            // (highest index) is authoritative.
+            let mut smallest: Option<&Vec<u8>> = None;
+            for head in heads.iter().flatten() {
+                if smallest.is_none_or(|s| head.0 < s) {
+                    smallest = Some(head.0);
+                }
+            }
+            let Some(key) = smallest else { break };
+            if !key.starts_with(prefix) {
+                // All further keys in every cursor are >= key; any source
+                // still inside the prefix would have produced a smaller
+                // head, so once the global minimum leaves the prefix we
+                // are done.
+                break;
+            }
+            let key = key.clone();
+            let mut alive = false;
+            for i in 0..heads.len() {
+                if heads[i].is_some_and(|(k, _)| *k == key) {
+                    alive = heads[i].expect("checked").1; // later sources overwrite
+                    heads[i] = cursors[i].next();
+                }
+            }
+            if alive {
+                out.push(key);
+            }
+        }
+        Ok(out)
+    }
+
+    fn len(&self) -> Result<u64, YokanError> {
+        let inner = self.inner.lock();
+        let alive = self.merged_keys(&inner, b"")?;
+        Ok(alive.values().filter(|a| **a).count() as u64)
+    }
+
+    fn flush(&self) -> Result<(), YokanError> {
+        let mut inner = self.inner.lock();
+        self.flush_locked(&mut inner)
+    }
+
+    fn clear(&self) -> Result<(), YokanError> {
+        let mut inner = self.inner.lock();
+        let paths: Vec<PathBuf> = inner.tables.iter().map(|t| t.path.clone()).collect();
+        inner.tables.clear();
+        inner.memtable.clear();
+        inner.memtable_bytes = 0;
+        inner.wal = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&inner.wal_path)?;
+        for path in paths {
+            std::fs::remove_file(&path).ok();
+        }
+        Ok(())
+    }
+
+    fn dump(&self) -> Result<super::KvPairs, YokanError> {
+        let inner = self.inner.lock();
+        let alive = self.merged_keys(&inner, b"")?;
+        let mut out = Vec::new();
+        for (key, is_alive) in alive {
+            if is_alive {
+                let value = self
+                    .lookup(&inner, &key)?
+                    .flatten()
+                    .ok_or_else(|| YokanError::Corrupt("key vanished during dump".into()))?;
+                out.push((key, value));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::conformance;
+    use super::*;
+    use mochi_util::TempDir;
+
+    fn tiny_config() -> LsmConfig {
+        // Small thresholds so tests exercise flush + compaction.
+        LsmConfig { memtable_bytes: 256, max_tables: 3 }
+    }
+
+    fn open(dir: &TempDir) -> LsmDatabase {
+        LsmDatabase::open(dir.path(), tiny_config()).unwrap()
+    }
+
+    #[test]
+    fn conformance_suite() {
+        for case in 0..5 {
+            let dir = TempDir::new("lsm-conf").unwrap();
+            let db = open(&dir);
+            match case {
+                0 => conformance::basic_ops(&db),
+                1 => conformance::listing(&db),
+                2 => {
+                    let dir2 = TempDir::new("lsm-conf2").unwrap();
+                    conformance::dump_and_load(&db, &open(&dir2));
+                }
+                3 => conformance::clear(&db),
+                _ => conformance::empty_and_binary_keys(&db),
+            }
+        }
+    }
+
+    #[test]
+    fn survives_reopen_with_wal_only() {
+        let dir = TempDir::new("lsm-wal").unwrap();
+        {
+            let db = LsmDatabase::open(dir.path(), LsmConfig::default()).unwrap();
+            db.put(b"persist", b"me").unwrap();
+            db.erase(b"persist2").ok();
+            // No flush: data only in WAL + memtable.
+            assert_eq!(db.table_count(), 0);
+        }
+        let db = LsmDatabase::open(dir.path(), LsmConfig::default()).unwrap();
+        assert_eq!(db.get(b"persist").unwrap().as_deref(), Some(b"me".as_slice()));
+    }
+
+    #[test]
+    fn survives_reopen_with_tables_and_wal() {
+        let dir = TempDir::new("lsm-mixed").unwrap();
+        {
+            let db = open(&dir);
+            for i in 0..100u32 {
+                db.put(format!("key-{i:04}").as_bytes(), &[b'x'; 64]).unwrap();
+            }
+            db.erase(b"key-0007").unwrap();
+            assert!(db.table_count() >= 1, "expected flushes with tiny memtable");
+        }
+        let db = open(&dir);
+        assert_eq!(db.len().unwrap(), 99);
+        assert_eq!(db.get(b"key-0007").unwrap(), None);
+        assert_eq!(db.get(b"key-0042").unwrap().as_deref(), Some(vec![b'x'; 64].as_slice()));
+    }
+
+    #[test]
+    fn compaction_bounds_table_count_and_preserves_data() {
+        let dir = TempDir::new("lsm-compact").unwrap();
+        let db = open(&dir);
+        for round in 0..10u32 {
+            for i in 0..20u32 {
+                db.put(format!("k{i:03}").as_bytes(), format!("r{round}").as_bytes()).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        assert!(db.table_count() <= tiny_config().max_tables + 1);
+        // Latest round wins.
+        assert_eq!(db.get(b"k010").unwrap().as_deref(), Some(b"r9".as_slice()));
+        assert_eq!(db.len().unwrap(), 20);
+    }
+
+    #[test]
+    fn tombstones_survive_flush_but_die_in_compaction() {
+        let dir = TempDir::new("lsm-tomb").unwrap();
+        let db = open(&dir);
+        db.put(b"gone", b"soon").unwrap();
+        db.flush().unwrap();
+        db.erase(b"gone").unwrap();
+        db.flush().unwrap();
+        assert_eq!(db.get(b"gone").unwrap(), None);
+        // Force compaction by flushing past max_tables.
+        for i in 0..5u32 {
+            db.put(format!("fill{i}").as_bytes(), b"x").unwrap();
+            db.flush().unwrap();
+        }
+        assert_eq!(db.get(b"gone").unwrap(), None);
+        assert_eq!(db.len().unwrap(), 5);
+    }
+
+    #[test]
+    fn truncated_wal_tail_is_tolerated() {
+        let dir = TempDir::new("lsm-torn").unwrap();
+        {
+            let db = LsmDatabase::open(dir.path(), LsmConfig::default()).unwrap();
+            db.put(b"ok", b"1").unwrap();
+            db.put(b"torn", b"2").unwrap();
+        }
+        // Simulate a torn write: chop bytes off the WAL tail.
+        let wal = dir.path().join("wal.log");
+        let data = std::fs::read(&wal).unwrap();
+        std::fs::write(&wal, &data[..data.len() - 3]).unwrap();
+        let db = LsmDatabase::open(dir.path(), LsmConfig::default()).unwrap();
+        assert_eq!(db.get(b"ok").unwrap().as_deref(), Some(b"1".as_slice()));
+        assert_eq!(db.get(b"torn").unwrap(), None);
+        // And the database remains writable.
+        db.put(b"torn", b"retry").unwrap();
+        assert_eq!(db.get(b"torn").unwrap().as_deref(), Some(b"retry".as_slice()));
+    }
+
+    #[test]
+    fn corrupt_sstable_detected() {
+        let dir = TempDir::new("lsm-corrupt").unwrap();
+        {
+            let db = open(&dir);
+            db.put(b"k", b"v").unwrap();
+            db.flush().unwrap();
+        }
+        let table = std::fs::read_dir(dir.path())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "tbl"))
+            .unwrap();
+        let mut data = std::fs::read(&table).unwrap();
+        data[2] ^= 0xff;
+        std::fs::write(&table, data).unwrap();
+        let err = LsmDatabase::open(dir.path(), tiny_config()).unwrap_err();
+        assert!(matches!(err, YokanError::Corrupt(_)));
+    }
+
+    #[test]
+    fn overwrites_across_flush_boundaries() {
+        let dir = TempDir::new("lsm-overwrite").unwrap();
+        let db = open(&dir);
+        db.put(b"k", b"v1").unwrap();
+        db.flush().unwrap();
+        db.put(b"k", b"v2").unwrap();
+        assert_eq!(db.get(b"k").unwrap().as_deref(), Some(b"v2".as_slice()));
+        db.flush().unwrap();
+        assert_eq!(db.get(b"k").unwrap().as_deref(), Some(b"v2".as_slice()));
+        assert_eq!(db.len().unwrap(), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! The `"map"` backend: an ordered in-memory map.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use parking_lot::RwLock;
+
+use super::{Database, YokanError};
+
+/// In-memory ordered map. Fast, volatile: crashes lose everything, which
+/// is exactly the backend the checkpoint/restore experiments contrast
+/// with the LSM backend.
+#[derive(Debug, Default)]
+pub struct MemoryDatabase {
+    map: RwLock<BTreeMap<Vec<u8>, Vec<u8>>>,
+}
+
+impl MemoryDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Database for MemoryDatabase {
+    fn backend_name(&self) -> &'static str {
+        "map"
+    }
+
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), YokanError> {
+        self.map.write().insert(key.to_vec(), value.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, YokanError> {
+        Ok(self.map.read().get(key).cloned())
+    }
+
+    fn erase(&self, key: &[u8]) -> Result<bool, YokanError> {
+        Ok(self.map.write().remove(key).is_some())
+    }
+
+    fn exists(&self, key: &[u8]) -> Result<bool, YokanError> {
+        Ok(self.map.read().contains_key(key))
+    }
+
+    fn list_keys(
+        &self,
+        prefix: &[u8],
+        start_after: Option<&[u8]>,
+        max: usize,
+    ) -> Result<Vec<Vec<u8>>, YokanError> {
+        let map = self.map.read();
+        let lower = match start_after {
+            Some(s) if s >= prefix => Bound::Excluded(s.to_vec()),
+            _ => Bound::Included(prefix.to_vec()),
+        };
+        let keys = map
+            .range((lower, Bound::Unbounded))
+            .map(|(k, _)| k)
+            .take_while(|k| k.starts_with(prefix))
+            .take(max)
+            .cloned()
+            .collect();
+        Ok(keys)
+    }
+
+    fn len(&self) -> Result<u64, YokanError> {
+        Ok(self.map.read().len() as u64)
+    }
+
+    fn flush(&self) -> Result<(), YokanError> {
+        Ok(())
+    }
+
+    fn clear(&self) -> Result<(), YokanError> {
+        self.map.write().clear();
+        Ok(())
+    }
+
+    fn dump(&self) -> Result<super::KvPairs, YokanError> {
+        Ok(self.map.read().iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::conformance;
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        conformance::basic_ops(&MemoryDatabase::new());
+    }
+
+    #[test]
+    fn listing() {
+        conformance::listing(&MemoryDatabase::new());
+    }
+
+    #[test]
+    fn dump_and_load() {
+        conformance::dump_and_load(&MemoryDatabase::new(), &MemoryDatabase::new());
+    }
+
+    #[test]
+    fn clear() {
+        conformance::clear(&MemoryDatabase::new());
+    }
+
+    #[test]
+    fn empty_and_binary_keys() {
+        conformance::empty_and_binary_keys(&MemoryDatabase::new());
+    }
+
+    #[test]
+    fn list_keys_start_after_before_prefix() {
+        let db = MemoryDatabase::new();
+        db.put(b"b1", b"").unwrap();
+        db.put(b"b2", b"").unwrap();
+        // start_after lexically before the prefix: must not skip matches.
+        let keys = db.list_keys(b"b", Some(b"a"), 10).unwrap();
+        assert_eq!(keys.len(), 2);
+    }
+}

@@ -1,0 +1,308 @@
+//! Database backends behind Yokan's abstract interface.
+//!
+//! "A resource will generally follow an abstract interface so that the
+//! functionality provided by the component can be implemented in various
+//! ways" (paper §3.1). The [`Database`] trait is that interface; backends:
+//!
+//! * [`memory::MemoryDatabase`] (`"map"`) — ordered in-memory map,
+//! * [`lsm::LsmDatabase`] (`"lsm"`) — WAL + memtable + SSTables with
+//!   compaction; its on-disk files are what REMI migrates and what makes
+//!   restarts after a crash meaningful.
+
+pub mod lsm;
+pub mod memory;
+
+use std::fmt;
+use std::path::Path;
+
+/// A full key–value dump, sorted by key.
+pub type KvPairs = Vec<(Vec<u8>, Vec<u8>)>;
+
+use serde::{Deserialize, Serialize};
+
+/// Errors raised by database backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YokanError {
+    /// I/O failure (message includes the path).
+    Io(String),
+    /// On-disk data failed validation.
+    Corrupt(String),
+    /// Configuration or usage error.
+    Config(String),
+}
+
+impl fmt::Display for YokanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            YokanError::Io(m) => write!(f, "io: {m}"),
+            YokanError::Corrupt(m) => write!(f, "corrupt database: {m}"),
+            YokanError::Config(m) => write!(f, "config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for YokanError {}
+
+impl From<std::io::Error> for YokanError {
+    fn from(e: std::io::Error) -> Self {
+        YokanError::Io(e.to_string())
+    }
+}
+
+/// The abstract database interface served by a Yokan provider.
+pub trait Database: Send + Sync {
+    /// Backend name (`"map"`, `"lsm"`).
+    fn backend_name(&self) -> &'static str;
+
+    /// Stores `value` under `key`, replacing any previous value.
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), YokanError>;
+
+    /// Fetches the value under `key`.
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, YokanError>;
+
+    /// Removes `key`; returns whether it existed.
+    fn erase(&self, key: &[u8]) -> Result<bool, YokanError>;
+
+    /// Whether `key` exists.
+    fn exists(&self, key: &[u8]) -> Result<bool, YokanError> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    /// Lists up to `max` keys with prefix `prefix`, strictly after
+    /// `start_after` (exclusive), in lexicographic order.
+    fn list_keys(
+        &self,
+        prefix: &[u8],
+        start_after: Option<&[u8]>,
+        max: usize,
+    ) -> Result<Vec<Vec<u8>>, YokanError>;
+
+    /// Number of live keys.
+    fn len(&self) -> Result<u64, YokanError>;
+
+    /// Whether the database holds no keys.
+    fn is_empty(&self) -> Result<bool, YokanError> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Persists in-memory state to disk (no-op for pure-memory backends).
+    fn flush(&self) -> Result<(), YokanError>;
+
+    /// Removes every key.
+    fn clear(&self) -> Result<(), YokanError>;
+
+    /// Full contents, sorted by key (checkpoint support; fine at the
+    /// scales this simulator targets).
+    fn dump(&self) -> Result<KvPairs, YokanError>;
+
+    /// Bulk-load contents (used by restore); existing keys are replaced.
+    fn load(&self, pairs: &[(Vec<u8>, Vec<u8>)]) -> Result<(), YokanError> {
+        for (key, value) in pairs {
+            self.put(key, value)?;
+        }
+        Ok(())
+    }
+}
+
+/// Backend selection and tuning, from the provider's `config` JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendConfig {
+    /// `"map"` or `"lsm"`.
+    #[serde(default = "default_backend")]
+    pub backend: String,
+    /// LSM: flush the memtable after this many bytes.
+    #[serde(default = "default_memtable_bytes")]
+    pub memtable_bytes: usize,
+    /// LSM: compact when more than this many SSTables exist.
+    #[serde(default = "default_max_tables")]
+    pub max_tables: usize,
+}
+
+fn default_backend() -> String {
+    "map".into()
+}
+
+fn default_memtable_bytes() -> usize {
+    4 << 20
+}
+
+fn default_max_tables() -> usize {
+    4
+}
+
+impl Default for BackendConfig {
+    fn default() -> Self {
+        Self {
+            backend: default_backend(),
+            memtable_bytes: default_memtable_bytes(),
+            max_tables: default_max_tables(),
+        }
+    }
+}
+
+/// Instantiates a backend in `dir` (the provider's data directory; only
+/// used by file-backed backends).
+pub fn create_backend(
+    config: &BackendConfig,
+    dir: &Path,
+) -> Result<Box<dyn Database>, YokanError> {
+    match config.backend.as_str() {
+        "map" => Ok(Box::new(memory::MemoryDatabase::new())),
+        "lsm" => Ok(Box::new(lsm::LsmDatabase::open(
+            dir,
+            lsm::LsmConfig {
+                memtable_bytes: config.memtable_bytes,
+                max_tables: config.max_tables,
+            },
+        )?)),
+        other => Err(YokanError::Config(format!("unknown backend '{other}'"))),
+    }
+}
+
+/// Writes a checkpoint dump: `[u64 count]` then, per pair,
+/// `[u32 klen][u32 vlen][key][value]`, CRC-32-tailed.
+pub fn write_dump(path: &Path, pairs: &[(Vec<u8>, Vec<u8>)]) -> Result<(), YokanError> {
+    let mut buffer = Vec::new();
+    buffer.extend_from_slice(&(pairs.len() as u64).to_le_bytes());
+    for (key, value) in pairs {
+        buffer.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        buffer.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        buffer.extend_from_slice(key);
+        buffer.extend_from_slice(value);
+    }
+    let crc = mochi_util::crc32(&buffer);
+    buffer.extend_from_slice(&crc.to_le_bytes());
+    std::fs::write(path, buffer).map_err(|e| YokanError::Io(format!("{}: {e}", path.display())))
+}
+
+/// Reads a checkpoint dump written by [`write_dump`].
+pub fn read_dump(path: &Path) -> Result<KvPairs, YokanError> {
+    let data =
+        std::fs::read(path).map_err(|e| YokanError::Io(format!("{}: {e}", path.display())))?;
+    if data.len() < 12 {
+        return Err(YokanError::Corrupt("dump too short".into()));
+    }
+    let (body, crc_bytes) = data.split_at(data.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if mochi_util::crc32(body) != stored {
+        return Err(YokanError::Corrupt("dump checksum mismatch".into()));
+    }
+    let count = u64::from_le_bytes(body[..8].try_into().expect("8 bytes")) as usize;
+    let mut pairs = Vec::with_capacity(count);
+    let mut pos = 8usize;
+    for _ in 0..count {
+        if pos + 8 > body.len() {
+            return Err(YokanError::Corrupt("dump truncated".into()));
+        }
+        let klen = u32::from_le_bytes(body[pos..pos + 4].try_into().unwrap()) as usize;
+        let vlen = u32::from_le_bytes(body[pos + 4..pos + 8].try_into().unwrap()) as usize;
+        pos += 8;
+        if pos + klen + vlen > body.len() {
+            return Err(YokanError::Corrupt("dump truncated".into()));
+        }
+        let key = body[pos..pos + klen].to_vec();
+        pos += klen;
+        let value = body[pos..pos + vlen].to_vec();
+        pos += vlen;
+        pairs.push((key, value));
+    }
+    Ok(pairs)
+}
+
+/// Shared conformance tests run against every backend.
+#[cfg(test)]
+pub(crate) mod conformance {
+    use super::*;
+
+    pub fn basic_ops(db: &dyn Database) {
+        assert_eq!(db.len().unwrap(), 0);
+        assert!(db.is_empty().unwrap());
+        db.put(b"alpha", b"1").unwrap();
+        db.put(b"beta", b"2").unwrap();
+        assert_eq!(db.get(b"alpha").unwrap().as_deref(), Some(b"1".as_slice()));
+        assert_eq!(db.get(b"missing").unwrap(), None);
+        assert!(db.exists(b"beta").unwrap());
+        assert_eq!(db.len().unwrap(), 2);
+        // Overwrite.
+        db.put(b"alpha", b"one").unwrap();
+        assert_eq!(db.get(b"alpha").unwrap().as_deref(), Some(b"one".as_slice()));
+        assert_eq!(db.len().unwrap(), 2);
+        // Erase.
+        assert!(db.erase(b"alpha").unwrap());
+        assert!(!db.erase(b"alpha").unwrap());
+        assert_eq!(db.get(b"alpha").unwrap(), None);
+        assert_eq!(db.len().unwrap(), 1);
+    }
+
+    pub fn listing(db: &dyn Database) {
+        for key in ["a/1", "a/2", "a/3", "b/1", "b/2"] {
+            db.put(key.as_bytes(), b"v").unwrap();
+        }
+        let keys = db.list_keys(b"a/", None, 10).unwrap();
+        assert_eq!(keys, vec![b"a/1".to_vec(), b"a/2".to_vec(), b"a/3".to_vec()]);
+        // Pagination.
+        let page1 = db.list_keys(b"", None, 2).unwrap();
+        assert_eq!(page1.len(), 2);
+        let page2 = db.list_keys(b"", Some(&page1[1]), 2).unwrap();
+        assert_eq!(page2, vec![b"a/3".to_vec(), b"b/1".to_vec()]);
+        // Erased keys don't list.
+        db.erase(b"a/2").unwrap();
+        let keys = db.list_keys(b"a/", None, 10).unwrap();
+        assert_eq!(keys, vec![b"a/1".to_vec(), b"a/3".to_vec()]);
+    }
+
+    pub fn dump_and_load(db: &dyn Database, other: &dyn Database) {
+        for i in 0..50u32 {
+            db.put(format!("k{i:03}").as_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        db.erase(b"k007").unwrap();
+        let dump = db.dump().unwrap();
+        assert_eq!(dump.len(), 49);
+        assert!(dump.windows(2).all(|w| w[0].0 < w[1].0), "dump must be sorted");
+        other.load(&dump).unwrap();
+        assert_eq!(other.len().unwrap(), 49);
+        assert_eq!(other.get(b"k010").unwrap(), db.get(b"k010").unwrap());
+        assert_eq!(other.get(b"k007").unwrap(), None);
+    }
+
+    pub fn clear(db: &dyn Database) {
+        db.put(b"x", b"1").unwrap();
+        db.clear().unwrap();
+        assert_eq!(db.len().unwrap(), 0);
+        assert_eq!(db.get(b"x").unwrap(), None);
+        db.put(b"y", b"2").unwrap(); // usable after clear
+        assert_eq!(db.len().unwrap(), 1);
+    }
+
+    pub fn empty_and_binary_keys(db: &dyn Database) {
+        db.put(b"", b"empty-key").unwrap();
+        assert_eq!(db.get(b"").unwrap().as_deref(), Some(b"empty-key".as_slice()));
+        let binary_key = [0u8, 255, 7, 0, 128];
+        db.put(&binary_key, b"").unwrap();
+        assert_eq!(db.get(&binary_key).unwrap().as_deref(), Some(b"".as_slice()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_dispatches() {
+        let dir = mochi_util::TempDir::new("yokan-factory").unwrap();
+        let map = create_backend(&BackendConfig::default(), dir.path()).unwrap();
+        assert_eq!(map.backend_name(), "map");
+        let lsm_config = BackendConfig { backend: "lsm".into(), ..Default::default() };
+        let lsm = create_backend(&lsm_config, dir.path()).unwrap();
+        assert_eq!(lsm.backend_name(), "lsm");
+        let bad = BackendConfig { backend: "rocksdb".into(), ..Default::default() };
+        assert!(create_backend(&bad, dir.path()).is_err());
+    }
+
+    #[test]
+    fn config_defaults_from_json() {
+        let config: BackendConfig = serde_json::from_str("{}").unwrap();
+        assert_eq!(config.backend, "map");
+        assert!(config.memtable_bytes > 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Yokan's client library: the resource handle of Figure 1.
+//!
+//! A [`DatabaseHandle`] "maps to a remote resource by encapsulating the
+//! address and provider ID of the provider holding that resource" and
+//! offers put/get-style access.
+
+use std::time::Duration;
+
+use mochi_margo::{decode_framed, encode_framed, CallContext, MargoError, MargoRuntime};
+use mochi_mercury::Address;
+
+use crate::provider::{GetMultiHeader, KeyHeader, ListKeysArgs, PutMultiHeader, ValuesHeader};
+use crate::provider::rpc;
+
+/// Handle to a remote Yokan database.
+#[derive(Clone)]
+pub struct DatabaseHandle {
+    margo: MargoRuntime,
+    address: Address,
+    provider_id: u16,
+    timeout: Duration,
+}
+
+impl DatabaseHandle {
+    /// Creates a handle to the database served by `(address, provider_id)`.
+    pub fn new(margo: &MargoRuntime, address: Address, provider_id: u16) -> Self {
+        let timeout = margo.rpc_timeout();
+        Self { margo: margo.clone(), address, provider_id, timeout }
+    }
+
+    /// Overrides the per-RPC timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The provider's address.
+    pub fn address(&self) -> &Address {
+        &self.address
+    }
+
+    /// The provider id.
+    pub fn provider_id(&self) -> u16 {
+        self.provider_id
+    }
+
+    /// Stores `value` under `key`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), MargoError> {
+        let payload = encode_framed(&KeyHeader { key: key.to_vec() }, value)?;
+        let _reply = self.margo.forward_raw(
+            &self.address,
+            rpc::PUT,
+            self.provider_id,
+            payload,
+            CallContext::TOP_LEVEL,
+            self.timeout,
+        )?;
+        Ok(())
+    }
+
+    /// Stores many pairs in one RPC.
+    pub fn put_multi(&self, pairs: &[(&[u8], &[u8])]) -> Result<(), MargoError> {
+        let keys: Vec<Vec<u8>> = pairs.iter().map(|(k, _)| k.to_vec()).collect();
+        let value_lens: Vec<u32> = pairs.iter().map(|(_, v)| v.len() as u32).collect();
+        let mut body = Vec::with_capacity(value_lens.iter().map(|l| *l as usize).sum());
+        for (_, value) in pairs {
+            body.extend_from_slice(value);
+        }
+        let payload = encode_framed(&PutMultiHeader { keys, value_lens }, &body)?;
+        let _reply = self.margo.forward_raw(
+            &self.address,
+            rpc::PUT_MULTI,
+            self.provider_id,
+            payload,
+            CallContext::TOP_LEVEL,
+            self.timeout,
+        )?;
+        Ok(())
+    }
+
+    /// Fetches the value under `key`.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, MargoError> {
+        let payload = encode_framed(&KeyHeader { key: key.to_vec() }, &[])?;
+        let reply = self.margo.forward_raw(
+            &self.address,
+            rpc::GET,
+            self.provider_id,
+            payload,
+            CallContext::TOP_LEVEL,
+            self.timeout,
+        )?;
+        let (header, body): (ValuesHeader, &[u8]) = decode_framed(&reply)?;
+        match header.lens.first() {
+            Some(&len) if len >= 0 => Ok(Some(body[..len as usize].to_vec())),
+            _ => Ok(None),
+        }
+    }
+
+    /// Fetches many values in one RPC (entry is `None` for missing keys).
+    pub fn get_multi(&self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>, MargoError> {
+        let header = GetMultiHeader { keys: keys.iter().map(|k| k.to_vec()).collect() };
+        let payload = encode_framed(&header, &[])?;
+        let reply = self.margo.forward_raw(
+            &self.address,
+            rpc::GET_MULTI,
+            self.provider_id,
+            payload,
+            CallContext::TOP_LEVEL,
+            self.timeout,
+        )?;
+        let (header, body): (ValuesHeader, &[u8]) = decode_framed(&reply)?;
+        let mut out = Vec::with_capacity(header.lens.len());
+        let mut cursor = 0usize;
+        for len in header.lens {
+            if len < 0 {
+                out.push(None);
+            } else {
+                let len = len as usize;
+                if cursor + len > body.len() {
+                    return Err(MargoError::Codec("get_multi body truncated".into()));
+                }
+                out.push(Some(body[cursor..cursor + len].to_vec()));
+                cursor += len;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Removes `key`; returns whether it existed.
+    pub fn erase(&self, key: &[u8]) -> Result<bool, MargoError> {
+        self.margo.forward_timeout(
+            &self.address,
+            rpc::ERASE,
+            self.provider_id,
+            &key.to_vec(),
+            self.timeout,
+        )
+    }
+
+    /// Whether `key` exists.
+    pub fn exists(&self, key: &[u8]) -> Result<bool, MargoError> {
+        self.margo.forward_timeout(
+            &self.address,
+            rpc::EXISTS,
+            self.provider_id,
+            &key.to_vec(),
+            self.timeout,
+        )
+    }
+
+    /// Lists up to `max` keys starting with `prefix`, after `start_after`.
+    pub fn list_keys(
+        &self,
+        prefix: &[u8],
+        start_after: Option<&[u8]>,
+        max: usize,
+    ) -> Result<Vec<Vec<u8>>, MargoError> {
+        self.margo.forward_timeout(
+            &self.address,
+            rpc::LIST_KEYS,
+            self.provider_id,
+            &ListKeysArgs {
+                prefix: prefix.to_vec(),
+                start_after: start_after.map(<[u8]>::to_vec),
+                max,
+            },
+            self.timeout,
+        )
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> Result<u64, MargoError> {
+        self.margo.forward_timeout(&self.address, rpc::LEN, self.provider_id, &(), self.timeout)
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> Result<bool, MargoError> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Persists the database to disk.
+    pub fn flush(&self) -> Result<(), MargoError> {
+        let _: bool = self.margo.forward_timeout(
+            &self.address,
+            rpc::FLUSH,
+            self.provider_id,
+            &(),
+            self.timeout,
+        )?;
+        Ok(())
+    }
+
+    /// Removes all keys.
+    pub fn clear(&self) -> Result<(), MargoError> {
+        let _: bool = self.margo.forward_timeout(
+            &self.address,
+            rpc::CLEAR,
+            self.provider_id,
+            &(),
+            self.timeout,
+        )?;
+        Ok(())
+    }
+}

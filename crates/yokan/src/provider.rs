@@ -1,0 +1,241 @@
+//! The Yokan provider: serves a [`Database`] over Margo RPCs.
+//!
+//! Control RPCs (erase, exists, list, len, flush, clear) use the JSON
+//! codec; data-plane RPCs (put/get, single and multi) use binary framing
+//! so values travel as raw bytes.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use mochi_margo::{decode_framed, encode_framed, MargoError, MargoRuntime, RpcContext};
+
+use crate::backend::Database;
+
+/// RPC names registered by a Yokan provider (one set per provider id).
+pub mod rpc {
+    /// Put one pair (framed: header = key, body = value).
+    pub const PUT: &str = "yokan_put";
+    /// Put many pairs (framed).
+    pub const PUT_MULTI: &str = "yokan_put_multi";
+    /// Get one value (framed response).
+    pub const GET: &str = "yokan_get";
+    /// Get many values (framed response).
+    pub const GET_MULTI: &str = "yokan_get_multi";
+    /// Erase a key.
+    pub const ERASE: &str = "yokan_erase";
+    /// Existence check.
+    pub const EXISTS: &str = "yokan_exists";
+    /// Prefix listing with pagination.
+    pub const LIST_KEYS: &str = "yokan_list_keys";
+    /// Number of keys.
+    pub const LEN: &str = "yokan_len";
+    /// Persist to disk.
+    pub const FLUSH: &str = "yokan_flush";
+    /// Remove all keys.
+    pub const CLEAR: &str = "yokan_clear";
+
+    /// Every name above (used for deregistration).
+    pub const ALL: [&str; 10] =
+        [PUT, PUT_MULTI, GET, GET_MULTI, ERASE, EXISTS, LIST_KEYS, LEN, FLUSH, CLEAR];
+}
+
+/// Framed-header of `PUT` and `GET` requests.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct KeyHeader {
+    /// The key.
+    pub key: Vec<u8>,
+}
+
+/// Framed-header of `PUT_MULTI`: keys plus the length of each value in
+/// the concatenated body.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct PutMultiHeader {
+    /// Keys.
+    pub keys: Vec<Vec<u8>>,
+    /// Length of each value in the body, in order.
+    pub value_lens: Vec<u32>,
+}
+
+/// Framed-header of `GET_MULTI` requests.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct GetMultiHeader {
+    /// Keys to fetch.
+    pub keys: Vec<Vec<u8>>,
+}
+
+/// Framed-header of `GET`/`GET_MULTI` responses: `-1` marks a missing
+/// key, otherwise the value's length in the concatenated body.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ValuesHeader {
+    /// Per-key value length or -1.
+    pub lens: Vec<i64>,
+}
+
+/// Arguments of `LIST_KEYS`.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ListKeysArgs {
+    /// Key prefix filter.
+    pub prefix: Vec<u8>,
+    /// Exclusive resume cursor.
+    pub start_after: Option<Vec<u8>>,
+    /// Maximum keys to return.
+    pub max: usize,
+}
+
+/// A registered Yokan provider.
+pub struct YokanProvider {
+    margo: MargoRuntime,
+    provider_id: u16,
+    db: Arc<dyn Database>,
+}
+
+fn framed_handler(
+    db: &Arc<dyn Database>,
+    handler: impl Fn(&Arc<dyn Database>, &[u8]) -> Result<Bytes, String> + Send + Sync + 'static,
+) -> mochi_margo::RpcHandler {
+    let db = Arc::clone(db);
+    Arc::new(move |ctx: RpcContext| match handler(&db, ctx.payload()) {
+        Ok(payload) => {
+            let _ = ctx.respond_bytes(payload);
+        }
+        Err(message) => {
+            let _ = ctx.respond_err(message);
+        }
+    })
+}
+
+impl YokanProvider {
+    /// Registers a provider serving `db` under `provider_id`.
+    pub fn register(
+        margo: &MargoRuntime,
+        provider_id: u16,
+        pool: Option<&str>,
+        db: Arc<dyn Database>,
+    ) -> Result<Arc<Self>, MargoError> {
+        // PUT: header = key, body = value.
+        margo.register(
+            rpc::PUT,
+            provider_id,
+            pool,
+            framed_handler(&db, |db, payload| {
+                let (header, body): (KeyHeader, &[u8]) =
+                    decode_framed(payload).map_err(|e| e.to_string())?;
+                db.put(&header.key, body).map_err(|e| e.to_string())?;
+                encode_framed(&true, &[]).map_err(|e| e.to_string())
+            }),
+        )?;
+        // PUT_MULTI.
+        margo.register(
+            rpc::PUT_MULTI,
+            provider_id,
+            pool,
+            framed_handler(&db, |db, payload| {
+                let (header, body): (PutMultiHeader, &[u8]) =
+                    decode_framed(payload).map_err(|e| e.to_string())?;
+                if header.keys.len() != header.value_lens.len() {
+                    return Err("keys/value_lens length mismatch".into());
+                }
+                let total: usize = header.value_lens.iter().map(|l| *l as usize).sum();
+                if total != body.len() {
+                    return Err("body length mismatch".into());
+                }
+                let mut cursor = 0usize;
+                for (key, len) in header.keys.iter().zip(&header.value_lens) {
+                    let len = *len as usize;
+                    db.put(key, &body[cursor..cursor + len]).map_err(|e| e.to_string())?;
+                    cursor += len;
+                }
+                encode_framed(&(header.keys.len() as u64), &[]).map_err(|e| e.to_string())
+            }),
+        )?;
+        // GET.
+        margo.register(
+            rpc::GET,
+            provider_id,
+            pool,
+            framed_handler(&db, |db, payload| {
+                let (header, _): (KeyHeader, &[u8]) =
+                    decode_framed(payload).map_err(|e| e.to_string())?;
+                match db.get(&header.key).map_err(|e| e.to_string())? {
+                    Some(value) => {
+                        encode_framed(&ValuesHeader { lens: vec![value.len() as i64] }, &value)
+                            .map_err(|e| e.to_string())
+                    }
+                    None => encode_framed(&ValuesHeader { lens: vec![-1] }, &[])
+                        .map_err(|e| e.to_string()),
+                }
+            }),
+        )?;
+        // GET_MULTI.
+        margo.register(
+            rpc::GET_MULTI,
+            provider_id,
+            pool,
+            framed_handler(&db, |db, payload| {
+                let (header, _): (GetMultiHeader, &[u8]) =
+                    decode_framed(payload).map_err(|e| e.to_string())?;
+                let mut lens = Vec::with_capacity(header.keys.len());
+                let mut body = Vec::new();
+                for key in &header.keys {
+                    match db.get(key).map_err(|e| e.to_string())? {
+                        Some(value) => {
+                            lens.push(value.len() as i64);
+                            body.extend_from_slice(&value);
+                        }
+                        None => lens.push(-1),
+                    }
+                }
+                encode_framed(&ValuesHeader { lens }, &body).map_err(|e| e.to_string())
+            }),
+        )?;
+        // Control plane (JSON).
+        let erase_db = Arc::clone(&db);
+        margo.register_typed(rpc::ERASE, provider_id, pool, move |key: Vec<u8>, _| {
+            erase_db.erase(&key).map_err(|e| e.to_string())
+        })?;
+        let exists_db = Arc::clone(&db);
+        margo.register_typed(rpc::EXISTS, provider_id, pool, move |key: Vec<u8>, _| {
+            exists_db.exists(&key).map_err(|e| e.to_string())
+        })?;
+        let list_db = Arc::clone(&db);
+        margo.register_typed(rpc::LIST_KEYS, provider_id, pool, move |args: ListKeysArgs, _| {
+            list_db
+                .list_keys(&args.prefix, args.start_after.as_deref(), args.max)
+                .map_err(|e| e.to_string())
+        })?;
+        let len_db = Arc::clone(&db);
+        margo.register_typed(rpc::LEN, provider_id, pool, move |_: (), _| {
+            len_db.len().map_err(|e| e.to_string())
+        })?;
+        let flush_db = Arc::clone(&db);
+        margo.register_typed(rpc::FLUSH, provider_id, pool, move |_: (), _| {
+            flush_db.flush().map(|()| true).map_err(|e| e.to_string())
+        })?;
+        let clear_db = Arc::clone(&db);
+        margo.register_typed(rpc::CLEAR, provider_id, pool, move |_: (), _| {
+            clear_db.clear().map(|()| true).map_err(|e| e.to_string())
+        })?;
+
+        Ok(Arc::new(Self { margo: margo.clone(), provider_id, db }))
+    }
+
+    /// This provider's id.
+    pub fn provider_id(&self) -> u16 {
+        self.provider_id
+    }
+
+    /// Direct access to the backing database (local callers, tests).
+    pub fn database(&self) -> &Arc<dyn Database> {
+        &self.db
+    }
+
+    /// Deregisters all RPCs of this provider.
+    pub fn deregister(&self) -> Result<(), MargoError> {
+        for name in rpc::ALL {
+            self.margo.deregister(name, self.provider_id)?;
+        }
+        Ok(())
+    }
+}

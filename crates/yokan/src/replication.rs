@@ -1,0 +1,258 @@
+//! Virtual databases: bottom-up replication (paper §7, Observation 10).
+//!
+//! "A Yokan 'virtual database' could forward the data it receives to N
+//! other actual databases living on other nodes. The client accessing
+//! this virtual database does not know that the provider it contacts does
+//! not actually hold data itself or that the data is replicated."
+//!
+//! [`VirtualDatabaseProvider`] registers the *same* RPC names as a real
+//! Yokan provider, so any [`crate::client::DatabaseHandle`] works against
+//! it unchanged — that indistinguishability is the point of the design.
+//! Writes go to all replicas (write-all); reads try replicas in order and
+//! return the first answer, which keeps reads available while any single
+//! replica survives.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use mochi_margo::{decode_framed, encode_framed, MargoError, MargoRuntime, RpcContext};
+use mochi_mercury::Address;
+
+use crate::client::DatabaseHandle;
+use crate::provider::rpc;
+use crate::provider::{GetMultiHeader, KeyHeader, ListKeysArgs, PutMultiHeader, ValuesHeader};
+
+/// Location of one replica.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaSpec {
+    /// Address of the process running the replica provider.
+    pub address: String,
+    /// Provider id of the replica.
+    pub provider_id: u16,
+}
+
+/// Configuration of a virtual database (the provider's `config` object).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VirtualConfig {
+    /// Backing replicas, in read-preference order.
+    pub replicas: Vec<ReplicaSpec>,
+}
+
+struct Inner {
+    replicas: parking_lot::RwLock<Vec<DatabaseHandle>>,
+}
+
+impl Inner {
+    fn write_all<T>(
+        &self,
+        op: impl Fn(&DatabaseHandle) -> Result<T, MargoError>,
+    ) -> Result<T, String> {
+        let replicas = self.replicas.read();
+        if replicas.is_empty() {
+            return Err("virtual database has no replicas".into());
+        }
+        let mut last = None;
+        for handle in replicas.iter() {
+            match op(handle) {
+                Ok(value) => last = Some(value),
+                Err(e) => {
+                    return Err(format!("replica {} failed: {e}", handle.address()));
+                }
+            }
+        }
+        Ok(last.expect("nonempty replicas"))
+    }
+
+    fn read_any<T>(
+        &self,
+        op: impl Fn(&DatabaseHandle) -> Result<T, MargoError>,
+    ) -> Result<T, String> {
+        let replicas = self.replicas.read();
+        if replicas.is_empty() {
+            return Err("virtual database has no replicas".into());
+        }
+        let mut errors = Vec::new();
+        for handle in replicas.iter() {
+            match op(handle) {
+                Ok(value) => return Ok(value),
+                Err(e) => errors.push(format!("{}: {e}", handle.address())),
+            }
+        }
+        Err(format!("all replicas failed: {errors:?}"))
+    }
+}
+
+/// A provider that replicates over N backing Yokan databases.
+pub struct VirtualDatabaseProvider {
+    margo: MargoRuntime,
+    provider_id: u16,
+    inner: Arc<Inner>,
+}
+
+impl VirtualDatabaseProvider {
+    /// Registers a virtual database under `provider_id`, backed by
+    /// `replicas` (each `(address, provider_id)` of a real Yokan
+    /// provider). `timeout` bounds each per-replica RPC so a dead replica
+    /// fails over quickly on the read path.
+    pub fn register(
+        margo: &MargoRuntime,
+        provider_id: u16,
+        pool: Option<&str>,
+        replicas: Vec<(Address, u16)>,
+        timeout: Duration,
+    ) -> Result<Arc<Self>, MargoError> {
+        let handles = replicas
+            .into_iter()
+            .map(|(address, id)| DatabaseHandle::new(margo, address, id).with_timeout(timeout))
+            .collect();
+        let inner = Arc::new(Inner { replicas: parking_lot::RwLock::new(handles) });
+
+        type FramedOp = Box<dyn Fn(&Inner, &[u8]) -> Result<Bytes, String> + Send + Sync>;
+        let raw = |inner: &Arc<Inner>, f: FramedOp| -> mochi_margo::RpcHandler {
+            let inner = Arc::clone(inner);
+            Arc::new(move |ctx: RpcContext| match f(&inner, ctx.payload()) {
+                Ok(payload) => {
+                    let _ = ctx.respond_bytes(payload);
+                }
+                Err(message) => {
+                    let _ = ctx.respond_err(message);
+                }
+            })
+        };
+
+        margo.register(
+            rpc::PUT,
+            provider_id,
+            pool,
+            raw(
+                &inner,
+                Box::new(|inner, payload| {
+                    let (header, body): (KeyHeader, &[u8]) =
+                        decode_framed(payload).map_err(|e| e.to_string())?;
+                    inner.write_all(|h| h.put(&header.key, body))?;
+                    encode_framed(&true, &[]).map_err(|e| e.to_string())
+                }),
+            ),
+        )?;
+        margo.register(
+            rpc::PUT_MULTI,
+            provider_id,
+            pool,
+            raw(
+                &inner,
+                Box::new(|inner, payload| {
+                    let (header, body): (PutMultiHeader, &[u8]) =
+                        decode_framed(payload).map_err(|e| e.to_string())?;
+                    let mut pairs: Vec<(&[u8], &[u8])> = Vec::with_capacity(header.keys.len());
+                    let mut cursor = 0usize;
+                    for (key, len) in header.keys.iter().zip(&header.value_lens) {
+                        let len = *len as usize;
+                        pairs.push((key.as_slice(), &body[cursor..cursor + len]));
+                        cursor += len;
+                    }
+                    inner.write_all(|h| h.put_multi(&pairs))?;
+                    encode_framed(&(pairs.len() as u64), &[]).map_err(|e| e.to_string())
+                }),
+            ),
+        )?;
+        margo.register(
+            rpc::GET,
+            provider_id,
+            pool,
+            raw(
+                &inner,
+                Box::new(|inner, payload| {
+                    let (header, _): (KeyHeader, &[u8]) =
+                        decode_framed(payload).map_err(|e| e.to_string())?;
+                    let value = inner.read_any(|h| h.get(&header.key))?;
+                    match value {
+                        Some(v) => {
+                            encode_framed(&ValuesHeader { lens: vec![v.len() as i64] }, &v)
+                                .map_err(|e| e.to_string())
+                        }
+                        None => encode_framed(&ValuesHeader { lens: vec![-1] }, &[])
+                            .map_err(|e| e.to_string()),
+                    }
+                }),
+            ),
+        )?;
+        margo.register(
+            rpc::GET_MULTI,
+            provider_id,
+            pool,
+            raw(
+                &inner,
+                Box::new(|inner, payload| {
+                    let (header, _): (GetMultiHeader, &[u8]) =
+                        decode_framed(payload).map_err(|e| e.to_string())?;
+                    let keys: Vec<&[u8]> = header.keys.iter().map(|k| k.as_slice()).collect();
+                    let values = inner.read_any(|h| h.get_multi(&keys))?;
+                    let mut lens = Vec::with_capacity(values.len());
+                    let mut body = Vec::new();
+                    for value in values {
+                        match value {
+                            Some(v) => {
+                                lens.push(v.len() as i64);
+                                body.extend_from_slice(&v);
+                            }
+                            None => lens.push(-1),
+                        }
+                    }
+                    encode_framed(&ValuesHeader { lens }, &body).map_err(|e| e.to_string())
+                }),
+            ),
+        )?;
+        let erase_inner = Arc::clone(&inner);
+        margo.register_typed(rpc::ERASE, provider_id, pool, move |key: Vec<u8>, _| {
+            erase_inner.write_all(|h| h.erase(&key))
+        })?;
+        let exists_inner = Arc::clone(&inner);
+        margo.register_typed(rpc::EXISTS, provider_id, pool, move |key: Vec<u8>, _| {
+            exists_inner.read_any(|h| h.exists(&key))
+        })?;
+        let list_inner = Arc::clone(&inner);
+        margo.register_typed(rpc::LIST_KEYS, provider_id, pool, move |args: ListKeysArgs, _| {
+            list_inner.read_any(|h| h.list_keys(&args.prefix, args.start_after.as_deref(), args.max))
+        })?;
+        let len_inner = Arc::clone(&inner);
+        margo.register_typed(rpc::LEN, provider_id, pool, move |_: (), _| {
+            len_inner.read_any(|h| h.len())
+        })?;
+        let flush_inner = Arc::clone(&inner);
+        margo.register_typed(rpc::FLUSH, provider_id, pool, move |_: (), _| {
+            flush_inner.write_all(|h| h.flush()).map(|()| true)
+        })?;
+        let clear_inner = Arc::clone(&inner);
+        margo.register_typed(rpc::CLEAR, provider_id, pool, move |_: (), _| {
+            clear_inner.write_all(|h| h.clear()).map(|()| true)
+        })?;
+
+        Ok(Arc::new(Self { margo: margo.clone(), provider_id, inner }))
+    }
+
+    /// Current replica addresses, in read order.
+    pub fn replicas(&self) -> Vec<Address> {
+        self.inner.replicas.read().iter().map(|h| h.address().clone()).collect()
+    }
+
+    /// Replaces the replica set (used by the top-down resilience manager
+    /// after re-replication).
+    pub fn set_replicas(&self, margo: &MargoRuntime, replicas: Vec<(Address, u16)>, timeout: Duration) {
+        let handles: Vec<DatabaseHandle> = replicas
+            .into_iter()
+            .map(|(address, id)| DatabaseHandle::new(margo, address, id).with_timeout(timeout))
+            .collect();
+        *self.inner.replicas.write() = handles;
+    }
+
+    /// Deregisters the virtual provider's RPCs.
+    pub fn deregister(&self) -> Result<(), MargoError> {
+        for name in rpc::ALL {
+            self.margo.deregister(name, self.provider_id)?;
+        }
+        Ok(())
+    }
+}

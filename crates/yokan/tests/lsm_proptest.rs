@@ -1,0 +1,108 @@
+//! Property-based tests: the LSM backend behaves exactly like a model
+//! `BTreeMap` under arbitrary operation sequences, including flushes,
+//! compaction-inducing churn, and reopen (crash-restart with a clean
+//! WAL).
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use mochi_util::TempDir;
+use mochi_yokan::backend::lsm::{LsmConfig, LsmDatabase};
+use mochi_yokan::backend::Database;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(Vec<u8>, Vec<u8>),
+    Erase(Vec<u8>),
+    Get(Vec<u8>),
+    ListPrefix(Vec<u8>),
+    Len,
+    Flush,
+    Reopen,
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Small key space so operations collide often.
+    prop::collection::vec(prop::num::u8::ANY, 0..4)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (key_strategy(), prop::collection::vec(prop::num::u8::ANY, 0..64))
+            .prop_map(|(k, v)| Op::Put(k, v)),
+        2 => key_strategy().prop_map(Op::Erase),
+        3 => key_strategy().prop_map(Op::Get),
+        1 => prop::collection::vec(prop::num::u8::ANY, 0..2).prop_map(Op::ListPrefix),
+        1 => Just(Op::Len),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Reopen),
+    ]
+}
+
+fn tiny_config() -> LsmConfig {
+    LsmConfig { memtable_bytes: 128, max_tables: 2 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lsm_matches_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let dir = TempDir::new("lsm-prop").unwrap();
+        let mut db = LsmDatabase::open(dir.path(), tiny_config()).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    db.put(&k, &v).unwrap();
+                    model.insert(k, v);
+                }
+                Op::Erase(k) => {
+                    let existed = db.erase(&k).unwrap();
+                    prop_assert_eq!(existed, model.remove(&k).is_some());
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(db.get(&k).unwrap(), model.get(&k).cloned());
+                }
+                Op::ListPrefix(prefix) => {
+                    let got = db.list_keys(&prefix, None, usize::MAX).unwrap();
+                    let want: Vec<Vec<u8>> = model
+                        .keys()
+                        .filter(|k| k.starts_with(&prefix))
+                        .cloned()
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Len => {
+                    prop_assert_eq!(db.len().unwrap(), model.len() as u64);
+                }
+                Op::Flush => db.flush().unwrap(),
+                Op::Reopen => {
+                    drop(db);
+                    db = LsmDatabase::open(dir.path(), tiny_config()).unwrap();
+                }
+            }
+        }
+
+        // Final full comparison, after one more reopen.
+        drop(db);
+        let db = LsmDatabase::open(dir.path(), tiny_config()).unwrap();
+        let dump = db.dump().unwrap();
+        let want: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(dump, want);
+    }
+
+    #[test]
+    fn dump_load_roundtrip(pairs in prop::collection::btree_map(
+        key_strategy(), prop::collection::vec(prop::num::u8::ANY, 0..32), 0..40)) {
+        let dir = TempDir::new("lsm-dump").unwrap();
+        let db = LsmDatabase::open(dir.path(), tiny_config()).unwrap();
+        let list: Vec<(Vec<u8>, Vec<u8>)> =
+            pairs.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        db.load(&list).unwrap();
+        prop_assert_eq!(db.dump().unwrap(), list);
+    }
+}

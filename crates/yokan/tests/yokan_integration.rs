@@ -1,0 +1,333 @@
+//! Integration tests for Yokan: provider/client over the fabric, the
+//! virtual replicated database (Observation 10), and the Bedrock module
+//! (start/stop/migrate/checkpoint/restore).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mochi_bedrock::{BedrockServer, Client, ModuleCatalog, ProcessConfig};
+use mochi_margo::MargoRuntime;
+use mochi_mercury::{Address, Fabric};
+use mochi_util::TempDir;
+use mochi_yokan::backend::memory::MemoryDatabase;
+use mochi_yokan::{DatabaseHandle, VirtualDatabaseProvider, YokanProvider};
+
+fn boot(fabric: &Fabric, host: &str) -> MargoRuntime {
+    MargoRuntime::init_default(fabric, Address::tcp(host, 1)).unwrap()
+}
+
+fn memory_provider(margo: &MargoRuntime, id: u16) -> Arc<YokanProvider> {
+    YokanProvider::register(margo, id, None, Arc::new(MemoryDatabase::new())).unwrap()
+}
+
+#[test]
+fn put_get_roundtrip_over_fabric() {
+    let fabric = Fabric::new();
+    let server = boot(&fabric, "server");
+    let client = boot(&fabric, "client");
+    let _provider = memory_provider(&server, 1);
+    let db = DatabaseHandle::new(&client, server.address(), 1);
+
+    db.put(b"key", b"value").unwrap();
+    assert_eq!(db.get(b"key").unwrap().as_deref(), Some(b"value".as_slice()));
+    assert_eq!(db.get(b"missing").unwrap(), None);
+    assert!(db.exists(b"key").unwrap());
+    assert_eq!(db.len().unwrap(), 1);
+    assert!(db.erase(b"key").unwrap());
+    assert!(!db.erase(b"key").unwrap());
+    assert!(db.is_empty().unwrap());
+    server.finalize();
+    client.finalize();
+}
+
+#[test]
+fn large_values_roundtrip() {
+    let fabric = Fabric::new();
+    let server = boot(&fabric, "server");
+    let client = boot(&fabric, "client");
+    let _provider = memory_provider(&server, 1);
+    let db = DatabaseHandle::new(&client, server.address(), 1);
+    let value: Vec<u8> = (0..1_000_000u32).map(|i| (i % 251) as u8).collect();
+    db.put(b"big", &value).unwrap();
+    assert_eq!(db.get(b"big").unwrap().unwrap(), value);
+    server.finalize();
+    client.finalize();
+}
+
+#[test]
+fn multi_ops_and_listing() {
+    let fabric = Fabric::new();
+    let server = boot(&fabric, "server");
+    let client = boot(&fabric, "client");
+    let _provider = memory_provider(&server, 1);
+    let db = DatabaseHandle::new(&client, server.address(), 1);
+
+    let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..10u32)
+        .map(|i| (format!("k/{i}").into_bytes(), format!("value-{i}").into_bytes()))
+        .collect();
+    let refs: Vec<(&[u8], &[u8])> =
+        pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+    db.put_multi(&refs).unwrap();
+    assert_eq!(db.len().unwrap(), 10);
+
+    let keys: Vec<&[u8]> = vec![b"k/3", b"k/999", b"k/7"];
+    let values = db.get_multi(&keys).unwrap();
+    assert_eq!(values[0].as_deref(), Some(b"value-3".as_slice()));
+    assert_eq!(values[1], None);
+    assert_eq!(values[2].as_deref(), Some(b"value-7".as_slice()));
+
+    let listed = db.list_keys(b"k/", None, 4).unwrap();
+    assert_eq!(listed.len(), 4);
+    let next = db.list_keys(b"k/", Some(&listed[3]), 100).unwrap();
+    assert_eq!(listed.len() + next.len(), 10);
+    server.finalize();
+    client.finalize();
+}
+
+#[test]
+fn two_providers_one_process_are_isolated() {
+    let fabric = Fabric::new();
+    let server = boot(&fabric, "server");
+    let client = boot(&fabric, "client");
+    let _p1 = memory_provider(&server, 1);
+    let _p2 = memory_provider(&server, 2);
+    let db1 = DatabaseHandle::new(&client, server.address(), 1);
+    let db2 = DatabaseHandle::new(&client, server.address(), 2);
+    db1.put(b"k", b"one").unwrap();
+    db2.put(b"k", b"two").unwrap();
+    assert_eq!(db1.get(b"k").unwrap().as_deref(), Some(b"one".as_slice()));
+    assert_eq!(db2.get(b"k").unwrap().as_deref(), Some(b"two".as_slice()));
+    server.finalize();
+    client.finalize();
+}
+
+#[test]
+fn virtual_database_replicates_transparently() {
+    let fabric = Fabric::new();
+    let rep1 = boot(&fabric, "rep1");
+    let rep2 = boot(&fabric, "rep2");
+    let front = boot(&fabric, "front");
+    let client = boot(&fabric, "client");
+    let p1 = memory_provider(&rep1, 1);
+    let p2 = memory_provider(&rep2, 1);
+    let _virtual_db = VirtualDatabaseProvider::register(
+        &front,
+        9,
+        None,
+        vec![(rep1.address(), 1), (rep2.address(), 1)],
+        Duration::from_millis(500),
+    )
+    .unwrap();
+
+    // The client talks to the virtual provider with a plain handle — it
+    // cannot tell it is not a real database (Observation 10).
+    let db = DatabaseHandle::new(&client, front.address(), 9);
+    db.put(b"replicated", b"yes").unwrap();
+    assert_eq!(db.get(b"replicated").unwrap().as_deref(), Some(b"yes".as_slice()));
+
+    // Both replicas really hold the data.
+    assert_eq!(p1.database().get(b"replicated").unwrap().as_deref(), Some(b"yes".as_slice()));
+    assert_eq!(p2.database().get(b"replicated").unwrap().as_deref(), Some(b"yes".as_slice()));
+
+    // Kill replica 1: reads fail over to replica 2.
+    rep1.finalize();
+    assert_eq!(db.get(b"replicated").unwrap().as_deref(), Some(b"yes".as_slice()));
+    // Writes (write-all) now fail — data safety over availability.
+    assert!(db.put(b"new", b"x").is_err());
+
+    rep2.finalize();
+    front.finalize();
+    client.finalize();
+}
+
+#[test]
+fn virtual_database_multi_and_erase_paths() {
+    let fabric = Fabric::new();
+    let rep1 = boot(&fabric, "rep1");
+    let rep2 = boot(&fabric, "rep2");
+    let front = boot(&fabric, "front");
+    let client = boot(&fabric, "client");
+    let _p1 = memory_provider(&rep1, 1);
+    let _p2 = memory_provider(&rep2, 1);
+    let _virtual_db = VirtualDatabaseProvider::register(
+        &front,
+        9,
+        None,
+        vec![(rep1.address(), 1), (rep2.address(), 1)],
+        Duration::from_millis(500),
+    )
+    .unwrap();
+    let db = DatabaseHandle::new(&client, front.address(), 9);
+    db.put_multi(&[(b"a".as_slice(), b"1".as_slice()), (b"b", b"2")]).unwrap();
+    let got = db.get_multi(&[b"a", b"b", b"c"]).unwrap();
+    assert_eq!(got[0].as_deref(), Some(b"1".as_slice()));
+    assert_eq!(got[2], None);
+    assert!(db.erase(b"a").unwrap());
+    assert_eq!(db.len().unwrap(), 1);
+    assert_eq!(db.list_keys(b"", None, 10).unwrap(), vec![b"b".to_vec()]);
+    rep1.finalize();
+    rep2.finalize();
+    front.finalize();
+    client.finalize();
+}
+
+fn yokan_catalog() -> ModuleCatalog {
+    let mut catalog = ModuleCatalog::new();
+    catalog.install(mochi_yokan::bedrock::LIBRARY, mochi_yokan::bedrock::bedrock_module());
+    catalog.install(
+        mochi_yokan::bedrock::VIRTUAL_LIBRARY,
+        mochi_yokan::bedrock::virtual_bedrock_module(),
+    );
+    catalog
+}
+
+fn yokan_process_config(backend: &str) -> ProcessConfig {
+    ProcessConfig::from_json(&format!(
+        r#"{{ "libraries": {{ "yokan": "libyokan.so" }},
+             "providers": [ {{ "name": "db", "type": "yokan", "provider_id": 1,
+                               "config": {{ "backend": "{backend}" }} }} ] }}"#
+    ))
+    .unwrap()
+}
+
+#[test]
+fn bedrock_managed_yokan_lifecycle() {
+    let fabric = Fabric::new();
+    let dir = TempDir::new("yokan-bedrock").unwrap();
+    let server = BedrockServer::bootstrap(
+        &fabric,
+        Address::tcp("n1", 1),
+        &yokan_process_config("lsm"),
+        yokan_catalog(),
+        dir.path().join("n1"),
+    )
+    .unwrap();
+    let client_margo = boot(&fabric, "client");
+    let db = DatabaseHandle::new(&client_margo, server.address(), 1);
+    db.put(b"managed", b"yes").unwrap();
+    assert_eq!(db.get(b"managed").unwrap().as_deref(), Some(b"yes".as_slice()));
+
+    // get_config exposes component state.
+    let handle = Client::new(&client_margo).make_service_handle(server.address(), 0);
+    let config = handle.get_config().unwrap();
+    assert_eq!(config["providers"][0]["state"]["backend"], "lsm");
+
+    handle.stop_provider("db").unwrap();
+    assert!(db.get(b"managed").is_err());
+    server.shutdown();
+    client_margo.finalize();
+}
+
+#[test]
+fn bedrock_migration_carries_lsm_data() {
+    let fabric = Fabric::new();
+    let dir = TempDir::new("yokan-migrate").unwrap();
+    let n1 = BedrockServer::bootstrap(
+        &fabric,
+        Address::tcp("n1", 1),
+        &yokan_process_config("lsm"),
+        yokan_catalog(),
+        dir.path().join("n1"),
+    )
+    .unwrap();
+    let mut empty = ProcessConfig::default();
+    empty.libraries.insert("yokan".into(), "libyokan.so".into());
+    let n2 = BedrockServer::bootstrap(
+        &fabric,
+        Address::tcp("n2", 1),
+        &empty,
+        yokan_catalog(),
+        dir.path().join("n2"),
+    )
+    .unwrap();
+
+    let client_margo = boot(&fabric, "client");
+    let db = DatabaseHandle::new(&client_margo, n1.address(), 1);
+    for i in 0..200u32 {
+        db.put(format!("key-{i:04}").as_bytes(), format!("value-{i}").as_bytes()).unwrap();
+    }
+
+    let handle = Client::new(&client_margo).make_service_handle(n1.address(), 0);
+    let reply = handle
+        .migrate_provider("db", &n2.address(), mochi_remi::Strategy::chunked_default())
+        .unwrap();
+    assert!(reply.bytes > 0);
+
+    // Same data now served from n2.
+    let db2 = DatabaseHandle::new(&client_margo, n2.address(), 1);
+    assert_eq!(db2.len().unwrap(), 200);
+    assert_eq!(db2.get(b"key-0042").unwrap().as_deref(), Some(b"value-42".as_slice()));
+    assert!(db.get(b"key-0042").is_err(), "old location must be gone");
+    n1.shutdown();
+    n2.shutdown();
+    client_margo.finalize();
+}
+
+#[test]
+fn bedrock_migration_of_map_backend_uses_dump() {
+    let fabric = Fabric::new();
+    let dir = TempDir::new("yokan-migrate-map").unwrap();
+    let n1 = BedrockServer::bootstrap(
+        &fabric,
+        Address::tcp("n1", 1),
+        &yokan_process_config("map"),
+        yokan_catalog(),
+        dir.path().join("n1"),
+    )
+    .unwrap();
+    let mut empty = ProcessConfig::default();
+    empty.libraries.insert("yokan".into(), "libyokan.so".into());
+    let n2 = BedrockServer::bootstrap(
+        &fabric,
+        Address::tcp("n2", 1),
+        &empty,
+        yokan_catalog(),
+        dir.path().join("n2"),
+    )
+    .unwrap();
+    let client_margo = boot(&fabric, "client");
+    let db = DatabaseHandle::new(&client_margo, n1.address(), 1);
+    db.put(b"in-memory", b"moves-too").unwrap();
+    let handle = Client::new(&client_margo).make_service_handle(n1.address(), 0);
+    handle.migrate_provider("db", &n2.address(), mochi_remi::Strategy::Rdma).unwrap();
+    // NOTE: the map backend migrates its *files* (the dump); the fresh
+    // provider starts from an empty map plus the dump file on disk — the
+    // restore path is what re-imports it at the service layer. Here we
+    // verify the dump arrived intact on n2's disk.
+    let dump_path = dir.path().join("n2/providers/db/db/dump.ykn");
+    assert!(dump_path.is_file(), "dump file migrated");
+    let pairs = mochi_yokan::backend::read_dump(&dump_path).unwrap();
+    assert_eq!(pairs, vec![(b"in-memory".to_vec(), b"moves-too".to_vec())]);
+    n1.shutdown();
+    n2.shutdown();
+    client_margo.finalize();
+}
+
+#[test]
+fn checkpoint_restore_roundtrip_through_bedrock() {
+    let fabric = Fabric::new();
+    let dir = TempDir::new("yokan-ckpt").unwrap();
+    let server = BedrockServer::bootstrap(
+        &fabric,
+        Address::tcp("n1", 1),
+        &yokan_process_config("map"),
+        yokan_catalog(),
+        dir.path().join("n1"),
+    )
+    .unwrap();
+    let client_margo = boot(&fabric, "client");
+    let db = DatabaseHandle::new(&client_margo, server.address(), 1);
+    db.put(b"saved", b"state").unwrap();
+
+    let pfs = dir.path().join("pfs/ckpt");
+    let handle = Client::new(&client_margo).make_service_handle(server.address(), 0);
+    handle.checkpoint_provider("db", pfs.to_str().unwrap()).unwrap();
+
+    // Lose the data, then restore.
+    db.clear().unwrap();
+    assert!(db.is_empty().unwrap());
+    handle.restore_provider("db", pfs.to_str().unwrap()).unwrap();
+    assert_eq!(db.get(b"saved").unwrap().as_deref(), Some(b"state".as_slice()));
+    server.shutdown();
+    client_margo.finalize();
+}

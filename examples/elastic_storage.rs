@@ -1,0 +1,125 @@
+//! Elasticity end to end (paper §6): a Yokan service grows from 2 to 4
+//! nodes and shrinks back, with Pufferscale planning which databases move
+//! and REMI moving them — while the data stays intact throughout.
+//!
+//! ```text
+//! cargo run --release --example elastic_storage
+//! ```
+
+use serde_json::json;
+
+use mochi_rs::bedrock::ProviderSpec;
+use mochi_rs::core::{Cluster, DynamicService, ServiceConfig};
+use mochi_rs::margo::MargoRuntime;
+use mochi_rs::mercury::Address;
+use mochi_rs::pufferscale::Weights;
+use mochi_rs::remi::Strategy;
+use mochi_rs::yokan::DatabaseHandle;
+
+fn main() {
+    // A 6-node machine managed by a Flux-like resource pool.
+    let cluster = Cluster::new(6);
+
+    // Deploy on 2 nodes; each hosts two LSM-backed databases.
+    let service = DynamicService::deploy(&cluster, ServiceConfig::default(), 2, |i| {
+        vec![
+            ProviderSpec::new(format!("shard{}", 2 * i), "yokan", 10 + 2 * i as u16)
+                .with_config(json!({"backend": "lsm"})),
+            ProviderSpec::new(format!("shard{}", 2 * i + 1), "yokan", 11 + 2 * i as u16)
+                .with_config(json!({"backend": "lsm"})),
+        ]
+    })
+    .unwrap();
+    println!("deployed on {} nodes: {:?}", service.addresses().len(), service.addresses());
+
+    // Load the shards unevenly so rebalancing has something to do.
+    let client = MargoRuntime::init_default(cluster.fabric(), Address::tcp("client", 1)).unwrap();
+    let addresses = service.addresses();
+    let shard_sizes = [400usize, 100, 50, 25];
+    for (shard, &n) in shard_sizes.iter().enumerate() {
+        let provider_id = 10 + shard as u16;
+        let addr = addresses[shard / 2].clone();
+        let db = DatabaseHandle::new(&client, addr, provider_id);
+        for k in 0..n {
+            db.put(format!("s{shard}/k{k:05}").as_bytes(), &vec![7u8; 256]).unwrap();
+        }
+    }
+    let total_keys: u64 = shard_sizes.iter().map(|n| *n as u64).sum();
+    println!("loaded {total_keys} keys across 4 shards (sizes {shard_sizes:?})\n");
+
+    let show = |service: &DynamicService, label: &str| {
+        println!("placement {label}:");
+        let placement = service.placement();
+        for (node, resources) in &placement.nodes {
+            let names: Vec<&str> = resources.iter().map(|r| r.id.as_str()).collect();
+            println!(
+                "  {node}: {names:?} (weight {})",
+                resources.iter().map(|r| r.size).sum::<u64>()
+            );
+        }
+        println!(
+            "  load imbalance: {:.2}, data imbalance: {:.2}\n",
+            placement.load_imbalance(),
+            placement.data_imbalance()
+        );
+    };
+    show(&service, "before scale-out");
+
+    // Scale out: two new nodes, then rebalance.
+    let n3 = service.add_node().unwrap();
+    let n4 = service.add_node().unwrap();
+    println!("scaled out to 4 nodes (+{n3}, +{n4})");
+    let plan = service
+        .rebalance(Strategy::chunked_default(), &Weights { load: 1.0, data: 1.0, time: 0.05 })
+        .unwrap();
+    println!(
+        "pufferscale plan: {} moves, {} bytes, predicted load imbalance {:.2}",
+        plan.metrics.moves, plan.metrics.total_bytes_moved, plan.metrics.load_imbalance
+    );
+    show(&service, "after scale-out + rebalance");
+
+    // Verify no data was lost: every shard still answers with its keys.
+    let mut verified = 0u64;
+    for shard in 0..4u16 {
+        let name = format!("shard{shard}");
+        let home = service
+            .addresses()
+            .into_iter()
+            .find(|a| {
+                service.server(a).is_some_and(|s| s.provider_names().contains(&name))
+            })
+            .expect("shard has a home");
+        let db = DatabaseHandle::new(&client, home, 10 + shard);
+        verified += db.len().unwrap();
+    }
+    assert_eq!(verified, total_keys);
+    println!("verified all {verified} keys survived the rescale\n");
+
+    // Scale back in: remove the two newest nodes; their shards migrate
+    // back automatically.
+    for addr in [n3, n4] {
+        let plan = service
+            .remove_node(&addr, Strategy::Rdma, &Weights::default())
+            .unwrap();
+        println!("removed {addr}: {} forced moves", plan.metrics.moves);
+    }
+    show(&service, "after scale-in");
+    let mut verified = 0u64;
+    for shard in 0..4u16 {
+        let name = format!("shard{shard}");
+        let home = service
+            .addresses()
+            .into_iter()
+            .find(|a| {
+                service.server(a).is_some_and(|s| s.provider_names().contains(&name))
+            })
+            .expect("shard has a home");
+        let db = DatabaseHandle::new(&client, home, 10 + shard);
+        verified += db.len().unwrap();
+    }
+    assert_eq!(verified, total_keys);
+    println!("verified all {verified} keys survived the scale-in — done.");
+
+    client.finalize();
+    service.shutdown();
+}

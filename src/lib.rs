@@ -1,0 +1,18 @@
+//! `mochi-rs` umbrella crate.
+//!
+//! Re-exports the full workspace so integration tests (`tests/`) and
+//! examples (`examples/`) can reach every layer through one dependency.
+//! See `DESIGN.md` for the system inventory and `README.md` for a tour.
+
+pub use mochi_argobots as argobots;
+pub use mochi_bedrock as bedrock;
+pub use mochi_core as core;
+pub use mochi_margo as margo;
+pub use mochi_mercury as mercury;
+pub use mochi_pufferscale as pufferscale;
+pub use mochi_raft as raft;
+pub use mochi_remi as remi;
+pub use mochi_ssg as ssg;
+pub use mochi_util as util;
+pub use mochi_warabi as warabi;
+pub use mochi_yokan as yokan;

@@ -1,0 +1,128 @@
+//! The composability claim of §2.3, end to end: "individual Yokan
+//! instances are unaware of their database being RAFT-replicated across
+//! nodes, while Mochi-RAFT itself does not need to know that the commands
+//! it logs represent Yokan key-value pairs."
+//!
+//! We wrap an unmodified Yokan backend in a Raft state machine: commands
+//! are opaque serialized KV operations; Raft orders and replicates them;
+//! each node applies them to its own plain `MemoryDatabase`. Neither side
+//! was changed to know about the other.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use mochi_rs::margo::MargoRuntime;
+use mochi_rs::mercury::{Address, Fabric};
+use mochi_rs::raft::{RaftClient, RaftConfig, RaftNode, StateMachine};
+use mochi_rs::util::time::wait_until;
+use mochi_rs::util::TempDir;
+use mochi_rs::yokan::backend::memory::MemoryDatabase;
+use mochi_rs::yokan::Database;
+
+/// The opaque command format — Raft never parses it, Yokan never sees it.
+#[derive(Debug, Serialize, Deserialize)]
+enum KvCommand {
+    Put { key: Vec<u8>, value: Vec<u8> },
+    Erase { key: Vec<u8> },
+}
+
+/// A state machine over an *unmodified* Yokan backend.
+struct YokanMachine {
+    db: Arc<MemoryDatabase>,
+}
+
+impl StateMachine for YokanMachine {
+    fn apply(&mut self, command: &[u8]) -> Vec<u8> {
+        match serde_json::from_slice(command) {
+            Ok(KvCommand::Put { key, value }) => {
+                self.db.put(&key, &value).unwrap();
+                vec![1]
+            }
+            Ok(KvCommand::Erase { key }) => {
+                let existed = self.db.erase(&key).unwrap();
+                vec![u8::from(existed)]
+            }
+            Err(_) => vec![0],
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        serde_json::to_vec(&self.db.dump().unwrap()).unwrap()
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) {
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = serde_json::from_slice(snapshot).unwrap_or_default();
+        self.db.clear().unwrap();
+        self.db.load(&pairs).unwrap();
+    }
+}
+
+#[test]
+fn raft_replicated_yokan_database() {
+    let fabric = Fabric::new();
+    let dir = TempDir::new("raft-kv").unwrap();
+    let addresses: Vec<Address> = (0..3).map(|i| Address::tcp(format!("kv{i}"), 1)).collect();
+    let mut nodes = Vec::new();
+    for (i, addr) in addresses.iter().enumerate() {
+        let margo = MargoRuntime::init_default(&fabric, addr.clone()).unwrap();
+        let db = Arc::new(MemoryDatabase::new());
+        let node = RaftNode::start(
+            &margo,
+            5,
+            &addresses,
+            Box::new(YokanMachine { db: Arc::clone(&db) }),
+            dir.path().join(format!("n{i}")),
+            RaftConfig::fast(),
+        )
+        .unwrap();
+        nodes.push((margo, node, db));
+    }
+    let client_margo = MargoRuntime::init_default(&fabric, Address::tcp("client", 1)).unwrap();
+    let client = RaftClient::new(&client_margo, 5, addresses.clone());
+
+    // Writes go through consensus.
+    for i in 0..10u32 {
+        let command = KvCommand::Put {
+            key: format!("k{i}").into_bytes(),
+            value: format!("v{i}").into_bytes(),
+        };
+        client.submit(&serde_json::to_vec(&command).unwrap()).unwrap();
+    }
+    let erase = KvCommand::Erase { key: b"k3".to_vec() };
+    let existed = client.submit(&serde_json::to_vec(&erase).unwrap()).unwrap();
+    assert_eq!(existed, vec![1]);
+
+    // Every replica's *plain* Yokan backend converges to the same state.
+    assert!(wait_until(Duration::from_secs(10), Duration::from_millis(10), || {
+        nodes.iter().all(|(_, _, db)| db.len().unwrap() == 9)
+    }));
+    for (_, _, db) in &nodes {
+        assert_eq!(db.get(b"k5").unwrap().as_deref(), Some(b"v5".as_slice()));
+        assert_eq!(db.get(b"k3").unwrap(), None);
+    }
+
+    // Kill the leader; the replicated database keeps accepting writes.
+    let leader = client.find_leader().unwrap();
+    let idx = addresses.iter().position(|a| *a == leader).unwrap();
+    nodes[idx].1.shutdown();
+    nodes[idx].0.finalize();
+    let command = KvCommand::Put { key: b"after-failover".to_vec(), value: b"yes".to_vec() };
+    client.submit(&serde_json::to_vec(&command).unwrap()).unwrap();
+    assert!(wait_until(Duration::from_secs(10), Duration::from_millis(10), || {
+        nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != idx)
+            .all(|(_, (_, _, db))| db.get(b"after-failover").unwrap().is_some())
+    }));
+
+    for (i, (margo, node, _)) in nodes.iter().enumerate() {
+        if i != idx {
+            node.shutdown();
+            margo.finalize();
+        }
+    }
+    client_margo.finalize();
+}

@@ -1,0 +1,127 @@
+//! The Colza strategy from the paper (§6): "Colza providers declare a
+//! dependency on SSG to keep track of the group's view and maintain a
+//! hash of this view. Any RPC sent by client applications has this hash
+//! as an argument. A mismatch between the hash sent by the client and the
+//! hash maintained by a Colza provider informs the latter that the
+//! client's view of the group is outdated."
+//!
+//! We build a minimal Colza-style provider whose RPCs carry the client's
+//! view hash and are rejected when stale, and show the full client flow:
+//! fetch view → call (ok) → membership changes → call (stale, rejected) →
+//! refresh view → call (ok).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use mochi_rs::margo::MargoRuntime;
+use mochi_rs::mercury::{Address, Fabric};
+use mochi_rs::ssg::{SsgGroup, SwimConfig, ViewObserver};
+use mochi_rs::util::time::wait_until;
+
+const SSG_PROVIDER: u16 = 42;
+const COLZA_PROVIDER: u16 = 50;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct RenderArgs {
+    view_hash: u64,
+    pipeline: String,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+enum RenderReply {
+    Done,
+    StaleView,
+}
+
+/// Registers the Colza-style provider: executes only when the caller's
+/// view matches the provider's SSG view.
+fn register_colza(margo: &MargoRuntime, group: Arc<SsgGroup>) {
+    margo
+        .register_typed(
+            "colza_render",
+            COLZA_PROVIDER,
+            None,
+            move |args: RenderArgs, _| {
+                if args.view_hash != group.view_hash() {
+                    return Ok(RenderReply::StaleView);
+                }
+                // ... run the in situ pipeline ...
+                let _ = args.pipeline;
+                Ok(RenderReply::Done)
+            },
+        )
+        .unwrap();
+}
+
+#[test]
+fn stale_view_hash_is_detected_and_recovered() {
+    let fabric = Fabric::new();
+    let addresses: Vec<Address> =
+        (0..3).map(|i| Address::tcp(format!("colza{i}"), 1)).collect();
+    let members: Vec<(MargoRuntime, Arc<SsgGroup>)> = addresses
+        .iter()
+        .map(|addr| {
+            let margo = MargoRuntime::init_default(&fabric, addr.clone()).unwrap();
+            let group =
+                SsgGroup::create(&margo, SSG_PROVIDER, SwimConfig::fast(), &addresses).unwrap();
+            register_colza(&margo, Arc::clone(&group));
+            (margo, group)
+        })
+        .collect();
+
+    let client = MargoRuntime::init_default(&fabric, Address::tcp("client", 1)).unwrap();
+    let observer = ViewObserver::new(&client, SSG_PROVIDER);
+
+    // 1. Fetch the view; the call goes through.
+    let view = observer.get_view(&addresses[0]).unwrap();
+    assert_eq!(view.len(), 3);
+    let reply: RenderReply = client
+        .forward(
+            &addresses[0],
+            "colza_render",
+            COLZA_PROVIDER,
+            &RenderArgs { view_hash: view.hash(), pipeline: "isosurface".into() },
+        )
+        .unwrap();
+    assert!(matches!(reply, RenderReply::Done));
+
+    // 2. Membership changes (member 2 leaves gracefully).
+    members[2].1.leave();
+    members[2].0.finalize();
+    assert!(wait_until(Duration::from_secs(10), Duration::from_millis(10), || {
+        members[0].1.view().len() == 2
+    }));
+
+    // 3. The client's cached hash is now stale: the provider refuses.
+    let reply: RenderReply = client
+        .forward(
+            &addresses[0],
+            "colza_render",
+            COLZA_PROVIDER,
+            &RenderArgs { view_hash: view.hash(), pipeline: "isosurface".into() },
+        )
+        .unwrap();
+    assert!(matches!(reply, RenderReply::StaleView));
+
+    // 4. Refresh and retry: accepted again.
+    let fresh = observer.get_view(&addresses[0]).unwrap();
+    assert_eq!(fresh.len(), 2);
+    assert_ne!(fresh.hash(), view.hash());
+    let reply: RenderReply = client
+        .forward(
+            &addresses[0],
+            "colza_render",
+            COLZA_PROVIDER,
+            &RenderArgs { view_hash: fresh.hash(), pipeline: "isosurface".into() },
+        )
+        .unwrap();
+    assert!(matches!(reply, RenderReply::Done));
+
+    for (margo, group) in &members[..2] {
+        group.stop();
+        margo.finalize();
+    }
+    client.finalize();
+}
