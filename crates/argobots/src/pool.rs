@@ -8,6 +8,7 @@ use std::time::Duration;
 use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 
+use mochi_util::ordered_lock::{rank, OrderedMutex};
 use mochi_util::StreamStats;
 
 use crate::config::{PoolConfig, PoolKind};
@@ -16,6 +17,10 @@ use crate::ult::Ult;
 /// Wakes sleeping schedulers when work arrives anywhere. One notifier is
 /// shared by all pools of a runtime: an xstream may serve several pools,
 /// so per-pool condition variables would force it to pick one to sleep on.
+///
+/// The generation mutex stays a plain `parking_lot::Mutex` rather than an
+/// `OrderedMutex`: `Condvar::wait_for` needs the raw guard, and the lock
+/// is a strict leaf (nothing is ever acquired while it is held).
 #[derive(Default)]
 pub struct Notifier {
     mutex: Mutex<u64>,
@@ -124,8 +129,8 @@ pub struct PoolStats {
 /// A named ULT queue.
 pub struct Pool {
     config: PoolConfig,
-    queue: Mutex<Queue>,
-    stats: Mutex<StatsInner>,
+    queue: OrderedMutex<Queue>,
+    stats: OrderedMutex<StatsInner>,
     seq: AtomicU64,
     notifier: Arc<Notifier>,
 }
@@ -149,8 +154,8 @@ impl Pool {
         };
         Self {
             config,
-            queue: Mutex::new(queue),
-            stats: Mutex::new(StatsInner::default()),
+            queue: OrderedMutex::new(rank::POOL_QUEUE, "pool.queue", queue),
+            stats: OrderedMutex::new(rank::POOL_STATS, "pool.stats", StatsInner::default()),
             seq: AtomicU64::new(0),
             notifier,
         }
@@ -223,12 +228,15 @@ impl Pool {
         self.stats.lock().exec.push(seconds);
     }
 
-    /// Snapshot of the pool's statistics.
+    /// Snapshot of the pool's statistics. Each lock is taken exactly once
+    /// and `queue` (rank below `stats`) is read *before* the stats lock,
+    /// keeping the acquisition order consistent with `push`/`try_pop`.
     pub fn stats(&self) -> PoolStats {
+        let size = self.len();
         let stats = self.stats.lock();
         PoolStats {
             name: self.config.name.clone(),
-            size: self.len(),
+            size,
             total_pushed: stats.total_pushed,
             total_popped: stats.total_popped,
             wait: stats.wait.clone(),

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use mochi_util::ordered_lock::{rank, OrderedMutex};
 
 use crate::config::{AbtConfig, PoolConfig, XstreamConfig};
 use crate::error::AbtError;
@@ -30,7 +30,7 @@ struct Inner {
 /// validity-checked reconfiguration. Cheap to clone.
 #[derive(Clone)]
 pub struct AbtRuntime {
-    inner: Arc<Mutex<Inner>>,
+    inner: Arc<OrderedMutex<Inner>>,
     notifier: Arc<Notifier>,
 }
 
@@ -44,13 +44,17 @@ impl AbtRuntime {
     /// Creates an empty runtime (no pools, no xstreams).
     pub fn new() -> Self {
         Self {
-            inner: Arc::new(Mutex::new(Inner {
-                pools: HashMap::new(),
-                xstreams: HashMap::new(),
-                pool_order: Vec::new(),
-                xstream_order: Vec::new(),
-                shutdown: false,
-            })),
+            inner: Arc::new(OrderedMutex::new(
+                rank::ABT_RUNTIME,
+                "abt.runtime",
+                Inner {
+                    pools: HashMap::new(),
+                    xstreams: HashMap::new(),
+                    pool_order: Vec::new(),
+                    xstream_order: Vec::new(),
+                    shutdown: false,
+                },
+            )),
             notifier: Arc::new(Notifier::new()),
         }
     }

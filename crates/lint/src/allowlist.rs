@@ -1,0 +1,355 @@
+//! The frozen-debt allowlist (`lint-allow.json`).
+//!
+//! Counting-based: each entry permits up to `count` findings of `kind`
+//! in `(file, function)`. Existing debt is frozen; anything beyond the
+//! recorded count — a *new* `unwrap()` in a handler, an extra blocking
+//! call — fails the lint. Entries are keyed by function, not line, so
+//! unrelated edits don't invalidate the freeze.
+//!
+//! The format is JSON, parsed by the tiny reader below so this crate
+//! stays dependency-free (the lint is part of the tier-1 gate and must
+//! build offline).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Allowance key: (file, function, kind).
+pub type Key = (String, String, String);
+
+/// Parsed allowlist.
+#[derive(Debug, Default, Clone)]
+pub struct Allowlist {
+    /// Permitted finding counts for the panic-path lint.
+    pub panic_paths: BTreeMap<Key, usize>,
+    /// Permitted finding counts for the blocking-call lint.
+    pub blocking: BTreeMap<Key, usize>,
+    /// Lock field names (or `crate::field` ids) excluded from the
+    /// lock-order graph — for per-instance locks whose class identity
+    /// would alias distinct objects.
+    pub ignored_locks: Vec<String>,
+}
+
+impl Allowlist {
+    /// Parses the JSON document.
+    pub fn from_json(text: &str) -> Result<Allowlist, String> {
+        let value = parse_json(text)?;
+        let object = value.as_object().ok_or("allowlist root must be an object")?;
+        let mut allowlist = Allowlist::default();
+        for (key, value) in object {
+            match key.as_str() {
+                "version" => {}
+                "ignored_locks" => {
+                    let items = value.as_array().ok_or("ignored_locks must be an array")?;
+                    for item in items {
+                        allowlist
+                            .ignored_locks
+                            .push(item.as_str().ok_or("ignored_locks entries must be strings")?.to_string());
+                    }
+                }
+                "panic_paths" | "blocking" => {
+                    let items = value.as_array().ok_or("allowance sections must be arrays")?;
+                    let section = if key == "panic_paths" {
+                        &mut allowlist.panic_paths
+                    } else {
+                        &mut allowlist.blocking
+                    };
+                    for item in items {
+                        let entry = item.as_object().ok_or("allowance entries must be objects")?;
+                        let get = |name: &str| -> Result<&str, String> {
+                            entry
+                                .iter()
+                                .find(|(k, _)| k == name)
+                                .and_then(|(_, v)| v.as_str())
+                                .ok_or_else(|| format!("allowance entry missing '{name}'"))
+                        };
+                        let count = entry
+                            .iter()
+                            .find(|(k, _)| k == "count")
+                            .and_then(|(_, v)| v.as_usize())
+                            .ok_or("allowance entry missing numeric 'count'")?;
+                        section.insert(
+                            (get("file")?.to_string(), get("function")?.to_string(), get("kind")?.to_string()),
+                            count,
+                        );
+                    }
+                }
+                other => return Err(format!("unknown allowlist section '{other}'")),
+            }
+        }
+        Ok(allowlist)
+    }
+
+    /// Serializes back to the canonical JSON layout.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n");
+        out.push_str("  \"ignored_locks\": [");
+        for (i, lock) in self.ignored_locks.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}", quote(lock));
+        }
+        out.push_str("],\n");
+        for (name, section) in
+            [("panic_paths", &self.panic_paths), ("blocking", &self.blocking)]
+        {
+            let _ = write!(out, "  \"{name}\": [");
+            for (i, ((file, function, kind), count)) in section.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                let _ = write!(
+                    out,
+                    "    {{\"file\": {}, \"function\": {}, \"kind\": {}, \"count\": {}}}",
+                    quote(file),
+                    quote(function),
+                    quote(kind),
+                    count
+                );
+            }
+            out.push_str(if section.is_empty() { "]" } else { "\n  ]" });
+            out.push_str(if name == "panic_paths" { ",\n" } else { "\n" });
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Builds a freeze of the given finding counts.
+    pub fn freeze(
+        panic_counts: BTreeMap<Key, usize>,
+        blocking_counts: BTreeMap<Key, usize>,
+        ignored_locks: Vec<String>,
+    ) -> Allowlist {
+        Allowlist { panic_paths: panic_counts, blocking: blocking_counts, ignored_locks }
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ----------------------------------------------------------------------
+// Minimal JSON reader (objects, arrays, strings, numbers, booleans, null)
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&Vec<(String, Json)>> {
+        match self {
+            Json::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+    fn as_array(&self) -> Option<&Vec<Json>> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as usize),
+            _ => None,
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at offset {pos}", pos = *pos));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&bytes[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Json::Number)
+                .ok_or_else(|| format!("invalid number at offset {start}"))
+        }
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at offset {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while *pos < bytes.len() {
+        match bytes[*pos] {
+            b'"' => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|e| e.to_string());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(&c @ (b'"' | b'\\' | b'/')) => out.push(c),
+                    Some(b'u') => {
+                        // \uXXXX — the allowlist never needs non-BMP chars.
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("bad \\u escape")?;
+                        let c = char::from_u32(hex).ok_or("bad \\u codepoint")?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        *pos += 4;
+                    }
+                    _ => return Err("bad escape".to_string()),
+                }
+                *pos += 1;
+            }
+            c => {
+                out.push(c);
+                *pos += 1;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut panic_counts = BTreeMap::new();
+        panic_counts
+            .insert(("crates/raft/src/node.rs".into(), "start".into(), "expect".into()), 2);
+        let mut blocking = BTreeMap::new();
+        blocking.insert(("crates/raft/src/node.rs".into(), "submit".into(), "recv_timeout".into()), 1);
+        let allowlist = Allowlist::freeze(panic_counts, blocking, vec!["buffer".into()]);
+        let json = allowlist.to_json();
+        let back = Allowlist::from_json(&json).unwrap();
+        assert_eq!(back.panic_paths, allowlist.panic_paths);
+        assert_eq!(back.blocking, allowlist.blocking);
+        assert_eq!(back.ignored_locks, allowlist.ignored_locks);
+    }
+
+    #[test]
+    fn empty_document_is_valid() {
+        let allowlist = Allowlist::from_json("{\"version\": 1}").unwrap();
+        assert!(allowlist.panic_paths.is_empty());
+    }
+
+    #[test]
+    fn malformed_document_reports_error() {
+        assert!(Allowlist::from_json("{\"panic_paths\": 3}").is_err());
+        assert!(Allowlist::from_json("not json").is_err());
+    }
+}

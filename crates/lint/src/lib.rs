@@ -1,0 +1,212 @@
+//! `mochi-lint`: workspace-specific static analysis for the mochi-rs
+//! stack.
+//!
+//! Three lints, all tuned to the failure modes that matter for dynamic
+//! HPC data services (a panicking or deadlocked provider is a dead node,
+//! which defeats the resilience layer):
+//!
+//! 1. **Lock-order analysis** ([`locks`]): extracts nested
+//!    `.lock()`/`.read()`/`.write()` spans per function, merges them into
+//!    a workspace lock-order graph, and reports cycles (potential
+//!    deadlocks) and identical-receiver re-locks (immediate deadlocks
+//!    with `parking_lot`).
+//! 2. **Panic-path lint** ([`panics`]): `unwrap()`/`expect()`/`panic!`
+//!    inside provider and RPC-handler crates. Existing debt is frozen in
+//!    `lint-allow.json`; new sites fail.
+//! 3. **Blocking-call-in-ULT lint** ([`blocking`]): sleeps and channel
+//!    waits inside closures that run as ULTs on the fixed xstream threads.
+//!
+//! Run as `cargo run -p mochi-lint -- --root .`, or through the umbrella
+//! crate's `lint_gate` test, which makes it part of the tier-1 gate.
+
+pub mod allowlist;
+pub mod blocking;
+pub mod lexer;
+pub mod locks;
+pub mod panics;
+pub mod source;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::path::Path;
+
+use allowlist::Allowlist;
+use blocking::BlockingSite;
+use locks::{LockCycle, LockEdge, RecursiveLock};
+use panics::PanicSite;
+use source::SourceFile;
+
+/// Everything one run of the analysis produced.
+pub struct LintReport {
+    /// Files analyzed.
+    pub files: usize,
+    /// All lock-order edges observed (the workspace lock-order graph).
+    pub lock_edges: Vec<LockEdge>,
+    /// Lock-order cycles — always fatal, never allowlisted.
+    pub lock_cycles: Vec<LockCycle>,
+    /// Identical-receiver re-locks — always fatal.
+    pub recursive_locks: Vec<RecursiveLock>,
+    /// Panic-path findings beyond the allowlist.
+    pub panic_violations: Vec<PanicSite>,
+    /// Panic-path findings covered by the allowlist (frozen debt).
+    pub panic_allowed: usize,
+    /// Blocking-call findings beyond the allowlist.
+    pub blocking_violations: Vec<BlockingSite>,
+    /// Blocking-call findings covered by the allowlist.
+    pub blocking_allowed: usize,
+    /// Raw (pre-allowlist) finding counts, for `--write-allowlist`.
+    pub panic_counts: BTreeMap<allowlist::Key, usize>,
+    pub blocking_counts: BTreeMap<allowlist::Key, usize>,
+}
+
+impl LintReport {
+    /// True when nothing fails the gate.
+    pub fn is_clean(&self) -> bool {
+        self.lock_cycles.is_empty()
+            && self.recursive_locks.is_empty()
+            && self.panic_violations.is_empty()
+            && self.blocking_violations.is_empty()
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "mochi-lint: {} files, {} lock-order edges, {} frozen panic sites, {} frozen blocking sites",
+            self.files,
+            self.lock_edges.len(),
+            self.panic_allowed,
+            self.blocking_allowed
+        );
+        for cycle in &self.lock_cycles {
+            let _ = writeln!(out, "LOCK-ORDER CYCLE between {}:", cycle.locks.join(" <-> "));
+            for edge in &cycle.edges {
+                let _ = writeln!(
+                    out,
+                    "  {} -> {}  at {}:{} (fn {})",
+                    edge.from, edge.to, edge.file, edge.line, edge.function
+                );
+            }
+        }
+        for r in &self.recursive_locks {
+            let _ = writeln!(
+                out,
+                "RECURSIVE LOCK {} re-acquired at {}:{} (fn {}) — immediate deadlock",
+                r.lock, r.file, r.line, r.function
+            );
+        }
+        for p in &self.panic_violations {
+            let _ = writeln!(
+                out,
+                "PANIC PATH {}:{} (fn {}): {} in an RPC/provider path — propagate an error instead, or freeze it in lint-allow.json",
+                p.file, p.line, p.function, p.kind
+            );
+        }
+        for b in &self.blocking_violations {
+            let _ = writeln!(
+                out,
+                "BLOCKING IN ULT {}:{} (fn {}): {} would stall an xstream — use a dedicated pool and freeze it, or restructure",
+                b.file, b.line, b.function, b.kind
+            );
+        }
+        if self.is_clean() {
+            let _ = writeln!(out, "OK: no lock-order cycles, no new panic paths, no new blocking calls");
+        }
+        out
+    }
+}
+
+/// Analyzes already-parsed sources against an allowlist. The unit tests
+/// and the fixture tests drive this directly with in-memory snippets.
+pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
+    let ignored: BTreeSet<String> = allowlist.ignored_locks.iter().cloned().collect();
+
+    let mut lock_edges = Vec::new();
+    let mut recursive_locks = Vec::new();
+    let mut panic_sites: Vec<PanicSite> = Vec::new();
+    let mut blocking_sites: Vec<BlockingSite> = Vec::new();
+
+    for file in files {
+        let (edges, recursive) = locks::extract(file, &ignored);
+        lock_edges.extend(edges);
+        recursive_locks.extend(recursive);
+        if panics::in_provider_path(&file.rel_path) {
+            panic_sites.extend(panics::scan(file));
+        }
+        blocking_sites.extend(blocking::scan(file));
+    }
+    lock_edges.sort();
+    recursive_locks.sort();
+    panic_sites.sort();
+    blocking_sites.sort();
+
+    let lock_cycles = locks::find_cycles(&lock_edges);
+
+    let (panic_violations, panic_allowed, panic_counts) =
+        apply_allowances(&panic_sites, &allowlist.panic_paths, |s| {
+            (s.file.clone(), s.function.clone(), s.kind.clone())
+        });
+    let (blocking_violations, blocking_allowed, blocking_counts) =
+        apply_allowances(&blocking_sites, &allowlist.blocking, |s| {
+            (s.file.clone(), s.function.clone(), s.kind.clone())
+        });
+
+    LintReport {
+        files: files.len(),
+        lock_edges,
+        lock_cycles,
+        recursive_locks,
+        panic_violations,
+        panic_allowed,
+        blocking_violations,
+        blocking_allowed,
+        panic_counts,
+        blocking_counts,
+    }
+}
+
+/// Splits findings into allowed (within frozen counts) and violations.
+fn apply_allowances<T: Clone>(
+    sites: &[T],
+    allowances: &BTreeMap<allowlist::Key, usize>,
+    key_of: impl Fn(&T) -> allowlist::Key,
+) -> (Vec<T>, usize, BTreeMap<allowlist::Key, usize>) {
+    let mut counts: BTreeMap<allowlist::Key, usize> = BTreeMap::new();
+    for site in sites {
+        *counts.entry(key_of(site)).or_insert(0) += 1;
+    }
+    let mut seen: BTreeMap<allowlist::Key, usize> = BTreeMap::new();
+    let mut violations = Vec::new();
+    let mut allowed = 0usize;
+    for site in sites {
+        let key = key_of(site);
+        let used = seen.entry(key.clone()).or_insert(0);
+        *used += 1;
+        if *used <= allowances.get(&key).copied().unwrap_or(0) {
+            allowed += 1;
+        } else {
+            violations.push(site.clone());
+        }
+    }
+    (violations, allowed, counts)
+}
+
+/// Loads and analyzes every production `.rs` file under `root`.
+pub fn run(root: &Path, allowlist: &Allowlist) -> Result<LintReport, String> {
+    let mut files = Vec::new();
+    for (rel, path) in source::collect_rs_files(root).map_err(|e| format!("walking {root:?}: {e}"))? {
+        let raw = std::fs::read_to_string(&path).map_err(|e| format!("reading {path:?}: {e}"))?;
+        files.push(SourceFile::parse(&rel, &raw));
+    }
+    Ok(analyze(&files, allowlist))
+}
+
+/// Loads the allowlist at `path`; a missing file is an empty allowlist.
+pub fn load_allowlist(path: &Path) -> Result<Allowlist, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Allowlist::from_json(&text).map_err(|e| format!("{path:?}: {e}")),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::default()),
+        Err(e) => Err(format!("reading {path:?}: {e}")),
+    }
+}

@@ -1,0 +1,671 @@
+//! Lock-order analysis.
+//!
+//! Extracts, per function, the spans over which lock guards are live and
+//! records an edge `A → B` whenever lock `B` is acquired while a guard of
+//! lock `A` is held. Edges from every crate are merged into one workspace
+//! lock-order graph; a cycle in that graph is a potential deadlock.
+//!
+//! Locks are identified by *class*: the crate name plus the final field
+//! (or variable) segment of the receiver chain, e.g. `self.inner.core.lock()`
+//! in `crates/raft` is `raft::core`. Two instances of the same class held
+//! together therefore look like a self-cycle; the analysis only reports a
+//! self-edge when the full receiver chains are identical (a true re-lock,
+//! which deadlocks immediately with `parking_lot`).
+//!
+//! Guard liveness model (conservative, intra-procedural):
+//! * `let g = x.lock();` — live until the enclosing block closes or an
+//!   explicit `drop(g)`;
+//! * any other `.lock()` / `.read()` / `.write()` — a temporary, live
+//!   until the end of the statement (matching Rust temporary semantics),
+//!   except in `if`/`while` conditions where it ends at the `{` (also
+//!   matching Rust) and in `match` scrutinees where it is extended to the
+//!   end of the match block;
+//! * closure bodies (`|…| { … }`, `move || { … }`) run later on other
+//!   threads, so they start a fresh held-set; guards held at the closure's
+//!   *creation site* do not leak into it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{is_ident_byte, line_of};
+use crate::source::SourceFile;
+
+/// One observed nested acquisition.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    pub from: String,
+    pub to: String,
+    pub file: String,
+    pub line: usize,
+    pub function: String,
+}
+
+/// A re-acquisition of an already-held lock through the identical
+/// receiver chain — an immediate self-deadlock with `parking_lot`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RecursiveLock {
+    pub lock: String,
+    pub file: String,
+    pub line: usize,
+    pub function: String,
+}
+
+#[derive(Clone)]
+struct Held {
+    lock: String,
+    chain: String,
+    var: Option<String>,
+    depth: usize,
+    temp: bool,
+}
+
+struct Ctx {
+    start_depth: usize,
+    held: Vec<Held>,
+}
+
+/// Extracts lock-order edges and recursive-lock findings from one file.
+pub fn extract(
+    file: &SourceFile,
+    ignored: &BTreeSet<String>,
+) -> (Vec<LockEdge>, Vec<RecursiveLock>) {
+    let mut edges = Vec::new();
+    let mut recursive = Vec::new();
+    for function in &file.functions {
+        scan_body(file, function.body_start, function.body_end, &function.name, ignored, &mut edges, &mut recursive);
+    }
+    (edges, recursive)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_body(
+    file: &SourceFile,
+    start: usize,
+    end: usize,
+    function: &str,
+    ignored: &BTreeSet<String>,
+    edges: &mut Vec<LockEdge>,
+    recursive: &mut Vec<RecursiveLock>,
+) {
+    let text = &file.text;
+    let mut ctxs = vec![Ctx { start_depth: 0, held: Vec::new() }];
+    let mut depth = 0usize;
+    let mut stmt_start = start + 1;
+    let mut pending_closure = false;
+    let mut i = start;
+    while i < end {
+        match text[i] {
+            b'{' => {
+                depth += 1;
+                if pending_closure {
+                    ctxs.push(Ctx { start_depth: depth, held: Vec::new() });
+                    pending_closure = false;
+                } else if scrutinee_extends_temporaries(text, stmt_start, i) {
+                    // `match`/`for`/`if let`/`while let` scrutinee
+                    // temporaries live for the whole block (edition 2021):
+                    // promote them to block-scoped guards.
+                    if let Some(ctx) = ctxs.last_mut() {
+                        for h in ctx.held.iter_mut().filter(|h| h.temp) {
+                            h.temp = false;
+                            h.depth = depth;
+                        }
+                    }
+                } else if let Some(ctx) = ctxs.last_mut() {
+                    ctx.held.retain(|h| !h.temp);
+                }
+                stmt_start = i + 1;
+            }
+            b'}' => {
+                if let Some(ctx) = ctxs.last_mut() {
+                    ctx.held.retain(|h| !h.temp && h.depth < depth);
+                }
+                depth = depth.saturating_sub(1);
+                if ctxs.len() > 1 && ctxs.last().map(|c| c.start_depth > depth).unwrap_or(false) {
+                    ctxs.pop();
+                }
+                stmt_start = i + 1;
+            }
+            b';' => {
+                if let Some(ctx) = ctxs.last_mut() {
+                    ctx.held.retain(|h| !h.temp);
+                }
+                stmt_start = i + 1;
+            }
+            b'|' => {
+                if let Some(params_end) = closure_params_end(text, i, end) {
+                    let mut j = params_end + 1;
+                    while j < end && text[j].is_ascii_whitespace() {
+                        j += 1;
+                    }
+                    if j < end && text[j] == b'{' {
+                        pending_closure = true;
+                    }
+                    // Expression-bodied closures keep the outer context
+                    // (conservative over-approximation; rare and benign).
+                    i = params_end;
+                }
+            }
+            b'd' if word_at(text, i, "drop") => {
+                if let Some((var, after)) = drop_argument(text, i + 4, end) {
+                    if let Some(ctx) = ctxs.last_mut() {
+                        if let Some(pos) =
+                            ctx.held.iter().rposition(|h| h.var.as_deref() == Some(var.as_str()))
+                        {
+                            ctx.held.remove(pos);
+                        }
+                    }
+                    i = after;
+                    continue;
+                }
+            }
+            b'.' => {
+                if let Some(acq) = acquisition_at(text, i, end) {
+                    let chain = receiver_chain(text, i);
+                    if let Some(chain) = chain {
+                        let field = chain.rsplit('.').next().unwrap_or(&chain).to_string();
+                        let lock_id = format!("{}::{}", file.crate_name, field);
+                        if !ignored.contains(&field) && !ignored.contains(&lock_id) {
+                            let line = line_of(text, i);
+                            let ctx = ctxs.last_mut().expect("context stack never empty");
+                            for held in &ctx.held {
+                                if held.lock == lock_id && held.chain == chain {
+                                    recursive.push(RecursiveLock {
+                                        lock: lock_id.clone(),
+                                        file: file.rel_path.clone(),
+                                        line,
+                                        function: function.to_string(),
+                                    });
+                                    continue;
+                                }
+                                // Same class through a different receiver
+                                // chain records a self-edge: either two
+                                // instances (needs `ignored_locks`) or the
+                                // same instance via aliases (a deadlock).
+                                edges.push(LockEdge {
+                                    from: held.lock.clone(),
+                                    to: lock_id.clone(),
+                                    file: file.rel_path.clone(),
+                                    line,
+                                    function: function.to_string(),
+                                });
+                            }
+                            let (bound_var, temp) = binding_of(text, stmt_start, acq.close_paren);
+                            ctx.held.push(Held {
+                                lock: lock_id,
+                                chain,
+                                var: bound_var,
+                                depth,
+                                temp,
+                            });
+                        }
+                    }
+                    i = acq.close_paren + 1;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+struct Acquisition {
+    close_paren: usize,
+}
+
+/// Detects `.lock()`, `.read()`, `.write()` (empty argument list only, so
+/// `io::Read::read(&mut buf)` and friends never match) at offset `dot`.
+fn acquisition_at(text: &[u8], dot: usize, end: usize) -> Option<Acquisition> {
+    let mut j = dot + 1;
+    let name_start = j;
+    while j < end && is_ident_byte(text[j]) {
+        j += 1;
+    }
+    let name = &text[name_start..j];
+    if !(name == b"lock" || name == b"read" || name == b"write") {
+        return None;
+    }
+    while j < end && text[j].is_ascii_whitespace() {
+        j += 1;
+    }
+    if j >= end || text[j] != b'(' {
+        return None;
+    }
+    j += 1;
+    while j < end && text[j].is_ascii_whitespace() {
+        j += 1;
+    }
+    if j < end && text[j] == b')' {
+        Some(Acquisition { close_paren: j })
+    } else {
+        None
+    }
+}
+
+/// Walks backward from the `.` of an acquisition to the start of the
+/// receiver chain. Returns `None` when the receiver is not a simple
+/// `ident(.ident)*` path (e.g. a call result), in which case the lock has
+/// no stable class identity and the site is skipped.
+fn receiver_chain(text: &[u8], dot: usize) -> Option<String> {
+    let mut start = dot;
+    while start > 0 {
+        let b = text[start - 1];
+        if is_ident_byte(b) || b == b'.' || b == b':' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    if start == dot {
+        return None;
+    }
+    if start > 0 && text[start - 1] == b')' {
+        return None;
+    }
+    let chain = String::from_utf8_lossy(&text[start..dot]).into_owned();
+    let chain = chain.trim_matches('.').to_string();
+    let last = chain.rsplit('.').next().unwrap_or("");
+    let last = last.rsplit("::").next().unwrap_or("");
+    if last.is_empty() || last.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true) {
+        return None;
+    }
+    Some(chain)
+}
+
+/// Whether the acquisition ending at `close_paren` is `let g = x.lock();`
+/// (a block-scoped guard) or a statement temporary. Returns the bound
+/// variable name, if determinable, and the `temp` flag.
+fn binding_of(text: &[u8], stmt_start: usize, close_paren: usize) -> (Option<String>, bool) {
+    let mut k = close_paren + 1;
+    while k < text.len() && text[k].is_ascii_whitespace() {
+        k += 1;
+    }
+    let terminated = k < text.len() && text[k] == b';';
+    if !terminated {
+        return (None, true);
+    }
+    let mut s = stmt_start;
+    while s < text.len() && text[s].is_ascii_whitespace() {
+        s += 1;
+    }
+    if !word_at(text, s, "let") {
+        return (None, true);
+    }
+    let mut v = s + 3;
+    while v < text.len() && text[v].is_ascii_whitespace() {
+        v += 1;
+    }
+    if word_at(text, v, "mut") {
+        v += 3;
+        while v < text.len() && text[v].is_ascii_whitespace() {
+            v += 1;
+        }
+    }
+    let var_start = v;
+    while v < text.len() && is_ident_byte(text[v]) {
+        v += 1;
+    }
+    if v == var_start {
+        return (None, false); // e.g. destructuring `let (a, b) = …`
+    }
+    (Some(String::from_utf8_lossy(&text[var_start..v]).into_owned()), false)
+}
+
+/// If the `|` at `pipe` opens closure parameters, the offset of the
+/// closing `|`.
+fn closure_params_end(text: &[u8], pipe: usize, end: usize) -> Option<usize> {
+    // `||` never means boolean-or at expression start; otherwise require a
+    // preceding token that can only precede a closure.
+    let mut p = pipe;
+    while p > 0 && (text[p - 1] == b' ' || text[p - 1] == b'\t' || text[p - 1] == b'\n') {
+        p -= 1;
+    }
+    let opens_closure = if p == 0 {
+        true
+    } else {
+        let prev = text[p - 1];
+        matches!(prev, b'(' | b',' | b'=' | b'{' | b';' | b':' | b'&' | b'>')
+            || ends_with_word(text, p, "move")
+            || ends_with_word(text, p, "return")
+    };
+    if !opens_closure {
+        return None;
+    }
+    if pipe + 1 < end && text[pipe + 1] == b'|' {
+        return Some(pipe + 1);
+    }
+    let mut j = pipe + 1;
+    while j < end && j < pipe + 200 {
+        match text[j] {
+            b'|' => return Some(j),
+            b';' | b'{' | b'}' => return None,
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Parses `drop ( ident )` starting after the `drop` keyword; returns the
+/// identifier and the offset just past the closing paren.
+fn drop_argument(text: &[u8], mut j: usize, end: usize) -> Option<(String, usize)> {
+    while j < end && text[j].is_ascii_whitespace() {
+        j += 1;
+    }
+    if j >= end || text[j] != b'(' {
+        return None;
+    }
+    j += 1;
+    while j < end && text[j].is_ascii_whitespace() {
+        j += 1;
+    }
+    let start = j;
+    while j < end && is_ident_byte(text[j]) {
+        j += 1;
+    }
+    if j == start {
+        return None;
+    }
+    let var = String::from_utf8_lossy(&text[start..j]).into_owned();
+    while j < end && text[j].is_ascii_whitespace() {
+        j += 1;
+    }
+    if j < end && text[j] == b')' {
+        Some((var, j + 1))
+    } else {
+        None
+    }
+}
+
+fn word_at(text: &[u8], i: usize, word: &str) -> bool {
+    let w = word.as_bytes();
+    if i + w.len() > text.len() || &text[i..i + w.len()] != w {
+        return false;
+    }
+    let before_ok = i == 0 || !is_ident_byte(text[i - 1]);
+    let after_ok = i + w.len() >= text.len() || !is_ident_byte(text[i + w.len()]);
+    before_ok && after_ok
+}
+
+fn ends_with_word(text: &[u8], end: usize, word: &str) -> bool {
+    let w = word.as_bytes();
+    end >= w.len()
+        && &text[end - w.len()..end] == w
+        && (end == w.len() || !is_ident_byte(text[end - w.len() - 1]))
+}
+
+/// Whether the statement opening a block at `limit` keeps its scrutinee
+/// temporaries alive for the whole block: `match`, `for`, `if let`,
+/// `while let` (plain `if`/`while` conditions drop them at the `{`).
+fn scrutinee_extends_temporaries(text: &[u8], stmt_start: usize, limit: usize) -> bool {
+    let mut s = stmt_start;
+    while s < limit && text[s].is_ascii_whitespace() {
+        s += 1;
+    }
+    let start = s;
+    while s < limit && is_ident_byte(text[s]) {
+        s += 1;
+    }
+    let first = match std::str::from_utf8(&text[start..s]) {
+        Ok(w) => w,
+        Err(_) => return false,
+    };
+    match first {
+        "match" | "for" => true,
+        "if" | "while" => {
+            let mut t = s;
+            while t < limit && text[t].is_ascii_whitespace() {
+                t += 1;
+            }
+            word_at(text, t, "let")
+        }
+        _ => false,
+    }
+}
+
+/// A cycle in the lock-order graph: the participating lock classes and
+/// the edges (with sites) that close the cycle.
+#[derive(Debug, Clone)]
+pub struct LockCycle {
+    pub locks: Vec<String>,
+    pub edges: Vec<LockEdge>,
+}
+
+/// Finds strongly connected components of size > 1 in the merged edge
+/// set; each is reported as one potential-deadlock cycle.
+pub fn find_cycles(edges: &[LockEdge]) -> Vec<LockCycle> {
+    let mut adjacency: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        adjacency.entry(&e.from).or_default().insert(&e.to);
+        adjacency.entry(&e.to).or_default();
+    }
+    let nodes: Vec<&str> = adjacency.keys().copied().collect();
+    let index_of: BTreeMap<&str, usize> =
+        nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+
+    // Tarjan's SCC, iterative.
+    let n = nodes.len();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        // (node, neighbor iterator position)
+        let mut call: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut ni)) = call.last_mut() {
+            if *ni == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let neighbors: Vec<usize> = adjacency[nodes[v]]
+                .iter()
+                .map(|m| index_of[m])
+                .collect();
+            if *ni < neighbors.len() {
+                let w = neighbors[*ni];
+                *ni += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                if lowlink[v] == index[v] {
+                    let mut component = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let is_cycle = component.len() > 1
+                        || component
+                            .first()
+                            .map(|&w| adjacency[nodes[w]].contains(nodes[w]))
+                            .unwrap_or(false);
+                    if is_cycle {
+                        sccs.push(component);
+                    }
+                }
+                let done = v;
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[done]);
+                }
+            }
+        }
+    }
+
+    let mut cycles: Vec<LockCycle> = sccs
+        .into_iter()
+        .map(|component| {
+            let mut locks: Vec<String> =
+                component.iter().map(|&i| nodes[i].to_string()).collect();
+            locks.sort();
+            let members: BTreeSet<&str> = locks.iter().map(|s| s.as_str()).collect();
+            let mut cycle_edges: Vec<LockEdge> = edges
+                .iter()
+                .filter(|e| members.contains(e.from.as_str()) && members.contains(e.to.as_str()))
+                .cloned()
+                .collect();
+            cycle_edges.sort();
+            cycle_edges.dedup_by(|a, b| a.from == b.from && a.to == b.to);
+            LockCycle { locks, edges: cycle_edges }
+        })
+        .collect();
+    cycles.sort_by(|a, b| a.locks.cmp(&b.locks));
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn edges_of(src: &str) -> Vec<LockEdge> {
+        let file = SourceFile::parse("crates/demo/src/lib.rs", src);
+        extract(&file, &BTreeSet::new()).0
+    }
+
+    #[test]
+    fn nested_let_guards_produce_edge() {
+        let edges = edges_of(
+            "fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }",
+        );
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].from, "demo::alpha");
+        assert_eq!(edges[0].to, "demo::beta");
+    }
+
+    #[test]
+    fn sequential_blocks_produce_no_edge() {
+        let edges = edges_of(
+            "fn f(&self) { { let a = self.alpha.lock(); } { let b = self.beta.lock(); } }",
+        );
+        assert!(edges.is_empty(), "{edges:?}");
+    }
+
+    #[test]
+    fn temporaries_end_at_statement() {
+        let edges = edges_of(
+            "fn f(&self) { self.alpha.lock().push(1); let b = self.beta.lock(); }",
+        );
+        assert!(edges.is_empty(), "{edges:?}");
+    }
+
+    #[test]
+    fn same_statement_temporaries_chain() {
+        let edges =
+            edges_of("fn f(&self) { let x = self.alpha.lock().v + self.beta.lock().v; }");
+        assert_eq!(edges.len(), 1);
+        assert_eq!((edges[0].from.as_str(), edges[0].to.as_str()), ("demo::alpha", "demo::beta"));
+    }
+
+    #[test]
+    fn if_condition_temporary_released_before_body() {
+        let edges = edges_of(
+            "fn f(&self) { if self.alpha.lock().enabled { let b = self.beta.lock(); } }",
+        );
+        assert!(edges.is_empty(), "{edges:?}");
+    }
+
+    #[test]
+    fn match_scrutinee_temporary_extends_over_arms() {
+        let edges = edges_of(
+            "fn f(&self) { match self.alpha.lock().kind { K::A => { let b = self.beta.lock(); } _ => {} } }",
+        );
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].from, "demo::alpha");
+    }
+
+    #[test]
+    fn drop_releases_guard() {
+        let edges = edges_of(
+            "fn f(&self) { let a = self.alpha.lock(); drop(a); let b = self.beta.lock(); }",
+        );
+        assert!(edges.is_empty(), "{edges:?}");
+    }
+
+    #[test]
+    fn closures_start_fresh_held_set() {
+        let edges = edges_of(
+            "fn f(&self) { let a = self.alpha.lock(); run(move || { let b = self.beta.lock(); }); }",
+        );
+        assert!(edges.is_empty(), "{edges:?}");
+    }
+
+    #[test]
+    fn rwlock_read_write_count_as_acquisitions() {
+        let edges = edges_of(
+            "fn f(&self) { let a = self.alpha.read(); let b = self.beta.write(); }",
+        );
+        assert_eq!(edges.len(), 1);
+    }
+
+    #[test]
+    fn io_read_with_arguments_is_not_a_lock() {
+        let edges = edges_of(
+            "fn f(&self) { let a = self.alpha.lock(); let n = file.read(&mut buf); }",
+        );
+        assert!(edges.is_empty(), "{edges:?}");
+    }
+
+    #[test]
+    fn identical_chain_relock_reported_recursive() {
+        let file = SourceFile::parse(
+            "crates/demo/src/lib.rs",
+            "fn f(&self) { let a = self.alpha.lock(); let b = self.alpha.lock(); }",
+        );
+        let (edges, recursive) = extract(&file, &BTreeSet::new());
+        assert!(edges.is_empty());
+        assert_eq!(recursive.len(), 1);
+        assert_eq!(recursive[0].lock, "demo::alpha");
+    }
+
+    #[test]
+    fn ab_ba_inversion_detected_as_cycle() {
+        let a = SourceFile::parse(
+            "crates/one/src/lib.rs",
+            "fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }",
+        );
+        let b = SourceFile::parse(
+            "crates/one/src/other.rs",
+            "fn g(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); }",
+        );
+        let mut edges = extract(&a, &BTreeSet::new()).0;
+        edges.extend(extract(&b, &BTreeSet::new()).0);
+        let cycles = find_cycles(&edges);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].locks, vec!["one::alpha".to_string(), "one::beta".to_string()]);
+        assert_eq!(cycles[0].edges.len(), 2);
+    }
+
+    #[test]
+    fn consistent_order_yields_no_cycle() {
+        let a = SourceFile::parse(
+            "crates/one/src/lib.rs",
+            "fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }\nfn g(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }",
+        );
+        let edges = extract(&a, &BTreeSet::new()).0;
+        assert!(find_cycles(&edges).is_empty());
+    }
+
+    #[test]
+    fn ignored_locks_are_skipped() {
+        let file = SourceFile::parse(
+            "crates/demo/src/lib.rs",
+            "fn f(&self) { let a = self.buffer.lock(); let b = self.beta.lock(); }",
+        );
+        let ignored: BTreeSet<String> = ["buffer".to_string()].into_iter().collect();
+        let (edges, _) = extract(&file, &ignored);
+        assert!(edges.is_empty(), "{edges:?}");
+    }
+}

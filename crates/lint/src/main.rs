@@ -1,0 +1,88 @@
+//! CLI for `mochi-lint`.
+//!
+//! ```text
+//! cargo run -p mochi-lint -- --root . [--allowlist lint-allow.json] [--write-allowlist]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (cycles / new panic paths / new
+//! blocking calls), 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mochi_lint::allowlist::Allowlist;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut write_allowlist = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a path"),
+            },
+            "--allowlist" => match args.next() {
+                Some(v) => allowlist_path = Some(PathBuf::from(v)),
+                None => return usage("--allowlist needs a path"),
+            },
+            "--write-allowlist" => write_allowlist = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "mochi-lint --root <workspace> [--allowlist <json>] [--write-allowlist]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let allowlist_path = allowlist_path.unwrap_or_else(|| root.join("lint-allow.json"));
+    let allowlist = match mochi_lint::load_allowlist(&allowlist_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mochi-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match mochi_lint::run(&root, &allowlist) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mochi-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if write_allowlist {
+        let frozen = Allowlist::freeze(
+            report.panic_counts.clone(),
+            report.blocking_counts.clone(),
+            allowlist.ignored_locks.clone(),
+        );
+        if let Err(e) = std::fs::write(&allowlist_path, frozen.to_json()) {
+            eprintln!("mochi-lint: writing {allowlist_path:?}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} panic-path and {} blocking allowances to {}",
+            report.panic_counts.values().sum::<usize>(),
+            report.blocking_counts.values().sum::<usize>(),
+            allowlist_path.display()
+        );
+    }
+
+    print!("{}", report.render());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("mochi-lint: {message} (see --help)");
+    ExitCode::from(2)
+}

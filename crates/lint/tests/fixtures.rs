@@ -1,0 +1,141 @@
+//! Fixture-based end-to-end tests: inline source snippets run through the
+//! full `analyze` pipeline, exactly as the CLI and the umbrella-crate
+//! gate drive it.
+
+use mochi_lint::allowlist::Allowlist;
+use mochi_lint::source::SourceFile;
+
+fn parse(files: &[(&str, &str)]) -> Vec<SourceFile> {
+    files.iter().map(|(path, src)| SourceFile::parse(path, src)).collect()
+}
+
+#[test]
+fn ab_ba_inversion_across_crates_fails_the_gate() {
+    let files = parse(&[
+        (
+            "crates/margo/src/runtime.rs",
+            "impl R { fn fwd(&self) { let m = self.meta.lock(); let h = self.handlers.write(); } }",
+        ),
+        (
+            "crates/margo/src/rpc.rs",
+            "impl C { fn dispatch(&self) { let h = self.handlers.read(); let m = self.meta.lock(); } }",
+        ),
+    ]);
+    let report = mochi_lint::analyze(&files, &Allowlist::default());
+    assert!(!report.is_clean());
+    assert_eq!(report.lock_cycles.len(), 1);
+    let cycle = &report.lock_cycles[0];
+    assert_eq!(cycle.locks, vec!["margo::handlers".to_string(), "margo::meta".to_string()]);
+    assert!(report.render().contains("LOCK-ORDER CYCLE"));
+}
+
+#[test]
+fn consistent_lock_order_passes() {
+    let files = parse(&[
+        (
+            "crates/margo/src/runtime.rs",
+            "impl R { fn a(&self) { let m = self.meta.lock(); let h = self.handlers.write(); } \
+             fn b(&self) { let m = self.meta.lock(); let h = self.handlers.read(); } }",
+        ),
+    ]);
+    let report = mochi_lint::analyze(&files, &Allowlist::default());
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(report.lock_edges.len(), 2);
+    assert!(report.lock_cycles.is_empty());
+}
+
+#[test]
+fn new_unwrap_in_rpc_handler_fails_until_allowlisted() {
+    let files = parse(&[(
+        "crates/yokan/src/provider.rs",
+        "impl P { fn handle_put(&self, ctx: &RpcContext) { let v = ctx.args().unwrap(); } }",
+    )]);
+
+    // Without an allowance: violation.
+    let report = mochi_lint::analyze(&files, &Allowlist::default());
+    assert!(!report.is_clean());
+    assert_eq!(report.panic_violations.len(), 1);
+    assert_eq!(report.panic_violations[0].function, "handle_put");
+
+    // Frozen in the allowlist: clean, counted as frozen debt.
+    let allowlist = Allowlist::from_json(
+        r#"{"version": 1, "panic_paths": [
+            {"file": "crates/yokan/src/provider.rs", "function": "handle_put", "kind": "unwrap", "count": 1}
+        ]}"#,
+    )
+    .unwrap();
+    let report = mochi_lint::analyze(&files, &allowlist);
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(report.panic_allowed, 1);
+
+    // A *second* unwrap in the same function exceeds the frozen count.
+    let files = parse(&[(
+        "crates/yokan/src/provider.rs",
+        "impl P { fn handle_put(&self, ctx: &RpcContext) { let v = ctx.args().unwrap(); let w = ctx.more().unwrap(); } }",
+    )]);
+    let report = mochi_lint::analyze(&files, &allowlist);
+    assert!(!report.is_clean());
+    assert_eq!(report.panic_violations.len(), 1);
+}
+
+#[test]
+fn panic_outside_provider_paths_is_not_flagged() {
+    let files = parse(&[(
+        "crates/mercury/src/fabric.rs",
+        "fn internal() { let x = v.unwrap(); }",
+    )]);
+    let report = mochi_lint::analyze(&files, &Allowlist::default());
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn sleep_in_ult_closure_is_flagged_and_freezable() {
+    let files = parse(&[(
+        "crates/core/src/service.rs",
+        "fn spawn_work(pool: &Pool) { pool.push(Ult::new(\"w\", move || { std::thread::sleep(TICK); })); }",
+    )]);
+    let report = mochi_lint::analyze(&files, &Allowlist::default());
+    assert_eq!(report.blocking_violations.len(), 1);
+    assert_eq!(report.blocking_violations[0].kind, "sleep");
+
+    let allowlist = Allowlist::from_json(
+        r#"{"version": 1, "blocking": [
+            {"file": "crates/core/src/service.rs", "function": "spawn_work", "kind": "sleep", "count": 1}
+        ]}"#,
+    )
+    .unwrap();
+    let report = mochi_lint::analyze(&files, &allowlist);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn recursive_relock_is_fatal_and_not_allowlistable() {
+    let files = parse(&[(
+        "crates/argobots/src/pool.rs",
+        "impl Pool { fn broken(&self) { let a = self.stats.lock(); let b = self.stats.lock(); } }",
+    )]);
+    let report = mochi_lint::analyze(&files, &Allowlist::default());
+    assert!(!report.is_clean());
+    assert_eq!(report.recursive_locks.len(), 1);
+    assert!(report.render().contains("RECURSIVE LOCK"));
+}
+
+#[test]
+fn ignored_locks_suppress_instance_aliasing() {
+    // Two different *instances* of the same per-object lock class held
+    // together would alias into a self-edge; `ignored_locks` opts the
+    // class out of the graph.
+    let files = parse(&[(
+        "crates/mercury/src/bulk.rs",
+        "fn copy(src: &Region, dst: &Region) { let a = src.buffer.lock(); let mut b = dst.buffer.lock(); }",
+    )]);
+    let report = mochi_lint::analyze(&files, &Allowlist::default());
+    assert!(!report.is_clean());
+    assert_eq!(report.lock_cycles.len(), 1);
+    assert_eq!(report.lock_cycles[0].locks, vec!["mercury::buffer".to_string()]);
+
+    let allowlist =
+        Allowlist::from_json(r#"{"version": 1, "ignored_locks": ["buffer"]}"#).unwrap();
+    let report = mochi_lint::analyze(&files, &allowlist);
+    assert!(report.is_clean(), "{}", report.render());
+}

@@ -29,6 +29,9 @@ pub enum MargoError {
     PoolBusy { pool: String, reason: String },
     /// A configuration document was invalid.
     BadConfig(String),
+    /// A background OS thread (progress loop, sampler) could not be
+    /// spawned.
+    Spawn(String),
     /// The runtime is finalized.
     Finalized,
 }
@@ -54,6 +57,7 @@ impl fmt::Display for MargoError {
                 write!(f, "pool '{pool}' cannot be removed: {reason}")
             }
             MargoError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            MargoError::Spawn(msg) => write!(f, "spawning background thread: {msg}"),
             MargoError::Finalized => write!(f, "margo runtime is finalized"),
         }
     }

@@ -30,7 +30,7 @@ pub fn decode_framed<H: DeserializeOwned>(frame: &[u8]) -> Result<(H, &[u8]), Ma
     if frame.len() < 4 {
         return Err(MargoError::Codec("frame shorter than header length".into()));
     }
-    let header_len = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes")) as usize;
+    let header_len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize;
     let rest = &frame[4..];
     if rest.len() < header_len {
         return Err(MargoError::Codec(format!(

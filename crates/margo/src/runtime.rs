@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use serde_json::Value;
@@ -28,6 +28,7 @@ use mochi_mercury::{
     Address, BulkAccess, BulkHandle, CallContext, Endpoint, Fabric, Incoming, RequestInfo,
     ResponseStatus,
 };
+use mochi_util::ordered_lock::{rank, OrderedMutex, OrderedRwLock};
 use mochi_util::time::monotonic_seconds;
 
 use crate::config::MargoConfig;
@@ -59,14 +60,14 @@ struct Inner {
     endpoint: Endpoint,
     fabric: Fabric,
     abt: AbtRuntime,
-    meta: Mutex<Meta>,
-    handlers: RwLock<HashMap<(u64, u16), Arc<Registration>>>,
-    monitor: RwLock<Arc<CompositeMonitor>>,
+    meta: OrderedMutex<Meta>,
+    handlers: OrderedRwLock<HashMap<(u64, u16), Arc<Registration>>>,
+    monitor: OrderedRwLock<Arc<CompositeMonitor>>,
     stats: Option<Arc<StatisticsMonitor>>,
     in_flight_client: AtomicI64,
     in_flight_server: AtomicI64,
     finalized: AtomicBool,
-    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    threads: OrderedMutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 /// Handle to a running Margo instance. Cheap to clone; all clones refer
@@ -92,24 +93,28 @@ impl MargoRuntime {
             endpoint,
             fabric: fabric.clone(),
             abt,
-            meta: Mutex::new(Meta {
-                progress_pool: config.progress_pool.clone(),
-                default_rpc_pool: config.default_rpc_pool.clone(),
-                rpc_timeout: Duration::from_millis(config.rpc_timeout_ms),
-                monitoring_enabled: config.monitoring.enabled,
-                sampling_period: Duration::from_millis(config.monitoring.sampling_period_ms),
-            }),
-            handlers: RwLock::new(HashMap::new()),
-            monitor: RwLock::new(Arc::new(composite)),
+            meta: OrderedMutex::new(
+                rank::MARGO_META,
+                "margo.meta",
+                Meta {
+                    progress_pool: config.progress_pool.clone(),
+                    default_rpc_pool: config.default_rpc_pool.clone(),
+                    rpc_timeout: Duration::from_millis(config.rpc_timeout_ms),
+                    monitoring_enabled: config.monitoring.enabled,
+                    sampling_period: Duration::from_millis(config.monitoring.sampling_period_ms),
+                },
+            ),
+            handlers: OrderedRwLock::new(rank::MARGO_HANDLERS, "margo.handlers", HashMap::new()),
+            monitor: OrderedRwLock::new(rank::MARGO_MONITOR, "margo.monitor", Arc::new(composite)),
             stats,
             in_flight_client: AtomicI64::new(0),
             in_flight_server: AtomicI64::new(0),
             finalized: AtomicBool::new(false),
-            threads: Mutex::new(Vec::new()),
+            threads: OrderedMutex::new(rank::MARGO_THREADS, "margo.threads", Vec::new()),
         });
         let runtime = Self { inner };
-        runtime.spawn_progress_loop();
-        runtime.spawn_sampler();
+        runtime.spawn_progress_loop()?;
+        runtime.spawn_sampler()?;
         Ok(runtime)
     }
 
@@ -118,7 +123,7 @@ impl MargoRuntime {
         Self::init(fabric, addr, &MargoConfig::default())
     }
 
-    fn spawn_progress_loop(&self) {
+    fn spawn_progress_loop(&self) -> Result<(), MargoError> {
         let this = self.clone();
         let handle = std::thread::Builder::new()
             .name(format!("margo-progress-{}", self.address()))
@@ -131,17 +136,18 @@ impl MargoRuntime {
                     }
                 }
             })
-            .expect("spawn progress loop");
+            .map_err(|e| MargoError::Spawn(format!("progress loop: {e}")))?;
         self.inner.threads.lock().push(handle);
+        Ok(())
     }
 
-    fn spawn_sampler(&self) {
+    fn spawn_sampler(&self) -> Result<(), MargoError> {
         let (enabled, period) = {
             let meta = self.inner.meta.lock();
             (meta.monitoring_enabled, meta.sampling_period)
         };
         if !enabled || period.is_zero() {
-            return;
+            return Ok(());
         }
         let this = self.clone();
         let handle = std::thread::Builder::new()
@@ -158,8 +164,9 @@ impl MargoRuntime {
                     this.emit(&MonitoringEvent::Sample(sample));
                 }
             })
-            .expect("spawn sampler");
+            .map_err(|e| MargoError::Spawn(format!("sampler: {e}")))?;
         self.inner.threads.lock().push(handle);
+        Ok(())
     }
 
     /// This process's address.

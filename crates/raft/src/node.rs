@@ -16,12 +16,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use mochi_argobots::pool::Notifier;
 use mochi_margo::{MargoError, MargoRuntime};
 use mochi_mercury::Address;
+use mochi_util::ordered_lock::{rank, OrderedMutex};
 use mochi_util::SeededRng;
 
 use crate::messages::{rpc, *};
@@ -167,13 +167,13 @@ struct NodeInner {
     provider_id: u16,
     config: RaftConfig,
     storage: RaftStorage,
-    core: Mutex<Core>,
+    core: OrderedMutex<Core>,
     /// Wakes replicators when new entries arrive or leadership changes.
     signal: Notifier,
     stopped: AtomicBool,
-    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    replicators: Mutex<std::collections::HashSet<Address>>,
-    rng: Mutex<SeededRng>,
+    threads: OrderedMutex<Vec<std::thread::JoinHandle<()>>>,
+    replicators: OrderedMutex<std::collections::HashSet<Address>>,
+    rng: OrderedMutex<SeededRng>,
 }
 
 /// A running Raft node.
@@ -253,17 +253,25 @@ impl RaftNode {
             provider_id,
             config,
             storage,
-            core: Mutex::new(core),
+            core: OrderedMutex::new(rank::RAFT_CORE, "raft.core", core),
             signal: Notifier::new(),
             stopped: AtomicBool::new(false),
-            threads: Mutex::new(Vec::new()),
-            replicators: Mutex::new(std::collections::HashSet::new()),
-            rng: Mutex::new(SeededRng::new(config.seed).child(&margo.address().to_string())),
+            threads: OrderedMutex::new(rank::RAFT_THREADS, "raft.threads", Vec::new()),
+            replicators: OrderedMutex::new(
+                rank::RAFT_REPLICATORS,
+                "raft.replicators",
+                std::collections::HashSet::new(),
+            ),
+            rng: OrderedMutex::new(
+                rank::RAFT_RNG,
+                "raft.rng",
+                SeededRng::new(config.seed).child(&margo.address().to_string()),
+            ),
         });
         let node = Self { inner };
         node.randomize_timeout();
         node.register_rpcs()?;
-        node.spawn_ticker();
+        node.spawn_ticker()?;
         Ok(node)
     }
 
@@ -297,11 +305,16 @@ impl RaftNode {
     }
 
     fn randomize_timeout(&self) {
-        let mut rng = self.inner.rng.lock();
-        let ms = rng.range_u64(
-            self.inner.config.election_timeout_min_ms,
-            self.inner.config.election_timeout_max_ms + 1,
-        );
+        // Draw the value first and release `rng` before touching `core`:
+        // `rng` is a leaf (rank above `core`), so holding it across the
+        // core acquisition would invert the lock hierarchy.
+        let ms = {
+            let mut rng = self.inner.rng.lock();
+            rng.range_u64(
+                self.inner.config.election_timeout_min_ms,
+                self.inner.config.election_timeout_max_ms + 1,
+            )
+        };
         self.inner.core.lock().election_timeout = Duration::from_millis(ms);
     }
 
@@ -407,7 +420,7 @@ impl RaftNode {
     // Ticker: elections + snapshot policy + replicator management
     // ------------------------------------------------------------------
 
-    fn spawn_ticker(&self) {
+    fn spawn_ticker(&self) -> Result<(), MargoError> {
         let inner = Arc::clone(&self.inner);
         let node = self.clone();
         let handle = std::thread::Builder::new()
@@ -418,8 +431,9 @@ impl RaftNode {
                     node.tick();
                 }
             })
-            .expect("spawn raft ticker");
+            .map_err(|e| MargoError::Spawn(format!("raft ticker: {e}")))?;
         self.inner.threads.lock().push(handle);
+        Ok(())
     }
 
     fn tick(&self) {

@@ -16,12 +16,16 @@
 //!   node-local storage and the "parallel file system" checkpoint area),
 //! * [`time`] — monotonic clock helpers and precise short sleeps used by
 //!   the simulated network model,
-//! * [`bytesize`] — human-readable byte-size formatting for reports.
+//! * [`bytesize`] — human-readable byte-size formatting for reports,
+//! * [`ordered_lock`] — rank-checked mutex/rwlock wrappers enforcing the
+//!   workspace lock hierarchy in debug builds (see DESIGN.md and the
+//!   `mochi-lint` crate for the static half of the story).
 
 pub mod bytesize;
 pub mod checksum;
 pub mod histogram;
 pub mod id;
+pub mod ordered_lock;
 pub mod rng;
 pub mod stats;
 pub mod tempdir;
@@ -30,6 +34,7 @@ pub mod time;
 pub use checksum::{crc32, crc64};
 pub use histogram::Histogram;
 pub use id::unique_u64;
+pub use ordered_lock::{OrderedMutex, OrderedRwLock};
 pub use rng::SeededRng;
 pub use stats::StreamStats;
 pub use tempdir::TempDir;

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Pre-PR gate: workspace-specific static analysis plus (when available)
+# clippy and rustfmt. mochi-lint is the hard gate — lock-order cycles,
+# recursive re-locks, and any panic path or blocking call not frozen in
+# lint-allow.json fail the build. See DESIGN.md §9.
+#
+# Usage: scripts/lint.sh [workspace-root]
+set -eu
+
+root="${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}"
+cd "$root"
+
+echo "==> mochi-lint"
+cargo run -q -p mochi-lint -- --root "$root"
+
+# Advisory layers: run when the toolchain pieces exist, but don't fail
+# the gate on their absence (offline/minimal containers).
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> clippy"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "==> clippy unavailable; skipped"
+fi
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> rustfmt (check)"
+    cargo fmt --all --check
+else
+    echo "==> rustfmt unavailable; skipped"
+fi
+
+echo "OK"

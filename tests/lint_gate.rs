@@ -1,0 +1,23 @@
+//! The `mochi-lint` gate as a tier-1 test: the workspace's own sources
+//! must stay free of lock-order cycles, recursive re-locks, and *new*
+//! panic paths or blocking calls beyond the debt frozen in
+//! `lint-allow.json`.
+//!
+//! To regenerate the allowlist after deliberately accepting new debt:
+//! `cargo run -p mochi-lint -- --root . --write-allowlist`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_passes_mochi_lint() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let allowlist =
+        mochi_lint::load_allowlist(&root.join("lint-allow.json")).expect("load lint-allow.json");
+    let report = mochi_lint::run(root, &allowlist).expect("run mochi-lint");
+    assert!(report.files > 0, "lint walked no files — wrong root?");
+    assert!(
+        !report.lock_edges.is_empty(),
+        "lock-order extraction found no edges — the analysis is likely broken"
+    );
+    assert!(report.is_clean(), "{}", report.render());
+}
