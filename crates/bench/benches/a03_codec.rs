@@ -1,0 +1,129 @@
+//! Ablation A3 — JSON vs mochi-wire argument codec.
+//!
+//! E1's echo rate is bounded by per-call argument encoding: the seed
+//! codec serialized every RPC argument as JSON, which inflates byte
+//! blobs ~4x (a JSON number array) and burns cycles formatting and
+//! parsing text. This ablation isolates the codec swap behind the E1
+//! numbers: encode/decode latency and bytes-on-wire for the three
+//! payload shapes the stack actually ships — small control arguments
+//! (yokan/warabi headers), a 64-entry string map (Bedrock-style
+//! config-ish arguments), and a 4 KiB binary blob (inline data-plane
+//! payloads below the bulk threshold).
+//!
+//! No network, no runtime: pure codec cost.
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+use mochi_bench::{fmt_secs, measure, Table};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+const WARMUP: usize = 2_000;
+const ITERATIONS: usize = 20_000;
+
+/// Shaped like the inline-path headers (yokan `KeyHeader`, warabi
+/// `WriteHeader`): a short key, an offset, a length, a flag.
+#[derive(Serialize, Deserialize)]
+struct ControlArgs {
+    key: Vec<u8>,
+    offset: u64,
+    len: u32,
+    flag: bool,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BlobArgs {
+    id: u64,
+    data: Vec<u8>,
+}
+
+struct CodecRun {
+    bytes: usize,
+    encode_p50: f64,
+    decode_p50: f64,
+}
+
+fn run_codec<T>(
+    value: &T,
+    encode: impl Fn(&T) -> Vec<u8>,
+    decode: impl Fn(&[u8]) -> T,
+) -> CodecRun
+where
+    T: Serialize + DeserializeOwned,
+{
+    let encoded = encode(value);
+    let enc = measure(WARMUP, ITERATIONS, || {
+        black_box(encode(black_box(value)));
+    });
+    let dec = measure(WARMUP, ITERATIONS, || {
+        black_box(decode(black_box(&encoded)));
+    });
+    CodecRun { bytes: encoded.len(), encode_p50: enc.quantile(0.5), decode_p50: dec.quantile(0.5) }
+}
+
+fn compare<T>(table: &mut Table, workload: &str, value: &T) -> (CodecRun, CodecRun)
+where
+    T: Serialize + DeserializeOwned,
+{
+    let json = run_codec(
+        value,
+        |v| serde_json::to_vec(v).expect("json encode"),
+        |b| serde_json::from_slice(b).expect("json decode"),
+    );
+    let wire = run_codec(
+        value,
+        |v| mochi_wire::to_vec(v).expect("wire encode"),
+        |b| mochi_wire::from_slice(b).expect("wire decode"),
+    );
+    for (codec, run) in [("json", &json), ("wire", &wire)] {
+        table.row(&[
+            workload.to_string(),
+            codec.to_string(),
+            run.bytes.to_string(),
+            fmt_secs(run.encode_p50),
+            fmt_secs(run.decode_p50),
+        ]);
+    }
+    (json, wire)
+}
+
+fn main() {
+    let mut table = Table::new(&["workload", "codec", "bytes", "encode p50", "decode p50"]);
+
+    let control = ControlArgs { key: b"event/00001234".to_vec(), offset: 4096, len: 512, flag: true };
+    let (json_control, wire_control) = compare(&mut table, "control args", &control);
+
+    let map: BTreeMap<String, u64> = (0..64).map(|i| (format!("shard_{i:03}"), i * 7)).collect();
+    let (json_map, wire_map) = compare(&mut table, "64-entry map", &map);
+
+    let blob = BlobArgs { id: 42, data: (0..4096u32).map(|i| (i % 251) as u8).collect() };
+    let (json_blob, wire_blob) = compare(&mut table, "4 KiB blob", &blob);
+
+    table.print(&format!(
+        "A3 — argument codec ablation (p50 of {ITERATIONS} iterations, no network)"
+    ));
+
+    // The two claims E1 leans on, checked every run.
+    assert!(
+        wire_blob.bytes * 2 <= json_blob.bytes,
+        "wire blob {} B not >=2x smaller than json {} B",
+        wire_blob.bytes,
+        json_blob.bytes
+    );
+    assert!(
+        wire_control.encode_p50 + wire_control.decode_p50
+            < json_control.encode_p50 + json_control.decode_p50,
+        "wire control-args round trip not faster than json"
+    );
+    assert!(wire_map.bytes < json_map.bytes);
+
+    println!("shape: wire stays within a tag+varint of raw payload size");
+    println!(
+        "(blob: {} B vs {} B json, {:.1}x) and skips text formatting on the",
+        wire_blob.bytes,
+        json_blob.bytes,
+        json_blob.bytes as f64 / wire_blob.bytes as f64
+    );
+    println!("hot path — the per-call win multiplied by every E1 echo.");
+}

@@ -23,6 +23,8 @@ pub struct Allowlist {
     pub panic_paths: BTreeMap<Key, usize>,
     /// Permitted finding counts for the blocking-call lint.
     pub blocking: BTreeMap<Key, usize>,
+    /// Permitted finding counts for the data-plane JSON lint.
+    pub serde_json: BTreeMap<Key, usize>,
     /// Lock field names (or `crate::field` ids) excluded from the
     /// lock-order graph — for per-instance locks whose class identity
     /// would alias distinct objects.
@@ -46,12 +48,12 @@ impl Allowlist {
                             .push(item.as_str().ok_or("ignored_locks entries must be strings")?.to_string());
                     }
                 }
-                "panic_paths" | "blocking" => {
+                "panic_paths" | "blocking" | "serde_json" => {
                     let items = value.as_array().ok_or("allowance sections must be arrays")?;
-                    let section = if key == "panic_paths" {
-                        &mut allowlist.panic_paths
-                    } else {
-                        &mut allowlist.blocking
+                    let section = match key.as_str() {
+                        "panic_paths" => &mut allowlist.panic_paths,
+                        "blocking" => &mut allowlist.blocking,
+                        _ => &mut allowlist.serde_json,
                     };
                     for item in items {
                         let entry = item.as_object().ok_or("allowance entries must be objects")?;
@@ -90,9 +92,11 @@ impl Allowlist {
             let _ = write!(out, "{}", quote(lock));
         }
         out.push_str("],\n");
-        for (name, section) in
-            [("panic_paths", &self.panic_paths), ("blocking", &self.blocking)]
-        {
+        for (name, section) in [
+            ("panic_paths", &self.panic_paths),
+            ("blocking", &self.blocking),
+            ("serde_json", &self.serde_json),
+        ] {
             let _ = write!(out, "  \"{name}\": [");
             for (i, ((file, function, kind), count)) in section.iter().enumerate() {
                 out.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -106,7 +110,7 @@ impl Allowlist {
                 );
             }
             out.push_str(if section.is_empty() { "]" } else { "\n  ]" });
-            out.push_str(if name == "panic_paths" { ",\n" } else { "\n" });
+            out.push_str(if name == "serde_json" { "\n" } else { ",\n" });
         }
         out.push_str("}\n");
         out
@@ -116,9 +120,15 @@ impl Allowlist {
     pub fn freeze(
         panic_counts: BTreeMap<Key, usize>,
         blocking_counts: BTreeMap<Key, usize>,
+        json_counts: BTreeMap<Key, usize>,
         ignored_locks: Vec<String>,
     ) -> Allowlist {
-        Allowlist { panic_paths: panic_counts, blocking: blocking_counts, ignored_locks }
+        Allowlist {
+            panic_paths: panic_counts,
+            blocking: blocking_counts,
+            serde_json: json_counts,
+            ignored_locks,
+        }
     }
 }
 
@@ -333,11 +343,15 @@ mod tests {
             .insert(("crates/raft/src/node.rs".into(), "start".into(), "expect".into()), 2);
         let mut blocking = BTreeMap::new();
         blocking.insert(("crates/raft/src/node.rs".into(), "submit".into(), "recv_timeout".into()), 1);
-        let allowlist = Allowlist::freeze(panic_counts, blocking, vec!["buffer".into()]);
+        let mut json_counts = BTreeMap::new();
+        json_counts
+            .insert(("crates/margo/src/codec.rs".into(), "encode".into(), "serde_json".into()), 1);
+        let allowlist = Allowlist::freeze(panic_counts, blocking, json_counts, vec!["buffer".into()]);
         let json = allowlist.to_json();
         let back = Allowlist::from_json(&json).unwrap();
         assert_eq!(back.panic_paths, allowlist.panic_paths);
         assert_eq!(back.blocking, allowlist.blocking);
+        assert_eq!(back.serde_json, allowlist.serde_json);
         assert_eq!(back.ignored_locks, allowlist.ignored_locks);
     }
 

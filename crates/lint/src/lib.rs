@@ -15,12 +15,17 @@
 //!    `lint-allow.json`; new sites fail.
 //! 3. **Blocking-call-in-ULT lint** ([`blocking`]): sleeps and channel
 //!    waits inside closures that run as ULTs on the fixed xstream threads.
+//! 4. **Data-plane JSON lint** ([`jsonuse`]): `serde_json::` in the RPC
+//!    hot path (codec/frame and the yokan/warabi/remi client/provider
+//!    modules), which must use the mochi-wire binary codec. Monitoring,
+//!    Bedrock config, and Jx9 surfaces stay JSON and are not scanned.
 //!
 //! Run as `cargo run -p mochi-lint -- --root .`, or through the umbrella
 //! crate's `lint_gate` test, which makes it part of the tier-1 gate.
 
 pub mod allowlist;
 pub mod blocking;
+pub mod jsonuse;
 pub mod lexer;
 pub mod locks;
 pub mod panics;
@@ -32,6 +37,7 @@ use std::path::Path;
 
 use allowlist::Allowlist;
 use blocking::BlockingSite;
+use jsonuse::JsonSite;
 use locks::{LockCycle, LockEdge, RecursiveLock};
 use panics::PanicSite;
 use source::SourceFile;
@@ -54,9 +60,14 @@ pub struct LintReport {
     pub blocking_violations: Vec<BlockingSite>,
     /// Blocking-call findings covered by the allowlist.
     pub blocking_allowed: usize,
+    /// Data-plane JSON findings beyond the allowlist.
+    pub json_violations: Vec<JsonSite>,
+    /// Data-plane JSON findings covered by the allowlist.
+    pub json_allowed: usize,
     /// Raw (pre-allowlist) finding counts, for `--write-allowlist`.
     pub panic_counts: BTreeMap<allowlist::Key, usize>,
     pub blocking_counts: BTreeMap<allowlist::Key, usize>,
+    pub json_counts: BTreeMap<allowlist::Key, usize>,
 }
 
 impl LintReport {
@@ -66,6 +77,7 @@ impl LintReport {
             && self.recursive_locks.is_empty()
             && self.panic_violations.is_empty()
             && self.blocking_violations.is_empty()
+            && self.json_violations.is_empty()
     }
 
     /// Human-readable report.
@@ -73,11 +85,12 @@ impl LintReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "mochi-lint: {} files, {} lock-order edges, {} frozen panic sites, {} frozen blocking sites",
+            "mochi-lint: {} files, {} lock-order edges, {} frozen panic sites, {} frozen blocking sites, {} frozen JSON sites",
             self.files,
             self.lock_edges.len(),
             self.panic_allowed,
-            self.blocking_allowed
+            self.blocking_allowed,
+            self.json_allowed
         );
         for cycle in &self.lock_cycles {
             let _ = writeln!(out, "LOCK-ORDER CYCLE between {}:", cycle.locks.join(" <-> "));
@@ -110,8 +123,15 @@ impl LintReport {
                 b.file, b.line, b.function, b.kind
             );
         }
+        for j in &self.json_violations {
+            let _ = writeln!(
+                out,
+                "JSON IN DATA PLANE {}:{} (fn {}): serde_json on the RPC hot path — use the mochi-wire codec, or freeze it in lint-allow.json",
+                j.file, j.line, j.function
+            );
+        }
         if self.is_clean() {
-            let _ = writeln!(out, "OK: no lock-order cycles, no new panic paths, no new blocking calls");
+            let _ = writeln!(out, "OK: no lock-order cycles, no new panic paths, no new blocking calls, no data-plane JSON");
         }
         out
     }
@@ -126,6 +146,7 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
     let mut recursive_locks = Vec::new();
     let mut panic_sites: Vec<PanicSite> = Vec::new();
     let mut blocking_sites: Vec<BlockingSite> = Vec::new();
+    let mut json_sites: Vec<JsonSite> = Vec::new();
 
     for file in files {
         let (edges, recursive) = locks::extract(file, &ignored);
@@ -134,12 +155,16 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
         if panics::in_provider_path(&file.rel_path) {
             panic_sites.extend(panics::scan(file));
         }
+        if jsonuse::in_data_plane(&file.rel_path) {
+            json_sites.extend(jsonuse::scan(file));
+        }
         blocking_sites.extend(blocking::scan(file));
     }
     lock_edges.sort();
     recursive_locks.sort();
     panic_sites.sort();
     blocking_sites.sort();
+    json_sites.sort();
 
     let lock_cycles = locks::find_cycles(&lock_edges);
 
@@ -149,6 +174,10 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
         });
     let (blocking_violations, blocking_allowed, blocking_counts) =
         apply_allowances(&blocking_sites, &allowlist.blocking, |s| {
+            (s.file.clone(), s.function.clone(), s.kind.clone())
+        });
+    let (json_violations, json_allowed, json_counts) =
+        apply_allowances(&json_sites, &allowlist.serde_json, |s| {
             (s.file.clone(), s.function.clone(), s.kind.clone())
         });
 
@@ -161,8 +190,11 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
         panic_allowed,
         blocking_violations,
         blocking_allowed,
+        json_violations,
+        json_allowed,
         panic_counts,
         blocking_counts,
+        json_counts,
     }
 }
 

@@ -60,6 +60,7 @@ fn main() -> ExitCode {
         let frozen = Allowlist::freeze(
             report.panic_counts.clone(),
             report.blocking_counts.clone(),
+            report.json_counts.clone(),
             allowlist.ignored_locks.clone(),
         );
         if let Err(e) = std::fs::write(&allowlist_path, frozen.to_json()) {
@@ -67,9 +68,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!(
-            "wrote {} panic-path and {} blocking allowances to {}",
+            "wrote {} panic-path, {} blocking, and {} data-plane JSON allowances to {}",
             report.panic_counts.values().sum::<usize>(),
             report.blocking_counts.values().sum::<usize>(),
+            report.json_counts.values().sum::<usize>(),
             allowlist_path.display()
         );
     }

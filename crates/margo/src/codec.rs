@@ -1,12 +1,15 @@
 //! RPC argument (de)serialization.
 //!
 //! Mercury leaves argument encoding to per-RPC "proc" functions; Mochi
-//! components describe their arguments declaratively. We use serde with a
-//! JSON encoding: the encoding format is not under test anywhere in the
-//! paper, and self-describing payloads make monitoring dumps and test
-//! failures legible. Components that move *data* (not arguments) use bulk
-//! transfers, which bypass this codec entirely — matching the original
-//! stack, where large transfers never ride the RPC serializer.
+//! components describe their arguments declaratively. We use serde with the
+//! [`mochi_wire`] binary encoding: a compact self-describing format whose
+//! data model mirrors JSON's, so every argument type that used to travel as
+//! JSON travels unchanged — just smaller and without the number-to-text
+//! round trip that dominated small-RPC latency. Observable JSON artifacts
+//! (Listing 1 monitoring dumps, Bedrock configs, Jx9) are *not* produced by
+//! this codec and stay JSON. Components that move *data* (not arguments)
+//! use bulk transfers, which bypass this codec entirely — matching the
+//! original stack, where large transfers never ride the RPC serializer.
 
 use bytes::Bytes;
 use serde::de::DeserializeOwned;
@@ -16,12 +19,12 @@ use crate::error::MargoError;
 
 /// Serializes a value into an RPC payload.
 pub fn encode<T: Serialize>(value: &T) -> Result<Bytes, MargoError> {
-    serde_json::to_vec(value).map(Bytes::from).map_err(|e| MargoError::Codec(e.to_string()))
+    mochi_wire::to_vec(value).map(Bytes::from).map_err(|e| MargoError::Codec(e.to_string()))
 }
 
 /// Deserializes an RPC payload.
 pub fn decode<T: DeserializeOwned>(payload: &[u8]) -> Result<T, MargoError> {
-    serde_json::from_slice(payload).map_err(|e| MargoError::Codec(e.to_string()))
+    mochi_wire::from_slice(payload).map_err(|e| MargoError::Codec(e.to_string()))
 }
 
 #[cfg(test)]
@@ -57,12 +60,43 @@ mod tests {
     }
 
     #[test]
-    fn binary_data_via_serde_bytes_pattern() {
-        // Raw Vec<u8> round-trips (as JSON arrays — fine for small args;
-        // large data goes through bulk transfers instead).
+    fn binary_data_round_trips() {
         let blob: Vec<u8> = (0..=255).collect();
         let bytes = encode(&blob).unwrap();
         let back: Vec<u8> = decode(&bytes).unwrap();
         assert_eq!(back, blob);
+    }
+
+    #[test]
+    fn binary_data_encodes_as_raw_byte_run() {
+        // Byte blobs must ride the wire as length-prefixed raw runs, not
+        // per-element lists (JSON cost ~3.7 bytes per byte; wire is 1 plus
+        // a small constant header).
+        for len in [1usize, 64, 4096] {
+            let blob: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let encoded = encode(&blob).unwrap();
+            assert!(
+                encoded.len() <= blob.len() + 16,
+                "{len}-byte blob encoded to {} bytes",
+                encoded.len()
+            );
+            let back: Vec<u8> = decode(&encoded).unwrap();
+            assert_eq!(back, blob);
+        }
+    }
+
+    #[test]
+    fn json_value_args_round_trip() {
+        // Bedrock ships serde_json::Value arguments through this codec;
+        // the self-describing wire format must carry them unchanged.
+        let value = serde_json::json!({
+            "pools": [{"name": "p1"}, {"name": "p2"}],
+            "rates": [1, -2, 3.5],
+            "enabled": true,
+            "note": null,
+        });
+        let bytes = encode(&value).unwrap();
+        let back: serde_json::Value = decode(&bytes).unwrap();
+        assert_eq!(back, value);
     }
 }

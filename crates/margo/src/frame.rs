@@ -1,32 +1,58 @@
 //! Binary framing for RPCs that carry raw data next to structured
 //! arguments.
 //!
-//! The JSON argument codec ([`crate::codec`]) is convenient for control
-//! messages but would inflate raw byte payloads (a JSON array of numbers
-//! costs ~3.7 bytes per byte). Data-plane RPCs — Yokan values, Warabi
-//! blob writes, REMI chunks — instead frame their payloads as
-//! `[u32 LE header length][JSON header][raw body]`, so the network
-//! model charges honest byte counts, mirroring how the real Mercury
+//! The argument codec ([`crate::codec`]) handles control messages; data-plane
+//! RPCs — Yokan values, Warabi blob writes, REMI chunks — frame their
+//! payloads as `[u32 LE header length][wire header][raw body]`, so the
+//! network model charges honest byte counts, mirroring how the real Mercury
 //! serializers ship raw buffers.
+//!
+//! Framing is built for the hot path:
+//!
+//! - [`encode_framed`] serializes the header *directly into* a thread-local
+//!   reusable [`BytesMut`] scratch (length prefix patched in place), then
+//!   hands the frame off with `split().freeze()` — no intermediate header
+//!   `Vec`, no copy-into-`Bytes`.
+//! - [`decode_framed`] returns the body as a [`Bytes`] slice of the incoming
+//!   frame (`Bytes::slice` is a refcount bump), so callers hold onto bodies
+//!   without copying them out first.
 
-use bytes::Bytes;
+use std::cell::RefCell;
+
+use bytes::{BufMut, Bytes, BytesMut};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
 use crate::error::MargoError;
 
-/// Encodes `header` + `body` into a framed payload.
-pub fn encode_framed<H: Serialize>(header: &H, body: &[u8]) -> Result<Bytes, MargoError> {
-    let header_json = serde_json::to_vec(header).map_err(|e| MargoError::Codec(e.to_string()))?;
-    let mut frame = Vec::with_capacity(4 + header_json.len() + body.len());
-    frame.extend_from_slice(&(header_json.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&header_json);
-    frame.extend_from_slice(body);
-    Ok(Bytes::from(frame))
+thread_local! {
+    /// Per-thread frame assembly scratch. `split().freeze()` hands the
+    /// filled prefix to the caller; once that `Bytes` is dropped, the next
+    /// `reserve` reclaims the allocation instead of growing a fresh one.
+    static SCRATCH: RefCell<BytesMut> = RefCell::new(BytesMut::new());
 }
 
-/// Decodes a framed payload into its header and body slice.
-pub fn decode_framed<H: DeserializeOwned>(frame: &[u8]) -> Result<(H, &[u8]), MargoError> {
+/// Encodes `header` + `body` into a framed payload.
+pub fn encode_framed<H: Serialize>(header: &H, body: &[u8]) -> Result<Bytes, MargoError> {
+    SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        // A failed encode on a previous call may have left partial bytes.
+        buf.clear();
+        buf.reserve(4 + 32 + body.len());
+        buf.put_u32_le(0);
+        mochi_wire::encode_into(header, &mut *buf)
+            .map_err(|e| MargoError::Codec(e.to_string()))?;
+        let header_len = buf.len() - 4;
+        buf[..4].copy_from_slice(&(header_len as u32).to_le_bytes());
+        buf.put_slice(body);
+        Ok(buf.split().freeze())
+    })
+}
+
+/// Decodes a framed payload into its header and body.
+///
+/// The body is a zero-copy [`Bytes::slice`] of `frame`.
+pub fn decode_framed<H: DeserializeOwned>(frame: &Bytes) -> Result<(H, Bytes), MargoError> {
     if frame.len() < 4 {
         return Err(MargoError::Codec("frame shorter than header length".into()));
     }
@@ -38,9 +64,9 @@ pub fn decode_framed<H: DeserializeOwned>(frame: &[u8]) -> Result<(H, &[u8]), Ma
             rest.len()
         )));
     }
-    let header: H = serde_json::from_slice(&rest[..header_len])
+    let header: H = mochi_wire::from_slice(&rest[..header_len])
         .map_err(|e| MargoError::Codec(e.to_string()))?;
-    Ok((header, &rest[header_len..]))
+    Ok((header, frame.slice(4 + header_len..)))
 }
 
 #[cfg(test)]
@@ -59,15 +85,15 @@ mod tests {
         let header = Header { key: "k".into(), flag: true };
         let body = vec![0u8, 1, 2, 255];
         let frame = encode_framed(&header, &body).unwrap();
-        let (back, back_body): (Header, &[u8]) = decode_framed(&frame).unwrap();
+        let (back, back_body): (Header, Bytes) = decode_framed(&frame).unwrap();
         assert_eq!(back, header);
-        assert_eq!(back_body, &body[..]);
+        assert_eq!(&back_body[..], &body[..]);
     }
 
     #[test]
     fn empty_body() {
         let frame = encode_framed(&42u32, &[]).unwrap();
-        let (n, body): (u32, &[u8]) = decode_framed(&frame).unwrap();
+        let (n, body): (u32, Bytes) = decode_framed(&frame).unwrap();
         assert_eq!(n, 42);
         assert!(body.is_empty());
     }
@@ -82,7 +108,31 @@ mod tests {
     #[test]
     fn truncation_detected() {
         let frame = encode_framed(&Header { key: "x".into(), flag: false }, b"abc").unwrap();
-        assert!(decode_framed::<Header>(&frame[..3]).is_err());
-        assert!(decode_framed::<Header>(&frame[..5]).is_err());
+        assert!(decode_framed::<Header>(&frame.slice(..3)).is_err());
+        assert!(decode_framed::<Header>(&frame.slice(..5)).is_err());
+    }
+
+    #[test]
+    fn scratch_reuse_keeps_frames_independent() {
+        // Consecutive encodes on one thread share the scratch buffer;
+        // split()/freeze() must leave each produced frame intact.
+        let a = encode_framed(&Header { key: "a".into(), flag: true }, b"first").unwrap();
+        let b = encode_framed(&Header { key: "b".into(), flag: false }, b"second").unwrap();
+        let (ha, body_a): (Header, Bytes) = decode_framed(&a).unwrap();
+        let (hb, body_b): (Header, Bytes) = decode_framed(&b).unwrap();
+        assert_eq!(ha.key, "a");
+        assert_eq!(&body_a[..], b"first");
+        assert_eq!(hb.key, "b");
+        assert_eq!(&body_b[..], b"second");
+    }
+
+    #[test]
+    fn body_slice_is_zero_copy() {
+        let body = vec![9u8; 64];
+        let frame = encode_framed(&1u8, &body).unwrap();
+        let (_, back_body): (u8, Bytes) = decode_framed(&frame).unwrap();
+        // Zero-copy: the body points into the frame's buffer.
+        let frame_range = frame.as_ptr() as usize..frame.as_ptr() as usize + frame.len();
+        assert!(frame_range.contains(&(back_body.as_ptr() as usize)));
     }
 }

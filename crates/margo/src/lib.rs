@@ -17,6 +17,11 @@
 //!   a pool an ES uses) and the Margo level (no removing the progress pool
 //!   or a pool that registered RPC handlers run in).
 //!
+//! RPC arguments travel in the compact `mochi-wire` binary format (the
+//! [`codec`] and [`frame`] modules); JSON survives only on the
+//! observability and configuration surfaces, whose Listing-shaped
+//! artifacts must stay human-readable.
+//!
 //! A [`MargoRuntime`] is one simulated process. Many runtimes share one
 //! [`mochi_mercury::Fabric`], which plays the role of the machine's
 //! interconnect.

@@ -57,21 +57,31 @@ pub struct RuntimeSample {
 }
 
 /// One step in the lifetime of an RPC (or a runtime sample).
+///
+/// Peer addresses are `Arc`-shared with the runtime: several events fire per
+/// RPC (forward start/end, request received, handler start/end, response
+/// sent) and each used to deep-clone the address. An `Arc` bump per event
+/// keeps monitoring overhead flat as address strings grow.
 #[derive(Debug, Clone)]
 pub enum MonitoringEvent {
     /// A client is about to forward a request.
-    ForwardStart { identity: RpcIdentity, dest: Address, payload_size: usize },
+    ForwardStart { identity: RpcIdentity, dest: Arc<Address>, payload_size: usize },
     /// A forwarded request completed (response received, or failed).
-    ForwardEnd { identity: RpcIdentity, dest: Address, duration_s: f64, ok: bool },
+    ForwardEnd { identity: RpcIdentity, dest: Arc<Address>, duration_s: f64, ok: bool },
     /// The progress loop received a request and is scheduling its ULT.
-    RequestReceived { identity: RpcIdentity, source: Address, payload_size: usize, pool: String },
+    RequestReceived {
+        identity: RpcIdentity,
+        source: Arc<Address>,
+        payload_size: usize,
+        pool: String,
+    },
     /// A handler ULT started executing (after waiting in its pool).
-    HandlerStart { identity: RpcIdentity, source: Address, queue_wait_s: f64 },
+    HandlerStart { identity: RpcIdentity, source: Arc<Address>, queue_wait_s: f64 },
     /// A handler ULT finished; `duration_s` is its execution time — the
     /// `ult.duration` statistic of Listing 1.
-    HandlerEnd { identity: RpcIdentity, source: Address, duration_s: f64, ok: bool },
+    HandlerEnd { identity: RpcIdentity, source: Arc<Address>, duration_s: f64, ok: bool },
     /// A response was sent back.
-    ResponseSent { identity: RpcIdentity, dest: Address, payload_size: usize },
+    ResponseSent { identity: RpcIdentity, dest: Arc<Address>, payload_size: usize },
     /// A bulk transfer completed.
     Bulk { direction: BulkDirection, peer: Address, size: usize, duration_s: f64 },
     /// Periodic load sample.

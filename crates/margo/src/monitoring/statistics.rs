@@ -10,6 +10,7 @@
 //! including the `ult.duration` block the listing shows.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use serde_json::{json, Value};
@@ -75,8 +76,10 @@ struct TargetPeer {
 #[derive(Default)]
 struct RpcEntry {
     name: String,
-    origin: HashMap<Address, OriginPeer>,
-    target: HashMap<Address, TargetPeer>,
+    // Keyed by the Arc the runtime already holds: inserting a new peer
+    // bumps a refcount instead of deep-cloning the address.
+    origin: HashMap<Arc<Address>, OriginPeer>,
+    target: HashMap<Arc<Address>, TargetPeer>,
 }
 
 #[derive(Default)]
@@ -127,7 +130,7 @@ impl StatisticsMonitor {
         for key in keys {
             let entry = &state.rpcs[key];
             let mut origin = serde_json::Map::new();
-            let mut origin_addrs: Vec<&Address> = entry.origin.keys().collect();
+            let mut origin_addrs: Vec<&Arc<Address>> = entry.origin.keys().collect();
             origin_addrs.sort();
             for addr in origin_addrs {
                 let peer = &entry.origin[addr];
@@ -141,7 +144,7 @@ impl StatisticsMonitor {
                 );
             }
             let mut target = serde_json::Map::new();
-            let mut target_addrs: Vec<&Address> = entry.target.keys().collect();
+            let mut target_addrs: Vec<&Arc<Address>> = entry.target.keys().collect();
             target_addrs.sort();
             for addr in target_addrs {
                 let peer = &entry.target[addr];
@@ -298,7 +301,7 @@ mod tests {
         let id = identity("echo", 2_924_675_071, 65_535, CallContext::TOP_LEVEL);
         monitor.observe(&MonitoringEvent::HandlerEnd {
             identity: id,
-            source: addr("client"),
+            source: Arc::new(addr("client")),
             duration_s: 0.083,
             ok: true,
         });
@@ -320,13 +323,13 @@ mod tests {
         let nested = CallContext { parent_rpc_id: 42, parent_provider_id: 3 };
         monitor.observe(&MonitoringEvent::ForwardEnd {
             identity: identity("get", 100, 1, nested),
-            dest: addr("server"),
+            dest: Arc::new(addr("server")),
             duration_s: 0.01,
             ok: true,
         });
         monitor.observe(&MonitoringEvent::ForwardEnd {
             identity: identity("get", 100, 1, CallContext::TOP_LEVEL),
-            dest: addr("server"),
+            dest: Arc::new(addr("server")),
             duration_s: 0.02,
             ok: true,
         });
@@ -343,7 +346,7 @@ mod tests {
         for (host, duration) in [("s1", 0.01), ("s1", 0.03), ("s2", 0.5)] {
             monitor.observe(&MonitoringEvent::ForwardEnd {
                 identity: identity("put", 7, 0, CallContext::TOP_LEVEL),
-                dest: addr(host),
+                dest: Arc::new(addr(host)),
                 duration_s: duration,
                 ok: true,
             });
@@ -362,7 +365,7 @@ mod tests {
         let monitor = StatisticsMonitor::new();
         monitor.observe(&MonitoringEvent::ForwardEnd {
             identity: identity("put", 7, 0, CallContext::TOP_LEVEL),
-            dest: addr("s1"),
+            dest: Arc::new(addr("s1")),
             duration_s: 1.0,
             ok: false,
         });
@@ -396,7 +399,7 @@ mod tests {
         let monitor = StatisticsMonitor::new();
         monitor.observe(&MonitoringEvent::ForwardEnd {
             identity: identity("x", 1, 0, CallContext::TOP_LEVEL),
-            dest: addr("s"),
+            dest: Arc::new(addr("s")),
             duration_s: 0.1,
             ok: true,
         });

@@ -50,6 +50,13 @@ impl RpcContext {
         &self.request.payload
     }
 
+    /// Raw request payload as a shared [`Bytes`] handle — providers that
+    /// frame their payloads ([`crate::frame::decode_framed`]) use this so
+    /// body slices stay zero-copy views of the request buffer.
+    pub fn payload_bytes(&self) -> &Bytes {
+        &self.request.payload
+    }
+
     /// Address of the requester.
     pub fn source(&self) -> &Address {
         &self.request.source

@@ -42,6 +42,27 @@ use crate::rpc::{rpc_id_for_name, RpcContext, RpcHandler};
 /// How often the progress loop wakes to check for shutdown.
 const PROGRESS_TICK: Duration = Duration::from_millis(10);
 
+/// Interns an RPC name as an `Arc<str>` in a per-thread cache, so the
+/// forward hot path does not allocate a fresh `Arc<str>` for every call of
+/// the same RPC. Thread-local to stay lock-free (the lock-rank graph gains
+/// no edges from this).
+fn cached_rpc_name(rpc_name: &str) -> Arc<str> {
+    thread_local! {
+        static NAMES: std::cell::RefCell<HashMap<String, Arc<str>>> =
+            std::cell::RefCell::new(HashMap::new());
+    }
+    NAMES.with(|cell| {
+        let mut names = cell.borrow_mut();
+        if let Some(name) = names.get(rpc_name) {
+            Arc::clone(name)
+        } else {
+            let name: Arc<str> = Arc::from(rpc_name);
+            names.insert(rpc_name.to_string(), Arc::clone(&name));
+            name
+        }
+    })
+}
+
 struct Registration {
     name: Arc<str>,
     pool: String,
@@ -454,11 +475,14 @@ impl MargoRuntime {
         self.ensure_live()?;
         let payload = crate::codec::encode(input)?;
         let rpc_id = rpc_id_for_name(rpc_name);
-        let name: Arc<str> = Arc::from(rpc_name);
+        let name = cached_rpc_name(rpc_name);
         let identity = self.identity_for(rpc_id, &name, provider_id, context);
+        // One shared destination for both monitoring events; the request
+        // itself borrows `dest`, so this is the only deep clone per call.
+        let dest_shared = Arc::new(dest.clone());
         self.emit(&MonitoringEvent::ForwardStart {
             identity: identity.clone(),
-            dest: dest.clone(),
+            dest: Arc::clone(&dest_shared),
             payload_size: payload.len(),
         });
         self.inner.in_flight_client.fetch_add(1, Ordering::Relaxed);
@@ -478,7 +502,7 @@ impl MargoRuntime {
         self.inner.in_flight_client.fetch_sub(1, Ordering::Relaxed);
         self.emit(&MonitoringEvent::ForwardEnd {
             identity,
-            dest: dest.clone(),
+            dest: dest_shared,
             duration_s: start.elapsed().as_secs_f64(),
             ok: result.is_ok(),
         });
@@ -500,11 +524,12 @@ impl MargoRuntime {
     ) -> Result<Bytes, MargoError> {
         self.ensure_live()?;
         let rpc_id = rpc_id_for_name(rpc_name);
-        let name: Arc<str> = Arc::from(rpc_name);
+        let name = cached_rpc_name(rpc_name);
         let identity = self.identity_for(rpc_id, &name, provider_id, context);
+        let dest_shared = Arc::new(dest.clone());
         self.emit(&MonitoringEvent::ForwardStart {
             identity: identity.clone(),
-            dest: dest.clone(),
+            dest: Arc::clone(&dest_shared),
             payload_size: payload.len(),
         });
         self.inner.in_flight_client.fetch_add(1, Ordering::Relaxed);
@@ -524,7 +549,7 @@ impl MargoRuntime {
         self.inner.in_flight_client.fetch_sub(1, Ordering::Relaxed);
         self.emit(&MonitoringEvent::ForwardEnd {
             identity,
-            dest: dest.clone(),
+            dest: dest_shared,
             duration_s: start.elapsed().as_secs_f64(),
             ok: result.is_ok(),
         });

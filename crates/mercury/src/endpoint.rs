@@ -81,10 +81,15 @@ impl Incoming {
 }
 
 /// A received request plus everything needed to respond to it.
+///
+/// The source address is `Arc`-shared: the upper layers (Margo dispatch,
+/// monitoring events, response routing) all reference the same address many
+/// times per request, and an `Arc` bump is far cheaper than cloning the
+/// address each time.
 #[derive(Debug, Clone)]
 pub struct RequestInfo {
     /// Address of the requester.
-    pub source: Address,
+    pub source: Arc<Address>,
     /// RPC id.
     pub rpc_id: u64,
     /// Target provider id.
@@ -100,8 +105,8 @@ pub struct RequestInfo {
 /// A received one-way notification.
 #[derive(Debug, Clone)]
 pub struct OneWayInfo {
-    /// Address of the sender.
-    pub source: Address,
+    /// Address of the sender (`Arc`-shared, see [`RequestInfo`]).
+    pub source: Arc<Address>,
     /// RPC id.
     pub rpc_id: u64,
     /// Target provider id.
@@ -242,7 +247,7 @@ impl Endpoint {
         self.ensure_open()?;
         let envelope = Envelope {
             source: self.addr.clone(),
-            dest: request.source.clone(),
+            dest: (*request.source).clone(),
             message: Message::Response(ResponseBody { xid: request.xid, status, payload }),
         };
         self.fabric_handle().send(envelope)
@@ -288,7 +293,7 @@ impl Endpoint {
                 }
                 Message::Request(req) => {
                     return Ok(Some(Incoming::Request(RequestInfo {
-                        source: envelope.source,
+                        source: Arc::new(envelope.source),
                         rpc_id: req.rpc_id,
                         provider_id: req.provider_id,
                         xid: req.xid,
@@ -301,7 +306,7 @@ impl Endpoint {
                 }
                 Message::OneWay(ow) => {
                     return Ok(Some(Incoming::OneWay(OneWayInfo {
-                        source: envelope.source,
+                        source: Arc::new(envelope.source),
                         rpc_id: ow.rpc_id,
                         provider_id: ow.provider_id,
                         payload: ow.payload,
@@ -475,7 +480,7 @@ mod tests {
                 assert_eq!(ow.rpc_id, 7);
                 assert_eq!(ow.provider_id, 3);
                 assert_eq!(&ow.payload[..], b"note");
-                assert_eq!(&ow.source, client.address());
+                assert_eq!(&*ow.source, client.address());
             }
             other => panic!("expected OneWay, got {other:?}"),
         }

@@ -175,7 +175,7 @@ impl RemiClient {
             if header.segments.is_empty() {
                 return Ok(());
             }
-            let frame = protocol::encode_chunk(header, body);
+            let frame = protocol::encode_chunk(header, body).map_err(MargoError::Codec)?;
             while pending.len() >= window {
                 wait_one(pending.pop_front().expect("nonempty window"))?;
             }

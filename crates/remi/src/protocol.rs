@@ -1,11 +1,11 @@
 //! Wire protocol of REMI: RPC names, argument types, and the binary chunk
 //! framing.
 //!
-//! Chunk payloads deliberately bypass the JSON argument codec: a chunk is
-//! `[u32 header-length][JSON header][raw bytes]`, so the network model
-//! charges realistic byte counts and the pipelined-chunk strategy is not
-//! penalized by argument-encoding inflation (real REMI likewise ships raw
-//! buffers).
+//! Chunk payloads deliberately bypass the argument codec: a chunk is
+//! `[u32 header-length][mochi-wire header][raw bytes]`, so the network
+//! model charges realistic byte counts and the pipelined-chunk strategy is
+//! not penalized by argument-encoding inflation (real REMI likewise ships
+//! raw buffers).
 
 use serde::{Deserialize, Serialize};
 
@@ -68,7 +68,7 @@ pub struct PullArgs {
     pub bulk_handles: Vec<BulkHandle>,
 }
 
-/// Header of a chunk frame (the JSON part).
+/// Header of a chunk frame (the mochi-wire-encoded part).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ChunkHeader {
     /// Transfer token.
@@ -107,14 +107,14 @@ pub struct TransferSummary {
     pub bytes: u64,
 }
 
-/// Encodes a chunk frame: `[u32 LE header length][header JSON][body]`.
-pub fn encode_chunk(header: &ChunkHeader, body: &[u8]) -> Vec<u8> {
-    let header_json = serde_json::to_vec(header).expect("chunk header serializes");
-    let mut frame = Vec::with_capacity(4 + header_json.len() + body.len());
-    frame.extend_from_slice(&(header_json.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&header_json);
+/// Encodes a chunk frame: `[u32 LE header length][wire header][body]`.
+pub fn encode_chunk(header: &ChunkHeader, body: &[u8]) -> Result<Vec<u8>, String> {
+    let header_bytes = mochi_wire::to_vec(header).map_err(|e| e.to_string())?;
+    let mut frame = Vec::with_capacity(4 + header_bytes.len() + body.len());
+    frame.extend_from_slice(&(header_bytes.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&header_bytes);
     frame.extend_from_slice(body);
-    frame
+    Ok(frame)
 }
 
 /// Decodes a chunk frame into its header and body.
@@ -122,13 +122,14 @@ pub fn decode_chunk(frame: &[u8]) -> Result<(ChunkHeader, &[u8]), String> {
     if frame.len() < 4 {
         return Err("chunk frame shorter than header length".into());
     }
-    let header_len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+    let header_len =
+        u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize;
     let rest = &frame[4..];
     if rest.len() < header_len {
         return Err(format!("chunk frame truncated: header {header_len} > {}", rest.len()));
     }
     let header: ChunkHeader =
-        serde_json::from_slice(&rest[..header_len]).map_err(|e| e.to_string())?;
+        mochi_wire::from_slice(&rest[..header_len]).map_err(|e| e.to_string())?;
     let body = &rest[header_len..];
     let declared: usize = header.segments.iter().map(|s| s.len as usize).sum();
     if declared != body.len() {
@@ -152,7 +153,7 @@ mod tests {
             ],
         };
         let body = b"aaaaabbb";
-        let frame = encode_chunk(&header, body);
+        let frame = encode_chunk(&header, body).unwrap();
         let (back, back_body) = decode_chunk(&frame).unwrap();
         assert_eq!(back, header);
         assert_eq!(back_body, body);
@@ -162,7 +163,7 @@ mod tests {
     fn truncated_frames_rejected() {
         assert!(decode_chunk(&[1, 2]).is_err());
         let header = ChunkHeader { token: "t".into(), seq: 0, segments: vec![] };
-        let mut frame = encode_chunk(&header, b"");
+        let mut frame = encode_chunk(&header, b"").unwrap();
         frame.truncate(frame.len() - 1);
         assert!(decode_chunk(&frame).is_err());
     }
@@ -174,7 +175,7 @@ mod tests {
             seq: 0,
             segments: vec![ChunkSegment { file_index: 0, offset: 0, len: 10 }],
         };
-        let frame = encode_chunk(&header, b"short");
+        let frame = encode_chunk(&header, b"short").unwrap();
         assert!(decode_chunk(&frame).is_err());
     }
 

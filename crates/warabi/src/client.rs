@@ -78,17 +78,19 @@ impl TargetHandle {
         if len >= BULK_THRESHOLD {
             return self.read_bulk(id, offset, len);
         }
-        let args = serde_json::to_vec(&ReadArgs { id, offset, len })
-            .map_err(|e| MargoError::Codec(e.to_string()))?;
+        let args = mochi_margo::encode(&ReadArgs { id, offset, len })?;
         let reply = self.margo.forward_raw(
             &self.address,
             rpc::READ,
             self.provider_id,
-            bytes::Bytes::from(args),
+            args,
             CallContext::TOP_LEVEL,
             self.timeout,
         )?;
-        let (len, body): (u64, &[u8]) = decode_framed(&reply)?;
+        let (len, body) = decode_framed::<u64>(&reply)?;
+        if len as usize > body.len() {
+            return Err(MargoError::Codec("read body truncated".into()));
+        }
         Ok(body[..len as usize].to_vec())
     }
 

@@ -100,9 +100,9 @@ impl WarabiProvider {
             pool,
             Arc::new(move |ctx: RpcContext| {
                 let result = (|| -> Result<(), String> {
-                    let (header, body): (WriteHeader, &[u8]) =
-                        decode_framed(ctx.payload()).map_err(|e| e.to_string())?;
-                    t.write(header.id, header.offset, body).map_err(|e| e.to_string())
+                    let (header, body) = decode_framed::<WriteHeader>(ctx.payload_bytes())
+                        .map_err(|e| e.to_string())?;
+                    t.write(header.id, header.offset, &body).map_err(|e| e.to_string())
                 })();
                 match result {
                     Ok(()) => {

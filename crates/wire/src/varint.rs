@@ -1,0 +1,89 @@
+//! LEB128 variable-length integers.
+//!
+//! Unsigned values are emitted little-endian, seven bits per byte, with the
+//! high bit of each byte set while more bytes follow. `u64::MAX` takes ten
+//! bytes; values below 128 take one.
+
+use crate::error::WireError;
+use bytes::BufMut;
+
+/// Maximum encoded length of a `u64` varint.
+pub const MAX_LEN: usize = 10;
+
+/// Append `value` as a LEB128 varint.
+pub fn write_u64<B: BufMut>(out: &mut B, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.put_u8(byte);
+            return;
+        }
+        out.put_u8(byte | 0x80);
+    }
+}
+
+/// Decode a LEB128 varint from the front of `input`, returning the value and
+/// the number of bytes consumed.
+pub fn read_u64(input: &[u8]) -> Result<(u64, usize), WireError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in input.iter().enumerate().take(MAX_LEN) {
+        let chunk = u64::from(byte & 0x7f);
+        // The tenth byte supplies bits 63.. — anything above bit 63 overflows.
+        if shift == 63 && chunk > 1 {
+            return Err(WireError::VarintOverflow);
+        }
+        value |= chunk << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    if input.len() < MAX_LEN {
+        Err(WireError::Eof)
+    } else {
+        Err(WireError::VarintOverflow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_edges() {
+        for value in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, value);
+            assert!(buf.len() <= MAX_LEN);
+            let (decoded, used) = read_u64(&buf).unwrap();
+            assert_eq!(decoded, value);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        for value in 0u64..128 {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, value);
+            assert_eq!(buf.len(), 1);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_eof() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        assert_eq!(read_u64(&buf[..buf.len() - 1]), Err(WireError::Eof));
+        assert_eq!(read_u64(&[]), Err(WireError::Eof));
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // Eleven continuation bytes can never be a valid u64.
+        let buf = [0xffu8; 11];
+        assert_eq!(read_u64(&buf), Err(WireError::VarintOverflow));
+    }
+}

@@ -89,9 +89,14 @@ impl DatabaseHandle {
             CallContext::TOP_LEVEL,
             self.timeout,
         )?;
-        let (header, body): (ValuesHeader, &[u8]) = decode_framed(&reply)?;
+        let (header, body) = decode_framed::<ValuesHeader>(&reply)?;
         match header.lens.first() {
-            Some(&len) if len >= 0 => Ok(Some(body[..len as usize].to_vec())),
+            Some(&len) if len >= 0 => {
+                if len as usize > body.len() {
+                    return Err(MargoError::Codec("get body truncated".into()));
+                }
+                Ok(Some(body[..len as usize].to_vec()))
+            }
             _ => Ok(None),
         }
     }
@@ -108,7 +113,7 @@ impl DatabaseHandle {
             CallContext::TOP_LEVEL,
             self.timeout,
         )?;
-        let (header, body): (ValuesHeader, &[u8]) = decode_framed(&reply)?;
+        let (header, body) = decode_framed::<ValuesHeader>(&reply)?;
         let mut out = Vec::with_capacity(header.lens.len());
         let mut cursor = 0usize;
         for len in header.lens {

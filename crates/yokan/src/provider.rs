@@ -1,8 +1,9 @@
 //! The Yokan provider: serves a [`Database`] over Margo RPCs.
 //!
-//! Control RPCs (erase, exists, list, len, flush, clear) use the JSON
+//! Control RPCs (erase, exists, list, len, flush, clear) use the argument
 //! codec; data-plane RPCs (put/get, single and multi) use binary framing
-//! so values travel as raw bytes.
+//! so values travel as raw bytes and body slices stay zero-copy views of
+//! the request buffer.
 
 use std::sync::Arc;
 
@@ -93,10 +94,10 @@ pub struct YokanProvider {
 
 fn framed_handler(
     db: &Arc<dyn Database>,
-    handler: impl Fn(&Arc<dyn Database>, &[u8]) -> Result<Bytes, String> + Send + Sync + 'static,
+    handler: impl Fn(&Arc<dyn Database>, &Bytes) -> Result<Bytes, String> + Send + Sync + 'static,
 ) -> mochi_margo::RpcHandler {
     let db = Arc::clone(db);
-    Arc::new(move |ctx: RpcContext| match handler(&db, ctx.payload()) {
+    Arc::new(move |ctx: RpcContext| match handler(&db, ctx.payload_bytes()) {
         Ok(payload) => {
             let _ = ctx.respond_bytes(payload);
         }
@@ -120,9 +121,9 @@ impl YokanProvider {
             provider_id,
             pool,
             framed_handler(&db, |db, payload| {
-                let (header, body): (KeyHeader, &[u8]) =
-                    decode_framed(payload).map_err(|e| e.to_string())?;
-                db.put(&header.key, body).map_err(|e| e.to_string())?;
+                let (header, body) =
+                    decode_framed::<KeyHeader>(payload).map_err(|e| e.to_string())?;
+                db.put(&header.key, &body).map_err(|e| e.to_string())?;
                 encode_framed(&true, &[]).map_err(|e| e.to_string())
             }),
         )?;
@@ -132,8 +133,8 @@ impl YokanProvider {
             provider_id,
             pool,
             framed_handler(&db, |db, payload| {
-                let (header, body): (PutMultiHeader, &[u8]) =
-                    decode_framed(payload).map_err(|e| e.to_string())?;
+                let (header, body) =
+                    decode_framed::<PutMultiHeader>(payload).map_err(|e| e.to_string())?;
                 if header.keys.len() != header.value_lens.len() {
                     return Err("keys/value_lens length mismatch".into());
                 }
@@ -156,8 +157,8 @@ impl YokanProvider {
             provider_id,
             pool,
             framed_handler(&db, |db, payload| {
-                let (header, _): (KeyHeader, &[u8]) =
-                    decode_framed(payload).map_err(|e| e.to_string())?;
+                let (header, _) =
+                    decode_framed::<KeyHeader>(payload).map_err(|e| e.to_string())?;
                 match db.get(&header.key).map_err(|e| e.to_string())? {
                     Some(value) => {
                         encode_framed(&ValuesHeader { lens: vec![value.len() as i64] }, &value)
@@ -174,8 +175,8 @@ impl YokanProvider {
             provider_id,
             pool,
             framed_handler(&db, |db, payload| {
-                let (header, _): (GetMultiHeader, &[u8]) =
-                    decode_framed(payload).map_err(|e| e.to_string())?;
+                let (header, _) =
+                    decode_framed::<GetMultiHeader>(payload).map_err(|e| e.to_string())?;
                 let mut lens = Vec::with_capacity(header.keys.len());
                 let mut body = Vec::new();
                 for key in &header.keys {
@@ -190,7 +191,7 @@ impl YokanProvider {
                 encode_framed(&ValuesHeader { lens }, &body).map_err(|e| e.to_string())
             }),
         )?;
-        // Control plane (JSON).
+        // Control plane (argument codec).
         let erase_db = Arc::clone(&db);
         margo.register_typed(rpc::ERASE, provider_id, pool, move |key: Vec<u8>, _| {
             erase_db.erase(&key).map_err(|e| e.to_string())

@@ -1,7 +1,7 @@
 //! The `mochi-lint` gate as a tier-1 test: the workspace's own sources
-//! must stay free of lock-order cycles, recursive re-locks, and *new*
-//! panic paths or blocking calls beyond the debt frozen in
-//! `lint-allow.json`.
+//! must stay free of lock-order cycles, recursive re-locks, data-plane
+//! `serde_json` uses, and *new* panic paths or blocking calls beyond
+//! the debt frozen in `lint-allow.json`.
 //!
 //! To regenerate the allowlist after deliberately accepting new debt:
 //! `cargo run -p mochi-lint -- --root . --write-allowlist`.
