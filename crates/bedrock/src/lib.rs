@@ -15,6 +15,7 @@ pub mod config;
 pub mod error;
 pub mod jx9;
 pub mod module;
+pub mod rpc_names;
 pub mod server;
 pub mod txn;
 

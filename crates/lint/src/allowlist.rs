@@ -25,10 +25,31 @@ pub struct Allowlist {
     pub blocking: BTreeMap<Key, usize>,
     /// Permitted finding counts for the data-plane JSON lint.
     pub serde_json: BTreeMap<Key, usize>,
+    /// Permitted finding counts for the RPC contract checker. The kind
+    /// encodes the issue class and RPC name, e.g. `dead:yokan_watch`.
+    pub contracts: BTreeMap<Key, usize>,
+    /// Permitted finding counts for the lock-held-across-yield analysis.
+    /// The kind encodes the suspending call and lock class, e.g.
+    /// `forward_timeout:raft::core`.
+    pub lock_across_yield: BTreeMap<Key, usize>,
     /// Lock field names (or `crate::field` ids) excluded from the
     /// lock-order graph — for per-instance locks whose class identity
     /// would alias distinct objects.
     pub ignored_locks: Vec<String>,
+}
+
+/// One allowlist entry the current tree no longer needs: its key matched
+/// zero findings, so the frozen debt has been paid down (or the code
+/// moved) and the entry should be pruned.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StaleEntry {
+    /// Allowlist section the entry lives in (`panic_paths`, …).
+    pub section: String,
+    pub file: String,
+    pub function: String,
+    pub kind: String,
+    /// The recorded (now unused) allowance count.
+    pub count: usize,
 }
 
 impl Allowlist {
@@ -48,11 +69,13 @@ impl Allowlist {
                             .push(item.as_str().ok_or("ignored_locks entries must be strings")?.to_string());
                     }
                 }
-                "panic_paths" | "blocking" | "serde_json" => {
+                "panic_paths" | "blocking" | "serde_json" | "contracts" | "lock_across_yield" => {
                     let items = value.as_array().ok_or("allowance sections must be arrays")?;
                     let section = match key.as_str() {
                         "panic_paths" => &mut allowlist.panic_paths,
                         "blocking" => &mut allowlist.blocking,
+                        "contracts" => &mut allowlist.contracts,
+                        "lock_across_yield" => &mut allowlist.lock_across_yield,
                         _ => &mut allowlist.serde_json,
                     };
                     for item in items {
@@ -96,6 +119,8 @@ impl Allowlist {
             ("panic_paths", &self.panic_paths),
             ("blocking", &self.blocking),
             ("serde_json", &self.serde_json),
+            ("contracts", &self.contracts),
+            ("lock_across_yield", &self.lock_across_yield),
         ] {
             let _ = write!(out, "  \"{name}\": [");
             for (i, ((file, function, kind), count)) in section.iter().enumerate() {
@@ -110,7 +135,7 @@ impl Allowlist {
                 );
             }
             out.push_str(if section.is_empty() { "]" } else { "\n  ]" });
-            out.push_str(if name == "serde_json" { "\n" } else { ",\n" });
+            out.push_str(if name == "lock_across_yield" { "\n" } else { ",\n" });
         }
         out.push_str("}\n");
         out
@@ -121,14 +146,47 @@ impl Allowlist {
         panic_counts: BTreeMap<Key, usize>,
         blocking_counts: BTreeMap<Key, usize>,
         json_counts: BTreeMap<Key, usize>,
+        contract_counts: BTreeMap<Key, usize>,
+        yield_counts: BTreeMap<Key, usize>,
         ignored_locks: Vec<String>,
     ) -> Allowlist {
         Allowlist {
             panic_paths: panic_counts,
             blocking: blocking_counts,
             serde_json: json_counts,
+            contracts: contract_counts,
+            lock_across_yield: yield_counts,
             ignored_locks,
         }
+    }
+
+    /// Entries whose key matches zero current findings, per section.
+    /// `actual` maps section name to the raw (pre-allowlist) counts.
+    pub fn stale_entries(&self, actual: &[(&str, &BTreeMap<Key, usize>)]) -> Vec<StaleEntry> {
+        let mut stale = Vec::new();
+        for (section_name, allowed) in [
+            ("panic_paths", &self.panic_paths),
+            ("blocking", &self.blocking),
+            ("serde_json", &self.serde_json),
+            ("contracts", &self.contracts),
+            ("lock_across_yield", &self.lock_across_yield),
+        ] {
+            let counts = actual.iter().find(|(n, _)| *n == section_name).map(|(_, c)| *c);
+            for ((file, function, kind), count) in allowed {
+                let live = counts.and_then(|c| c.get(&(file.clone(), function.clone(), kind.clone()))).copied().unwrap_or(0);
+                if live == 0 {
+                    stale.push(StaleEntry {
+                        section: section_name.to_string(),
+                        file: file.clone(),
+                        function: function.clone(),
+                        kind: kind.clone(),
+                        count: *count,
+                    });
+                }
+            }
+        }
+        stale.sort();
+        stale
     }
 }
 
@@ -346,13 +404,52 @@ mod tests {
         let mut json_counts = BTreeMap::new();
         json_counts
             .insert(("crates/margo/src/codec.rs".into(), "encode".into(), "serde_json".into()), 1);
-        let allowlist = Allowlist::freeze(panic_counts, blocking, json_counts, vec!["buffer".into()]);
+        let mut contract_counts = BTreeMap::new();
+        contract_counts.insert(
+            ("crates/yokan/src/provider.rs".into(), "register".into(), "dead:yokan_watch".into()),
+            1,
+        );
+        let mut yield_counts = BTreeMap::new();
+        yield_counts.insert(
+            ("crates/raft/src/node.rs".into(), "replicate".into(), "forward_timeout:raft::core".into()),
+            1,
+        );
+        let allowlist = Allowlist::freeze(
+            panic_counts,
+            blocking,
+            json_counts,
+            contract_counts,
+            yield_counts,
+            vec!["buffer".into()],
+        );
         let json = allowlist.to_json();
         let back = Allowlist::from_json(&json).unwrap();
         assert_eq!(back.panic_paths, allowlist.panic_paths);
         assert_eq!(back.blocking, allowlist.blocking);
         assert_eq!(back.serde_json, allowlist.serde_json);
+        assert_eq!(back.contracts, allowlist.contracts);
+        assert_eq!(back.lock_across_yield, allowlist.lock_across_yield);
         assert_eq!(back.ignored_locks, allowlist.ignored_locks);
+    }
+
+    #[test]
+    fn stale_entries_detected_per_section() {
+        let mut panic_counts = BTreeMap::new();
+        let live_key: Key = ("a.rs".into(), "f".into(), "unwrap".into());
+        let dead_key: Key = ("b.rs".into(), "g".into(), "expect".into());
+        panic_counts.insert(live_key.clone(), 1);
+        panic_counts.insert(dead_key.clone(), 2);
+        let allowlist = Allowlist {
+            panic_paths: panic_counts,
+            ..Allowlist::default()
+        };
+        let mut actual = BTreeMap::new();
+        actual.insert(live_key, 1usize);
+        let stale = allowlist.stale_entries(&[("panic_paths", &actual)]);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].file, "b.rs");
+        assert_eq!(stale[0].section, "panic_paths");
+        assert_eq!(stale[0].count, 2);
     }
 
     #[test]

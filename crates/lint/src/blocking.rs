@@ -9,7 +9,7 @@
 //! submissions waiting for commit in a dedicated pool) is frozen in the
 //! allowlist with its rationale.
 
-use crate::lexer::{is_ident_byte, line_of, matching_brace};
+use crate::lexer::{column_of, is_ident_byte, line_of, matching_brace};
 use crate::source::SourceFile;
 
 /// One blocking call inside a ULT closure.
@@ -20,6 +20,7 @@ pub struct BlockingSite {
     /// `sleep`, `recv`, `recv_timeout`, `join`.
     pub kind: String,
     pub line: usize,
+    pub column: usize,
 }
 
 /// Call sites whose closure arguments run as ULTs.
@@ -143,6 +144,7 @@ fn scan_blocking(file: &SourceFile, start: usize, end: usize, sites: &mut Vec<Bl
                         .unwrap_or_else(|| "<module>".to_string()),
                     kind: kind.to_string(),
                     line: line_of(text, i),
+                    column: column_of(text, i),
                 });
                 i += needle.len();
             } else {

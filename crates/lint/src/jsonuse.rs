@@ -8,7 +8,7 @@
 //! 2/3), Jx9 artifacts — so those modules are deliberately *not* listed
 //! here. Existing debt is frozen in the allowlist; new sites fail.
 
-use crate::lexer::{is_ident_byte, line_of};
+use crate::lexer::{column_of, is_ident_byte, line_of};
 use crate::source::SourceFile;
 
 /// Data-plane modules where a `serde_json::` use is a finding. Exact
@@ -35,6 +35,7 @@ pub struct JsonSite {
     /// Always `serde_json` (the allowlist key format wants a kind).
     pub kind: String,
     pub line: usize,
+    pub column: usize,
 }
 
 /// Whether the data-plane JSON lint applies to `rel_path`.
@@ -59,6 +60,7 @@ pub fn scan(file: &SourceFile) -> Vec<JsonSite> {
                     .unwrap_or_else(|| "<module>".to_string()),
                 kind: "serde_json".to_string(),
                 line: line_of(text, i),
+                column: column_of(text, i),
             });
             i += NEEDLE.len();
         } else {

@@ -114,6 +114,14 @@ pub fn line_of(bytes: &[u8], offset: usize) -> usize {
     1 + bytes[..offset.min(bytes.len())].iter().filter(|&&b| b == b'\n').count()
 }
 
+/// 1-based column number of a byte offset.
+pub fn column_of(bytes: &[u8], offset: usize) -> usize {
+    let offset = offset.min(bytes.len());
+    let line_start =
+        bytes[..offset].iter().rposition(|&b| b == b'\n').map(|p| p + 1).unwrap_or(0);
+    1 + offset - line_start
+}
+
 pub fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
@@ -317,5 +325,97 @@ mod tests {
         let src = "a\n\"x\ny\"\nb";
         let s = sanitize(src);
         assert_eq!(line_of(&s, s.len() - 1), 4);
+    }
+
+    #[test]
+    fn byte_strings_are_blanked() {
+        let s = clean(r#"let m = b"magic.lock()"; n"#);
+        assert!(!s.contains("magic"));
+        assert!(!s.contains("lock"));
+        assert!(s.starts_with("let m ="));
+        assert!(s.ends_with("; n"));
+    }
+
+    #[test]
+    fn raw_byte_strings_with_hashes_are_blanked() {
+        let src = r###"let m = br##"quote " hash # done"##; n"###;
+        let s = clean(src);
+        assert_eq!(s.len(), src.len());
+        assert!(!s.contains("quote"));
+        assert!(s.ends_with("; n"));
+    }
+
+    #[test]
+    fn raw_string_with_embedded_quote_ends_at_matching_hashes() {
+        // The `"#`-lookalike inside must not terminate an `r##"…"##`.
+        let src = r###"let j = r##"a "# b"##; k"###;
+        let s = clean(src);
+        assert!(!s.contains('a'));
+        assert!(!s.contains('b'));
+        assert!(s.ends_with("; k"));
+    }
+
+    #[test]
+    fn escaped_quote_and_backslash_char_literals() {
+        let s = clean(r"let q = '\''; let b = '\\'; x.lock()");
+        assert!(!s.contains('\''), "char literals must be blanked: {s}");
+        assert!(s.contains("x.lock()"));
+    }
+
+    #[test]
+    fn unicode_escape_char_literal() {
+        let s = clean(r"let c = '\u{10FFFF}'; y");
+        assert!(!s.contains("10FFFF"));
+        assert!(s.ends_with("; y"));
+    }
+
+    #[test]
+    fn quote_char_literal_does_not_open_a_string() {
+        // If `'"'` were mislexed, the closing `"` would swallow the rest
+        // of the line as a string.
+        let s = clean(r#"let c = '"'; x.lock()"#);
+        assert!(s.contains("x.lock()"));
+    }
+
+    #[test]
+    fn loop_labels_are_lifetimes_not_chars() {
+        let s = clean("'outer: loop { break 'outer; }");
+        assert!(s.contains("'outer: loop"));
+        assert!(s.contains("break 'outer;"));
+    }
+
+    #[test]
+    fn static_lifetime_survives() {
+        let s = clean("const N: &'static str = x; fn f(a: &'static [u8]) {}");
+        assert!(s.contains("&'static str"));
+        assert!(s.contains("&'static [u8]"));
+    }
+
+    #[test]
+    fn byte_char_literals_are_blanked() {
+        let s = clean(r"if b == b'\n' || b == b'x' { y.lock() }");
+        assert!(!s.contains("b'"));
+        assert!(s.contains("y.lock()"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_string_prefixes() {
+        let s = clean("let r#type = r#match.lock();");
+        assert!(s.contains("r#type"));
+        assert!(s.contains("r#match.lock()"));
+    }
+
+    #[test]
+    fn unterminated_block_comment_blanks_to_eof() {
+        let s = clean("a /* x /* y */ z");
+        assert!(s.starts_with("a "));
+        assert!(!s.contains('z'));
+    }
+
+    #[test]
+    fn multibyte_char_literal_is_blanked() {
+        let s = clean("let c = '\u{1F980}'; z.lock()");
+        assert!(!s.contains('\u{1F980}'));
+        assert!(s.contains("z.lock()"));
     }
 }

@@ -1,46 +1,67 @@
 //! `mochi-lint`: workspace-specific static analysis for the mochi-rs
 //! stack.
 //!
-//! Three lints, all tuned to the failure modes that matter for dynamic
+//! Six analyses, all tuned to the failure modes that matter for dynamic
 //! HPC data services (a panicking or deadlocked provider is a dead node,
-//! which defeats the resilience layer):
+//! which defeats the resilience layer; a mistyped RPC name only fails on
+//! a live, reconfigured cluster):
 //!
-//! 1. **Lock-order analysis** ([`locks`]): extracts nested
+//! 1. **Lock-order analysis** ([`locks`], MOCHI001/002): extracts nested
 //!    `.lock()`/`.read()`/`.write()` spans per function, merges them into
 //!    a workspace lock-order graph, and reports cycles (potential
 //!    deadlocks) and identical-receiver re-locks (immediate deadlocks
 //!    with `parking_lot`).
-//! 2. **Panic-path lint** ([`panics`]): `unwrap()`/`expect()`/`panic!`
-//!    inside provider and RPC-handler crates. Existing debt is frozen in
-//!    `lint-allow.json`; new sites fail.
-//! 3. **Blocking-call-in-ULT lint** ([`blocking`]): sleeps and channel
-//!    waits inside closures that run as ULTs on the fixed xstream threads.
-//! 4. **Data-plane JSON lint** ([`jsonuse`]): `serde_json::` in the RPC
-//!    hot path (codec/frame and the yokan/warabi/remi client/provider
-//!    modules), which must use the mochi-wire binary codec. Monitoring,
-//!    Bedrock config, and Jx9 surfaces stay JSON and are not scanned.
+//! 2. **Panic-path lint** ([`panics`], MOCHI003): `unwrap()`/`expect()`/
+//!    `panic!` inside provider and RPC-handler crates. Existing debt is
+//!    frozen in `lint-allow.json`; new sites fail.
+//! 3. **Blocking-call-in-ULT lint** ([`blocking`], MOCHI004): sleeps and
+//!    channel waits inside closures that run as ULTs on the fixed
+//!    xstream threads.
+//! 4. **Data-plane JSON lint** ([`jsonuse`], MOCHI005): `serde_json::`
+//!    in the RPC hot path (codec/frame and the yokan/warabi/remi
+//!    client/provider modules), which must use the mochi-wire binary
+//!    codec. Monitoring, Bedrock config, and Jx9 surfaces stay JSON and
+//!    are not scanned.
+//! 5. **RPC contract checker** ([`contracts`], MOCHI006/007/008): builds
+//!    a workspace table of every `register`/`register_typed`/`handler!`
+//!    site and every `forward`-family/`call` site, resolves RPC-name
+//!    constants through the per-crate `rpc_names` modules, and reports
+//!    unregistered calls, dead surface, and argument/reply type
+//!    disagreements.
+//! 6. **Lock-held-across-yield analysis** ([`yields`], MOCHI009): a lock
+//!    guard whose span encloses a `forward`, bulk transfer, channel
+//!    receive, or `yield_now` in ULT/handler code.
 //!
-//! Run as `cargo run -p mochi-lint -- --root .`, or through the umbrella
-//! crate's `lint_gate` test, which makes it part of the tier-1 gate.
+//! Stale `lint-allow.json` entries (MOCHI010) are reported so frozen
+//! debt burns down instead of rotting. Output formats: `text` (default),
+//! `json`, and `sarif` — see [`report`].
+//!
+//! Run as `cargo run -p mochi-lint -- --root . [--format json]`, or
+//! through the umbrella crate's `lint_gate` test, which makes it part of
+//! the tier-1 gate.
 
 pub mod allowlist;
 pub mod blocking;
+pub mod contracts;
 pub mod jsonuse;
 pub mod lexer;
 pub mod locks;
 pub mod panics;
+pub mod report;
 pub mod source;
+pub mod yields;
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::fmt::Write as _;
 use std::path::Path;
 
-use allowlist::Allowlist;
+use allowlist::{Allowlist, StaleEntry};
 use blocking::BlockingSite;
+use contracts::{ContractIssue, RpcSite};
 use jsonuse::JsonSite;
 use locks::{LockCycle, LockEdge, RecursiveLock};
 use panics::PanicSite;
 use source::SourceFile;
+use yields::YieldSite;
 
 /// Everything one run of the analysis produced.
 pub struct LintReport {
@@ -64,76 +85,60 @@ pub struct LintReport {
     pub json_violations: Vec<JsonSite>,
     /// Data-plane JSON findings covered by the allowlist.
     pub json_allowed: usize,
-    /// Raw (pre-allowlist) finding counts, for `--write-allowlist`.
+    /// The full workspace RPC contract table (every register/forward
+    /// site, resolved or not).
+    pub contract_sites: Vec<RpcSite>,
+    /// Contract issues beyond the allowlist.
+    pub contract_violations: Vec<ContractIssue>,
+    /// Contract issues covered by the allowlist.
+    pub contract_allowed: usize,
+    /// Lock-held-across-yield findings beyond the allowlist.
+    pub yield_violations: Vec<YieldSite>,
+    /// Lock-held-across-yield findings covered by the allowlist.
+    pub yield_allowed: usize,
+    /// Allowlist entries matching no current finding.
+    pub stale_entries: Vec<StaleEntry>,
+    /// Raw (pre-allowlist) finding counts, for `--write-allowlist` and
+    /// stale detection.
     pub panic_counts: BTreeMap<allowlist::Key, usize>,
     pub blocking_counts: BTreeMap<allowlist::Key, usize>,
     pub json_counts: BTreeMap<allowlist::Key, usize>,
+    pub contract_counts: BTreeMap<allowlist::Key, usize>,
+    pub yield_counts: BTreeMap<allowlist::Key, usize>,
 }
 
 impl LintReport {
-    /// True when nothing fails the gate.
+    /// True when nothing fails the gate (stale allowlist entries are a
+    /// separate, warning-level condition — see [`LintReport::stale_entries`]).
     pub fn is_clean(&self) -> bool {
         self.lock_cycles.is_empty()
             && self.recursive_locks.is_empty()
             && self.panic_violations.is_empty()
             && self.blocking_violations.is_empty()
             && self.json_violations.is_empty()
+            && self.contract_violations.is_empty()
+            && self.yield_violations.is_empty()
     }
 
-    /// Human-readable report.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "mochi-lint: {} files, {} lock-order edges, {} frozen panic sites, {} frozen blocking sites, {} frozen JSON sites",
-            self.files,
-            self.lock_edges.len(),
-            self.panic_allowed,
-            self.blocking_allowed,
-            self.json_allowed
-        );
-        for cycle in &self.lock_cycles {
-            let _ = writeln!(out, "LOCK-ORDER CYCLE between {}:", cycle.locks.join(" <-> "));
-            for edge in &cycle.edges {
-                let _ = writeln!(
-                    out,
-                    "  {} -> {}  at {}:{} (fn {})",
-                    edge.from, edge.to, edge.file, edge.line, edge.function
-                );
+    /// The resolved RPC names in the contract table with their
+    /// registration and call counts, sorted by name.
+    pub fn rpc_names(&self) -> Vec<(String, usize, usize)> {
+        let mut table: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+        for site in &self.contract_sites {
+            if let Some(name) = site.name.as_deref() {
+                let entry = table.entry(name).or_insert((0, 0));
+                match site.role {
+                    contracts::Role::Register => entry.0 += 1,
+                    contracts::Role::Call => entry.1 += 1,
+                }
             }
         }
-        for r in &self.recursive_locks {
-            let _ = writeln!(
-                out,
-                "RECURSIVE LOCK {} re-acquired at {}:{} (fn {}) — immediate deadlock",
-                r.lock, r.file, r.line, r.function
-            );
-        }
-        for p in &self.panic_violations {
-            let _ = writeln!(
-                out,
-                "PANIC PATH {}:{} (fn {}): {} in an RPC/provider path — propagate an error instead, or freeze it in lint-allow.json",
-                p.file, p.line, p.function, p.kind
-            );
-        }
-        for b in &self.blocking_violations {
-            let _ = writeln!(
-                out,
-                "BLOCKING IN ULT {}:{} (fn {}): {} would stall an xstream — use a dedicated pool and freeze it, or restructure",
-                b.file, b.line, b.function, b.kind
-            );
-        }
-        for j in &self.json_violations {
-            let _ = writeln!(
-                out,
-                "JSON IN DATA PLANE {}:{} (fn {}): serde_json on the RPC hot path — use the mochi-wire codec, or freeze it in lint-allow.json",
-                j.file, j.line, j.function
-            );
-        }
-        if self.is_clean() {
-            let _ = writeln!(out, "OK: no lock-order cycles, no new panic paths, no new blocking calls, no data-plane JSON");
-        }
-        out
+        table.into_iter().map(|(n, (r, c))| (n.to_string(), r, c)).collect()
+    }
+
+    /// Human-readable report (the default `--format text`).
+    pub fn render(&self) -> String {
+        report::render_text(self)
     }
 }
 
@@ -144,14 +149,21 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
 
     let mut lock_edges = Vec::new();
     let mut recursive_locks = Vec::new();
+    let mut yield_sites: Vec<YieldSite> = Vec::new();
     let mut panic_sites: Vec<PanicSite> = Vec::new();
     let mut blocking_sites: Vec<BlockingSite> = Vec::new();
     let mut json_sites: Vec<JsonSite> = Vec::new();
 
+    let consts = contracts::ConstTable::build(files);
+    let mut contract_sites: Vec<RpcSite> = Vec::new();
+
     for file in files {
-        let (edges, recursive) = locks::extract(file, &ignored);
+        let (edges, recursive, yields_found) = locks::extract(file, &ignored);
         lock_edges.extend(edges);
         recursive_locks.extend(recursive);
+        if yields::in_scope(&file.rel_path) {
+            yield_sites.extend(yields_found);
+        }
         if panics::in_provider_path(&file.rel_path) {
             panic_sites.extend(panics::scan(file));
         }
@@ -159,14 +171,18 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
             json_sites.extend(jsonuse::scan(file));
         }
         blocking_sites.extend(blocking::scan(file));
+        contract_sites.extend(contracts::sites(file, &consts));
     }
     lock_edges.sort();
     recursive_locks.sort();
+    yield_sites.sort();
     panic_sites.sort();
     blocking_sites.sort();
     json_sites.sort();
+    contract_sites.sort();
 
     let lock_cycles = locks::find_cycles(&lock_edges);
+    let contract_issues = contracts::check(&contract_sites);
 
     let (panic_violations, panic_allowed, panic_counts) =
         apply_allowances(&panic_sites, &allowlist.panic_paths, |s| {
@@ -180,6 +196,22 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
         apply_allowances(&json_sites, &allowlist.serde_json, |s| {
             (s.file.clone(), s.function.clone(), s.kind.clone())
         });
+    let (contract_violations, contract_allowed, contract_counts) =
+        apply_allowances(&contract_issues, &allowlist.contracts, |s| {
+            (s.file.clone(), s.function.clone(), s.kind.clone())
+        });
+    let (yield_violations, yield_allowed, yield_counts) =
+        apply_allowances(&yield_sites, &allowlist.lock_across_yield, |s| {
+            (s.file.clone(), s.function.clone(), format!("{}:{}", s.yield_call, s.lock))
+        });
+
+    let stale_entries = allowlist.stale_entries(&[
+        ("panic_paths", &panic_counts),
+        ("blocking", &blocking_counts),
+        ("serde_json", &json_counts),
+        ("contracts", &contract_counts),
+        ("lock_across_yield", &yield_counts),
+    ]);
 
     LintReport {
         files: files.len(),
@@ -192,9 +224,17 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
         blocking_allowed,
         json_violations,
         json_allowed,
+        contract_sites,
+        contract_violations,
+        contract_allowed,
+        yield_violations,
+        yield_allowed,
+        stale_entries,
         panic_counts,
         blocking_counts,
         json_counts,
+        contract_counts,
+        yield_counts,
     }
 }
 

@@ -26,8 +26,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::lexer::{is_ident_byte, line_of};
+use crate::lexer::{column_of, is_ident_byte, line_of};
 use crate::source::SourceFile;
+use crate::yields::{self, YieldSite};
 
 /// One observed nested acquisition.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -36,6 +37,7 @@ pub struct LockEdge {
     pub to: String,
     pub file: String,
     pub line: usize,
+    pub column: usize,
     pub function: String,
 }
 
@@ -46,6 +48,7 @@ pub struct RecursiveLock {
     pub lock: String,
     pub file: String,
     pub line: usize,
+    pub column: usize,
     pub function: String,
 }
 
@@ -63,17 +66,21 @@ struct Ctx {
     held: Vec<Held>,
 }
 
-/// Extracts lock-order edges and recursive-lock findings from one file.
+/// Extracts lock-order edges, recursive-lock findings, and
+/// lock-held-across-yield findings from one file. The yield findings
+/// share the same guard-liveness model (drops, block scopes, closures,
+/// statement temporaries) as the edge extraction.
 pub fn extract(
     file: &SourceFile,
     ignored: &BTreeSet<String>,
-) -> (Vec<LockEdge>, Vec<RecursiveLock>) {
+) -> (Vec<LockEdge>, Vec<RecursiveLock>, Vec<YieldSite>) {
     let mut edges = Vec::new();
     let mut recursive = Vec::new();
+    let mut yield_sites = Vec::new();
     for function in &file.functions {
-        scan_body(file, function.body_start, function.body_end, &function.name, ignored, &mut edges, &mut recursive);
+        scan_body(file, function.body_start, function.body_end, &function.name, ignored, &mut edges, &mut recursive, &mut yield_sites);
     }
-    (edges, recursive)
+    (edges, recursive, yield_sites)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -85,6 +92,7 @@ fn scan_body(
     ignored: &BTreeSet<String>,
     edges: &mut Vec<LockEdge>,
     recursive: &mut Vec<RecursiveLock>,
+    yield_sites: &mut Vec<YieldSite>,
 ) {
     let text = &file.text;
     let mut ctxs = vec![Ctx { start_depth: 0, held: Vec::new() }];
@@ -157,7 +165,41 @@ fn scan_body(
                     continue;
                 }
             }
+            b'y' => {
+                if let Some(open) = yields::yield_now_at(text, i, end) {
+                    if let Some(ctx) = ctxs.last() {
+                        for held in &ctx.held {
+                            yield_sites.push(YieldSite {
+                                file: file.rel_path.clone(),
+                                function: function.to_string(),
+                                lock: held.lock.clone(),
+                                yield_call: "yield_now".to_string(),
+                                line: line_of(text, i),
+                                column: column_of(text, i),
+                            });
+                        }
+                    }
+                    i = open;
+                    continue;
+                }
+            }
             b'.' => {
+                if let Some((method, open)) = yields::yield_method_at(text, i, end) {
+                    if let Some(ctx) = ctxs.last() {
+                        for held in &ctx.held {
+                            yield_sites.push(YieldSite {
+                                file: file.rel_path.clone(),
+                                function: function.to_string(),
+                                lock: held.lock.clone(),
+                                yield_call: method.to_string(),
+                                line: line_of(text, i + 1),
+                                column: column_of(text, i + 1),
+                            });
+                        }
+                    }
+                    i = open;
+                    continue;
+                }
                 if let Some(acq) = acquisition_at(text, i, end) {
                     let chain = receiver_chain(text, i);
                     if let Some(chain) = chain {
@@ -165,6 +207,7 @@ fn scan_body(
                         let lock_id = format!("{}::{}", file.crate_name, field);
                         if !ignored.contains(&field) && !ignored.contains(&lock_id) {
                             let line = line_of(text, i);
+                            let column = column_of(text, i);
                             let ctx = ctxs.last_mut().expect("context stack never empty");
                             for held in &ctx.held {
                                 if held.lock == lock_id && held.chain == chain {
@@ -172,6 +215,7 @@ fn scan_body(
                                         lock: lock_id.clone(),
                                         file: file.rel_path.clone(),
                                         line,
+                                        column,
                                         function: function.to_string(),
                                     });
                                     continue;
@@ -185,6 +229,7 @@ fn scan_body(
                                     to: lock_id.clone(),
                                     file: file.rel_path.clone(),
                                     line,
+                                    column,
                                     function: function.to_string(),
                                 });
                             }
@@ -624,7 +669,7 @@ mod tests {
             "crates/demo/src/lib.rs",
             "fn f(&self) { let a = self.alpha.lock(); let b = self.alpha.lock(); }",
         );
-        let (edges, recursive) = extract(&file, &BTreeSet::new());
+        let (edges, recursive, _) = extract(&file, &BTreeSet::new());
         assert!(edges.is_empty());
         assert_eq!(recursive.len(), 1);
         assert_eq!(recursive[0].lock, "demo::alpha");
@@ -665,7 +710,7 @@ mod tests {
             "fn f(&self) { let a = self.buffer.lock(); let b = self.beta.lock(); }",
         );
         let ignored: BTreeSet<String> = ["buffer".to_string()].into_iter().collect();
-        let (edges, _) = extract(&file, &ignored);
+        let (edges, _, _) = extract(&file, &ignored);
         assert!(edges.is_empty(), "{edges:?}");
     }
 }

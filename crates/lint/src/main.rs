@@ -1,21 +1,34 @@
 //! CLI for `mochi-lint`.
 //!
 //! ```text
-//! cargo run -p mochi-lint -- --root . [--allowlist lint-allow.json] [--write-allowlist]
+//! cargo run -p mochi-lint -- --root . [--allowlist lint-allow.json]
+//!     [--format text|json|sarif] [--json-report <path>]
+//!     [--allow-stale] [--write-allowlist]
 //! ```
 //!
-//! Exit codes: 0 clean, 1 findings (cycles / new panic paths / new
-//! blocking calls), 2 usage or I/O error.
+//! Exit codes:
+//! * 0 — clean (no findings; no stale allowlist entries, unless
+//!   `--allow-stale` downgraded them to warnings)
+//! * 1 — findings (cycles / new panic paths / new blocking calls /
+//!   data-plane JSON / contract issues / locks across yields)
+//! * 2 — usage or I/O error
+//! * 3 — no findings, but stale `lint-allow.json` entries (frozen debt
+//!   that has been paid down must be pruned; pass `--allow-stale` to
+//!   warn instead)
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use mochi_lint::allowlist::Allowlist;
+use mochi_lint::report;
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut allowlist_path: Option<PathBuf> = None;
     let mut write_allowlist = false;
+    let mut allow_stale = false;
+    let mut format = String::from("text");
+    let mut json_report: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -28,10 +41,22 @@ fn main() -> ExitCode {
                 Some(v) => allowlist_path = Some(PathBuf::from(v)),
                 None => return usage("--allowlist needs a path"),
             },
+            "--format" => match args.next().as_deref() {
+                Some(v @ ("text" | "json" | "sarif")) => format = v.to_string(),
+                Some(other) => return usage(&format!("unknown format '{other}'")),
+                None => return usage("--format needs text|json|sarif"),
+            },
+            "--json-report" => match args.next() {
+                Some(v) => json_report = Some(PathBuf::from(v)),
+                None => return usage("--json-report needs a path"),
+            },
+            "--allow-stale" => allow_stale = true,
             "--write-allowlist" => write_allowlist = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "mochi-lint --root <workspace> [--allowlist <json>] [--write-allowlist]"
+                    "mochi-lint --root <workspace> [--allowlist <json>] \
+                     [--format text|json|sarif] [--json-report <path>] \
+                     [--allow-stale] [--write-allowlist]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -48,7 +73,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match mochi_lint::run(&root, &allowlist) {
+    let lint = match mochi_lint::run(&root, &allowlist) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("mochi-lint: {e}");
@@ -58,9 +83,11 @@ fn main() -> ExitCode {
 
     if write_allowlist {
         let frozen = Allowlist::freeze(
-            report.panic_counts.clone(),
-            report.blocking_counts.clone(),
-            report.json_counts.clone(),
+            lint.panic_counts.clone(),
+            lint.blocking_counts.clone(),
+            lint.json_counts.clone(),
+            lint.contract_counts.clone(),
+            lint.yield_counts.clone(),
             allowlist.ignored_locks.clone(),
         );
         if let Err(e) = std::fs::write(&allowlist_path, frozen.to_json()) {
@@ -68,20 +95,54 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!(
-            "wrote {} panic-path, {} blocking, and {} data-plane JSON allowances to {}",
-            report.panic_counts.values().sum::<usize>(),
-            report.blocking_counts.values().sum::<usize>(),
-            report.json_counts.values().sum::<usize>(),
+            "wrote {} panic-path, {} blocking, {} data-plane JSON, {} contract, and {} lock-across-yield allowances to {}",
+            lint.panic_counts.values().sum::<usize>(),
+            lint.blocking_counts.values().sum::<usize>(),
+            lint.json_counts.values().sum::<usize>(),
+            lint.contract_counts.values().sum::<usize>(),
+            lint.yield_counts.values().sum::<usize>(),
             allowlist_path.display()
         );
     }
 
-    print!("{}", report.render());
-    if report.is_clean() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
+    // The JSON report file is written regardless of the stdout format, so
+    // CI always has the machine-readable document.
+    if let Some(path) = &json_report {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(path, report::render_json(&lint)) {
+            eprintln!("mochi-lint: writing {path:?}: {e}");
+            return ExitCode::from(2);
+        }
     }
+
+    match format.as_str() {
+        "json" => print!("{}", report::render_json(&lint)),
+        "sarif" => print!("{}", report::render_sarif(&lint)),
+        _ => print!("{}", report::render_text(&lint)),
+    }
+
+    if !lint.is_clean() {
+        return ExitCode::FAILURE;
+    }
+    if !lint.stale_entries.is_empty() {
+        if allow_stale {
+            eprintln!(
+                "mochi-lint: warning: {} stale allowlist entr{} (--allow-stale)",
+                lint.stale_entries.len(),
+                if lint.stale_entries.len() == 1 { "y" } else { "ies" }
+            );
+        } else {
+            eprintln!(
+                "mochi-lint: {} stale allowlist entr{} — prune lint-allow.json or pass --allow-stale",
+                lint.stale_entries.len(),
+                if lint.stale_entries.len() == 1 { "y" } else { "ies" }
+            );
+            return ExitCode::from(3);
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn usage(message: &str) -> ExitCode {

@@ -7,7 +7,7 @@
 //! crates therefore must propagate errors to the RPC response instead of
 //! panicking. Existing debt is frozen in the allowlist; new sites fail.
 
-use crate::lexer::{is_ident_byte, line_of};
+use crate::lexer::{column_of, is_ident_byte, line_of};
 use crate::source::SourceFile;
 
 /// Crate source prefixes considered "provider / RPC handler paths".
@@ -28,6 +28,7 @@ pub struct PanicSite {
     /// `unwrap`, `expect`, `panic`, `unreachable`, `todo`, `unimplemented`.
     pub kind: String,
     pub line: usize,
+    pub column: usize,
 }
 
 /// Whether the panic-path lint applies to `rel_path`.
@@ -72,6 +73,7 @@ fn site(file: &SourceFile, offset: usize, kind: &str) -> PanicSite {
             .unwrap_or_else(|| "<module>".to_string()),
         kind: kind.to_string(),
         line: line_of(&file.text, offset),
+        column: column_of(&file.text, offset),
     }
 }
 

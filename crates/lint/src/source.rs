@@ -15,6 +15,11 @@ pub struct SourceFile {
     /// Sanitized bytes: comments/strings blanked, `#[cfg(test)]` items
     /// removed, newlines preserved.
     pub text: Vec<u8>,
+    /// The original bytes. Same length as `text`, so an offset into the
+    /// sanitized buffer reads the corresponding raw bytes — this is how
+    /// the contract checker recovers string-literal values the sanitizer
+    /// blanked.
+    pub raw: Vec<u8>,
     /// Functions found in the file, in source order.
     pub functions: Vec<Function>,
 }
@@ -39,6 +44,7 @@ impl SourceFile {
             rel_path: rel_path.to_string(),
             crate_name: crate_of(rel_path),
             text,
+            raw: raw.as_bytes().to_vec(),
             functions,
         }
     }

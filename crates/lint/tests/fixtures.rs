@@ -26,7 +26,7 @@ fn ab_ba_inversion_across_crates_fails_the_gate() {
     assert_eq!(report.lock_cycles.len(), 1);
     let cycle = &report.lock_cycles[0];
     assert_eq!(cycle.locks, vec!["margo::handlers".to_string(), "margo::meta".to_string()]);
-    assert!(report.render().contains("LOCK-ORDER CYCLE"));
+    assert!(report.render().contains("MOCHI001"));
 }
 
 #[test]
@@ -117,7 +117,7 @@ fn recursive_relock_is_fatal_and_not_allowlistable() {
     let report = mochi_lint::analyze(&files, &Allowlist::default());
     assert!(!report.is_clean());
     assert_eq!(report.recursive_locks.len(), 1);
-    assert!(report.render().contains("RECURSIVE LOCK"));
+    assert!(report.render().contains("MOCHI002"));
 }
 
 #[test]

@@ -1,0 +1,27 @@
+//! Fixture client: one call with both an argument and a reply type that
+//! disagree with the registration, one clean call, and one call to an
+//! RPC name nothing registers.
+
+use crate::rpc_names as rpc;
+
+impl MiniClient {
+    fn put(&self) -> Result<(), E> {
+        // Wrong argument type (GetArgs, registered as PutArgs) and wrong
+        // reply type (WrongReply, registered as PutReply).
+        let _: WrongReply =
+            self.margo.forward(&self.addr, rpc::PUT, 1, &GetArgs { value: 1 })?;
+        Ok(())
+    }
+
+    fn get(&self) -> Result<(), E> {
+        let _: GetReply =
+            self.margo.forward(&self.addr, rpc::GET, 1, &GetArgs { value: 1 })?;
+        Ok(())
+    }
+
+    fn missing(&self) -> Result<(), E> {
+        let _: bool =
+            self.margo.forward(&self.addr, rpc::MISSING, 1, &GetArgs { value: 1 })?;
+        Ok(())
+    }
+}

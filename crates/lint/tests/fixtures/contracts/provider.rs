@@ -1,0 +1,14 @@
+//! Fixture provider: three registrations, one of which (`ORPHAN`) has no
+//! caller anywhere in the mini-crate.
+
+use crate::rpc_names as rpc;
+
+fn register_rpcs(margo: &MargoRuntime) {
+    margo.register_typed(rpc::PUT, 1, None, move |args: PutArgs, _ctx| {
+        Ok(PutReply { ok: true })
+    });
+    margo.register_typed(rpc::GET, 1, None, move |args: GetArgs, _ctx| {
+        Ok(GetReply { value: 0 })
+    });
+    margo.register_typed(rpc::ORPHAN, 1, None, move |args: OrphanArgs, _ctx| Ok(true));
+}

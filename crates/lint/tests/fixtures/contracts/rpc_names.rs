@@ -1,0 +1,12 @@
+//! RPC names of the fixture mini-crate. `MISSING` is deliberately never
+//! registered and `ORPHAN` is deliberately never called — the contract
+//! checker must flag both.
+
+/// Registered and called, but with mismatched types on both directions.
+pub const PUT: &str = "mini_put";
+/// Registered and called consistently (the one clean RPC).
+pub const GET: &str = "mini_get";
+/// Registered, never called: dead surface (MOCHI007).
+pub const ORPHAN: &str = "mini_orphan";
+/// Called, never registered (MOCHI006).
+pub const MISSING: &str = "mini_missing";

@@ -23,6 +23,7 @@
 pub mod client;
 pub mod messages;
 pub mod node;
+pub mod rpc_names;
 pub mod storage;
 pub mod types;
 

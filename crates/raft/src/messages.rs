@@ -7,33 +7,8 @@ use mochi_mercury::Address;
 use crate::types::{LogEntry, LogIndex, Term};
 
 /// RPC names registered by a Raft node.
-pub mod rpc {
-    /// Leader election.
-    pub const REQUEST_VOTE: &str = "raft_request_vote";
-    /// Replication + heartbeat.
-    pub const APPEND_ENTRIES: &str = "raft_append_entries";
-    /// Snapshot transfer to laggards.
-    pub const INSTALL_SNAPSHOT: &str = "raft_install_snapshot";
-    /// Client command submission.
-    pub const SUBMIT: &str = "raft_submit";
-    /// Cluster/status introspection.
-    pub const STATUS: &str = "raft_status";
-    /// Membership change: add a server.
-    pub const ADD_SERVER: &str = "raft_add_server";
-    /// Membership change: remove a server.
-    pub const REMOVE_SERVER: &str = "raft_remove_server";
-
-    /// All names (deregistration).
-    pub const ALL: [&str; 7] = [
-        REQUEST_VOTE,
-        APPEND_ENTRIES,
-        INSTALL_SNAPSHOT,
-        SUBMIT,
-        STATUS,
-        ADD_SERVER,
-        REMOVE_SERVER,
-    ];
-}
+/// The constants themselves live in [`crate::rpc_names`].
+pub use crate::rpc_names as rpc;
 
 /// `RequestVote` arguments (§5.2 of the Raft paper, plus the PreVote
 /// extension of Ongaro's thesis §9.6 — without it, a restarted node with

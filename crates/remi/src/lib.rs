@@ -21,6 +21,7 @@ pub mod client;
 pub mod fileset;
 pub mod protocol;
 pub mod provider;
+pub mod rpc_names;
 
 pub use client::{MigrationOptions, MigrationReport, RemiClient};
 pub use fileset::{FileEntry, FileSet};

@@ -14,16 +14,8 @@ use mochi_mercury::BulkHandle;
 use crate::fileset::FileEntry;
 
 /// RPC names registered by a [`crate::provider::RemiProvider`].
-pub mod rpc {
-    /// Starts a migration (both strategies).
-    pub const START: &str = "remi_migration_start";
-    /// Carries one packed chunk (chunked strategy).
-    pub const CHUNK: &str = "remi_migration_chunk";
-    /// Finishes a migration: verify checksums, move into place.
-    pub const END: &str = "remi_migration_end";
-    /// RDMA strategy: asks the destination to pull the exposed files.
-    pub const PULL: &str = "remi_migration_pull";
-}
+/// The constants themselves live in [`crate::rpc_names`].
+pub use crate::rpc_names as rpc;
 
 /// Transfer strategy (paper §6, Observation 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

@@ -22,19 +22,8 @@ use crate::swim::{MemberSnapshot, MembershipEvent, SwimState, Update};
 use crate::view::{GroupView, MemberState};
 
 /// RPC names registered by a group member.
-pub mod rpc {
-    /// Direct probe carrying piggybacked updates.
-    pub const PING: &str = "ssg_ping";
-    /// Indirect probe request (SWIM's ping-req).
-    pub const PING_REQ: &str = "ssg_ping_req";
-    /// View fetch (for client applications).
-    pub const GET_VIEW: &str = "ssg_get_view";
-    /// Join: returns a membership snapshot.
-    pub const JOIN: &str = "ssg_join";
-
-    /// All names (deregistration).
-    pub const ALL: [&str; 4] = [PING, PING_REQ, GET_VIEW, JOIN];
-}
+/// The constants themselves live in [`crate::rpc_names`].
+pub use crate::rpc_names as rpc;
 
 /// Ping arguments/reply: piggybacked updates in both directions.
 #[derive(Debug, Clone, Serialize, Deserialize)]

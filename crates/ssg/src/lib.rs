@@ -23,6 +23,7 @@
 
 pub mod config;
 pub mod group;
+pub mod rpc_names;
 pub mod swim;
 pub mod view;
 

@@ -13,6 +13,7 @@
 pub mod bedrock;
 pub mod client;
 pub mod provider;
+pub mod rpc_names;
 pub mod target;
 
 pub use client::TargetHandle;

@@ -14,30 +14,8 @@ use parking_lot::Mutex;
 use crate::target::{BlobId, BlobTarget};
 
 /// RPC names registered by a Warabi provider.
-pub mod rpc {
-    /// Allocate a blob.
-    pub const CREATE: &str = "warabi_create";
-    /// Inline write (framed).
-    pub const WRITE: &str = "warabi_write";
-    /// Inline read (framed response).
-    pub const READ: &str = "warabi_read";
-    /// Bulk write: server pulls from the client's exposed region.
-    pub const WRITE_BULK: &str = "warabi_write_bulk";
-    /// Bulk read: server pushes into the client's exposed region.
-    pub const READ_BULK: &str = "warabi_read_bulk";
-    /// Blob size.
-    pub const SIZE: &str = "warabi_size";
-    /// Force to durable storage.
-    pub const PERSIST: &str = "warabi_persist";
-    /// Delete a blob.
-    pub const ERASE: &str = "warabi_erase";
-    /// List blob ids.
-    pub const LIST: &str = "warabi_list";
-
-    /// Every name above.
-    pub const ALL: [&str; 9] =
-        [CREATE, WRITE, READ, WRITE_BULK, READ_BULK, SIZE, PERSIST, ERASE, LIST];
-}
+/// The constants themselves live in [`crate::rpc_names`].
+pub use crate::rpc_names as rpc;
 
 /// Framed header of inline `WRITE` (body = data).
 #[derive(Debug, Serialize, Deserialize)]

@@ -22,6 +22,7 @@ pub mod bedrock;
 pub mod client;
 pub mod provider;
 pub mod replication;
+pub mod rpc_names;
 
 pub use backend::{create_backend, BackendConfig, Database, YokanError};
 pub use client::DatabaseHandle;

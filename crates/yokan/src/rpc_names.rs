@@ -1,0 +1,32 @@
+//! The Yokan RPC surface: every wire-visible RPC name, in one place.
+//!
+//! Registration sites (`provider.rs`), client call sites (`client.rs`),
+//! and the replication layer (`replication.rs`) all pull names from this
+//! module, so a provider and its clients can never drift apart — and
+//! `mochi-lint`'s contract checker (MOCHI006/007/008) resolves these
+//! constants when it cross-checks register/forward pairs.
+
+/// Put one pair (framed: header = key, body = value).
+pub const PUT: &str = "yokan_put";
+/// Put many pairs (framed).
+pub const PUT_MULTI: &str = "yokan_put_multi";
+/// Get one value (framed response).
+pub const GET: &str = "yokan_get";
+/// Get many values (framed response).
+pub const GET_MULTI: &str = "yokan_get_multi";
+/// Erase a key.
+pub const ERASE: &str = "yokan_erase";
+/// Existence check.
+pub const EXISTS: &str = "yokan_exists";
+/// Prefix listing with pagination.
+pub const LIST_KEYS: &str = "yokan_list_keys";
+/// Number of keys.
+pub const LEN: &str = "yokan_len";
+/// Persist to disk.
+pub const FLUSH: &str = "yokan_flush";
+/// Remove all keys.
+pub const CLEAR: &str = "yokan_clear";
+
+/// Every name above (used for deregistration).
+pub const ALL: [&str; 10] =
+    [PUT, PUT_MULTI, GET, GET_MULTI, ERASE, EXISTS, LIST_KEYS, LEN, FLUSH, CLEAR];

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# The tier-1 gate, in order: release build, test suite, static analysis.
+# This is exactly what a PR must keep green (ROADMAP.md "tier-1").
+#
+# Usage: scripts/ci.sh [workspace-root]
+#
+# Exit codes (distinct per stage, for CI triage):
+#   0  everything green
+#   20 workspace build failed
+#   21 test suite failed
+#   10+ static-analysis failures (see scripts/lint.sh)
+set -u
+
+root="${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}"
+cd "$root"
+
+echo "==> cargo build --release"
+cargo build --release || exit 20
+
+echo "==> cargo test"
+cargo test -q || exit 21
+
+exec "$root/scripts/lint.sh" "$root"

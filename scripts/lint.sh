@@ -1,30 +1,50 @@
 #!/usr/bin/env sh
 # Pre-PR gate: workspace-specific static analysis plus (when available)
 # clippy and rustfmt. mochi-lint is the hard gate — lock-order cycles,
-# recursive re-locks, and any panic path or blocking call not frozen in
-# lint-allow.json fail the build. See DESIGN.md §9.
+# recursive re-locks, RPC contract violations, locks held across yields,
+# and any panic path or blocking call not frozen in lint-allow.json fail
+# the build. See DESIGN.md §9 and §11.
 #
 # Usage: scripts/lint.sh [workspace-root]
-set -eu
+#
+# A machine-readable report is always written to target/lint-report.json.
+#
+# Exit codes (distinct per failure class, for CI triage):
+#   0  clean
+#   10 mochi-lint findings (MOCHI001..MOCHI009)
+#   11 stale lint-allow.json entries (MOCHI010: frozen debt paid down but
+#      not pruned)
+#   12 clippy warnings
+#   13 rustfmt drift
+#   2  usage / I/O error from mochi-lint itself
+set -u
 
 root="${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}"
 cd "$root"
 
 echo "==> mochi-lint"
-cargo run -q -p mochi-lint -- --root "$root"
+cargo run -q -p mochi-lint -- --root "$root" \
+    --json-report "$root/target/lint-report.json"
+status=$?
+case "$status" in
+    0) ;;
+    1) echo "lint.sh: mochi-lint findings (see above)" >&2; exit 10 ;;
+    3) echo "lint.sh: stale lint-allow.json entries" >&2; exit 11 ;;
+    *) echo "lint.sh: mochi-lint failed (exit $status)" >&2; exit "$status" ;;
+esac
 
 # Advisory layers: run when the toolchain pieces exist, but don't fail
 # the gate on their absence (offline/minimal containers).
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> clippy"
-    cargo clippy --workspace --all-targets -- -D warnings
+    cargo clippy --workspace --all-targets -- -D warnings || exit 12
 else
     echo "==> clippy unavailable; skipped"
 fi
 
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> rustfmt (check)"
-    cargo fmt --all --check
+    cargo fmt --all --check || exit 13
 else
     echo "==> rustfmt unavailable; skipped"
 fi

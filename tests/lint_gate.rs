@@ -1,7 +1,9 @@
 //! The `mochi-lint` gate as a tier-1 test: the workspace's own sources
 //! must stay free of lock-order cycles, recursive re-locks, data-plane
-//! `serde_json` uses, and *new* panic paths or blocking calls beyond
-//! the debt frozen in `lint-allow.json`.
+//! `serde_json` uses, RPC contract violations, locks held across yield
+//! points, and *new* panic paths or blocking calls beyond the debt
+//! frozen in `lint-allow.json` — and the allowlist itself must carry no
+//! stale entries (debt that was paid down but never pruned).
 //!
 //! To regenerate the allowlist after deliberately accepting new debt:
 //! `cargo run -p mochi-lint -- --root . --write-allowlist`.
@@ -20,4 +22,47 @@ fn workspace_passes_mochi_lint() {
         "lock-order extraction found no edges — the analysis is likely broken"
     );
     assert!(report.is_clean(), "{}", report.render());
+    assert!(
+        report.stale_entries.is_empty(),
+        "stale lint-allow.json entries (prune them or rerun --write-allowlist): {:?}",
+        report.stale_entries
+    );
+}
+
+#[test]
+fn contract_table_covers_the_workspace_rpc_surface() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let allowlist =
+        mochi_lint::load_allowlist(&root.join("lint-allow.json")).expect("load lint-allow.json");
+    let report = mochi_lint::run(root, &allowlist).expect("run mochi-lint");
+
+    assert!(
+        !report.contract_sites.is_empty(),
+        "contract extraction found no register/forward sites — the analysis is likely broken"
+    );
+
+    // Spot-check that well-known RPCs from every service crate resolved
+    // into the table with at least one registration each. These names
+    // are defined in the per-crate `rpc_names` modules; if extraction or
+    // const resolution regresses, they vanish from the table long before
+    // any violation fires.
+    let names = report.rpc_names();
+    for expected in [
+        "yokan_put",
+        "yokan_get",
+        "warabi_write_bulk",
+        "remi_migration_start",
+        "ssg_ping",
+        "raft_append_entries",
+        "bedrock_get_config",
+    ] {
+        let (_, registrations, _) = names
+            .iter()
+            .find(|(name, _, _)| name == expected)
+            .unwrap_or_else(|| panic!("{expected} missing from the contract table"));
+        assert!(
+            *registrations > 0,
+            "{expected} is in the table but has no registration site"
+        );
+    }
 }
