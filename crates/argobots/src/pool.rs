@@ -9,7 +9,7 @@ use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 
 use mochi_util::ordered_lock::{rank, OrderedMutex};
-use mochi_util::StreamStats;
+use mochi_util::{StreamStats, Striped};
 
 use crate::config::{PoolConfig, PoolKind};
 use crate::ult::Ult;
@@ -98,15 +98,19 @@ impl Queue {
     }
 }
 
+/// Per-stripe timing accumulators; push/pop totals live in atomics on
+/// the [`Pool`] itself.
 #[derive(Default)]
 struct StatsInner {
-    total_pushed: u64,
-    total_popped: u64,
     /// Time ULTs spent queued, in seconds.
     wait: StreamStats,
     /// Time ULTs spent executing, in seconds (reported by xstreams).
     exec: StreamStats,
 }
+
+/// Stripe count for the timing accumulators: one per plausible xstream,
+/// so concurrent pops on different execution streams never share a lock.
+const STAT_STRIPES: usize = 8;
 
 /// Point-in-time statistics snapshot of one pool; part of the monitoring
 /// output (§4: "the sizes of user-level thread pools").
@@ -130,7 +134,9 @@ pub struct PoolStats {
 pub struct Pool {
     config: PoolConfig,
     queue: OrderedMutex<Queue>,
-    stats: OrderedMutex<StatsInner>,
+    total_pushed: AtomicU64,
+    total_popped: AtomicU64,
+    stats: Striped<StatsInner>,
     seq: AtomicU64,
     notifier: Arc<Notifier>,
 }
@@ -155,7 +161,9 @@ impl Pool {
         Self {
             config,
             queue: OrderedMutex::new(rank::POOL_QUEUE, "pool.queue", queue),
-            stats: OrderedMutex::new(rank::POOL_STATS, "pool.stats", StatsInner::default()),
+            total_pushed: AtomicU64::new(0),
+            total_popped: AtomicU64::new(0),
+            stats: Striped::new(rank::POOL_STATS, "pool.stats", STAT_STRIPES),
             seq: AtomicU64::new(0),
             notifier,
         }
@@ -193,7 +201,7 @@ impl Pool {
                 }
             }
         }
-        self.stats.lock().total_pushed += 1;
+        self.total_pushed.fetch_add(1, Ordering::Relaxed);
         self.notifier.notify_all();
     }
 
@@ -206,9 +214,9 @@ impl Pool {
                 Queue::Prio(q) => q.pop().map(|p| p.ult),
             }
         }?;
-        let mut stats = self.stats.lock();
-        stats.total_popped += 1;
-        stats.wait.push(ult.submitted_at.elapsed().as_secs_f64());
+        self.total_popped.fetch_add(1, Ordering::Relaxed);
+        let waited = ult.submitted_at.elapsed().as_secs_f64();
+        self.stats.with(|stats| stats.wait.push(waited));
         Some(ult)
     }
 
@@ -225,22 +233,29 @@ impl Pool {
     /// Reports the execution duration of a ULT popped from this pool
     /// (called by xstreams after running it).
     pub fn record_execution(&self, seconds: f64) {
-        self.stats.lock().exec.push(seconds);
+        self.stats.with(|stats| stats.exec.push(seconds));
     }
 
-    /// Snapshot of the pool's statistics. Each lock is taken exactly once
-    /// and `queue` (rank below `stats`) is read *before* the stats lock,
-    /// keeping the acquisition order consistent with `push`/`try_pop`.
+    /// Snapshot of the pool's statistics. `queue` (rank below the stat
+    /// stripes) is read before the stripes are folded, one stripe at a
+    /// time, keeping the acquisition order consistent with `try_pop`.
     pub fn stats(&self) -> PoolStats {
         let size = self.len();
-        let stats = self.stats.lock();
+        let (wait, exec) = self.stats.fold(
+            (StreamStats::new(), StreamStats::new()),
+            |(mut wait, mut exec), stripe| {
+                wait.merge(&stripe.wait);
+                exec.merge(&stripe.exec);
+                (wait, exec)
+            },
+        );
         PoolStats {
             name: self.config.name.clone(),
             size,
-            total_pushed: stats.total_pushed,
-            total_popped: stats.total_popped,
-            wait: stats.wait.clone(),
-            exec: stats.exec.clone(),
+            total_pushed: self.total_pushed.load(Ordering::Relaxed),
+            total_popped: self.total_popped.load(Ordering::Relaxed),
+            wait,
+            exec,
         }
     }
 
@@ -313,6 +328,38 @@ mod tests {
     #[test]
     fn pop_on_empty_returns_none() {
         assert!(fifo().try_pop().is_none());
+    }
+
+    #[test]
+    fn stats_merge_across_threads() {
+        let pool = Arc::new(fifo());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    pool.push(Ult::new(format!("u{i}"), || {}));
+                    // 4 pushes total, so each thread eventually gets one.
+                    let ult = loop {
+                        match pool.try_pop() {
+                            Some(ult) => break ult,
+                            None => std::thread::yield_now(),
+                        }
+                    };
+                    ult.run();
+                    pool.record_execution(0.25);
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.total_pushed, 4);
+        assert_eq!(stats.total_popped, 4);
+        assert_eq!(stats.size, 0);
+        assert_eq!(stats.wait.num(), 4);
+        assert_eq!(stats.exec.num(), 4);
+        assert!((stats.exec.avg() - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -8,20 +8,31 @@
 //! client-side statistics (`sent to <addr>`), and the `target` section
 //! groups per-source server-side statistics (`received from <addr>`),
 //! including the `ult.duration` block the listing shows.
+//!
+//! The accumulator is striped ([`Striped<State>`]): each thread updates
+//! its own stripe, so concurrent RPC handlers never serialize on one
+//! statistics mutex; [`StatisticsMonitor::to_json`] merges the stripes
+//! with [`StreamStats::merge`] (the parallel Welford merge), which keeps
+//! `{num, avg, min, max, var, sum}` exact for sequential pushes and
+//! within floating-point roundoff of single-lock accumulation otherwise.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use serde_json::{json, Value};
 
 use mochi_mercury::{Address, CallContext};
-use mochi_util::StreamStats;
+use mochi_util::ordered_lock::rank;
+use mochi_util::{StreamStats, Striped};
 
 use super::{Monitor, MonitoringEvent, RpcIdentity};
 
 /// Sentinel rendered for "no parent" ids, matching Listing 1.
 const NONE_SENTINEL: u64 = 65_535;
+
+/// Stripe count: comfortably above the ES counts the experiments drive
+/// (≤ 8), cheap to merge at dump time.
+const STRIPES: usize = 16;
 
 fn render_parent_rpc(context: &CallContext) -> u64 {
     if context.parent_rpc_id == u64::MAX {
@@ -64,6 +75,14 @@ struct OriginPeer {
     failures: u64,
 }
 
+impl OriginPeer {
+    fn merge_from(&mut self, other: &OriginPeer) {
+        self.forward_duration.merge(&other.forward_duration);
+        self.payload_size.merge(&other.payload_size);
+        self.failures += other.failures;
+    }
+}
+
 #[derive(Default)]
 struct TargetPeer {
     ult_duration: StreamStats,
@@ -71,6 +90,16 @@ struct TargetPeer {
     request_payload: StreamStats,
     response_payload: StreamStats,
     failures: u64,
+}
+
+impl TargetPeer {
+    fn merge_from(&mut self, other: &TargetPeer) {
+        self.ult_duration.merge(&other.ult_duration);
+        self.queue_wait.merge(&other.queue_wait);
+        self.request_payload.merge(&other.request_payload);
+        self.response_payload.merge(&other.response_payload);
+        self.failures += other.failures;
+    }
 }
 
 #[derive(Default)]
@@ -105,24 +134,60 @@ struct State {
     samples: SampleStats,
 }
 
+impl State {
+    /// Folds another stripe's accumulators into this one.
+    fn merge_from(&mut self, other: &State) {
+        for (key, entry) in &other.rpcs {
+            let target = self.rpcs.entry(key.clone()).or_default();
+            if target.name.is_empty() {
+                target.name = entry.name.clone();
+            }
+            for (addr, peer) in &entry.origin {
+                target.origin.entry(Arc::clone(addr)).or_default().merge_from(peer);
+            }
+            for (addr, peer) in &entry.target {
+                target.target.entry(Arc::clone(addr)).or_default().merge_from(peer);
+            }
+        }
+        self.bulk.pull_duration.merge(&other.bulk.pull_duration);
+        self.bulk.pull_size.merge(&other.bulk.pull_size);
+        self.bulk.push_duration.merge(&other.bulk.push_duration);
+        self.bulk.push_size.merge(&other.bulk.push_size);
+        self.samples.in_flight_client.merge(&other.samples.in_flight_client);
+        self.samples.in_flight_server.merge(&other.samples.in_flight_server);
+        self.samples.samples_taken += other.samples.samples_taken;
+        for (name, stats) in &other.samples.pool_sizes {
+            self.samples.pool_sizes.entry(name.clone()).or_default().merge(stats);
+        }
+    }
+}
+
 /// The default statistics-collecting monitor (§4). Available "at no
 /// engineering cost to any component": the runtime installs one unless
 /// monitoring is disabled.
-#[derive(Default)]
 pub struct StatisticsMonitor {
-    state: Mutex<State>,
+    state: Striped<State>,
+}
+
+impl Default for StatisticsMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl StatisticsMonitor {
     /// Creates an empty monitor.
     pub fn new() -> Self {
-        Self::default()
+        Self { state: Striped::new(rank::MARGO_STATS, "margo.stats", STRIPES) }
     }
 
     /// Renders the accumulated statistics as Listing-1-shaped JSON. This
     /// is both the runtime query API and what Margo dumps at shutdown.
     pub fn to_json(&self) -> Value {
-        let state = self.state.lock();
+        let state = self.state.fold(State::default(), |mut merged, stripe| {
+            merged.merge_from(stripe);
+            merged
+        });
         let mut rpcs = serde_json::Map::new();
         // Sort keys for reproducible output.
         let mut keys: Vec<&Key> = state.rpcs.keys().collect();
@@ -207,17 +272,19 @@ impl StatisticsMonitor {
 
     /// Resets all statistics (useful between benchmark phases).
     pub fn reset(&self) {
-        *self.state.lock() = State::default();
+        self.state.for_each_mut(|state| *state = State::default());
     }
 }
 
 impl Monitor for StatisticsMonitor {
     fn observe(&self, event: &MonitoringEvent) {
-        let mut state = self.state.lock();
-        match event {
+        // Only the calling thread's stripe is locked: handlers on
+        // different execution streams record concurrently.
+        self.state.with(|state| match event {
             MonitoringEvent::ForwardStart { .. } => {
                 // Per-call state is carried by the runtime; the duration
-                // arrives with ForwardEnd.
+                // arrives with ForwardEnd. The arm documents that the
+                // hook exists for custom monitors.
             }
             MonitoringEvent::ForwardEnd { identity, dest, duration_s, ok } => {
                 let entry = state.rpcs.entry(Key::from_identity(identity)).or_default();
@@ -275,9 +342,7 @@ impl Monitor for StatisticsMonitor {
                         .push(pool.size as f64);
                 }
             }
-        }
-        // ForwardStart intentionally records nothing today; the arm above
-        // documents that the hook exists for custom monitors.
+        });
     }
 }
 
@@ -405,5 +470,41 @@ mod tests {
         });
         monitor.reset();
         assert!(monitor.to_json()["rpcs"].as_object().unwrap().is_empty());
+    }
+
+    #[test]
+    fn events_from_concurrent_threads_merge_exactly() {
+        let monitor = Arc::new(StatisticsMonitor::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let monitor = Arc::clone(&monitor);
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        monitor.observe(&MonitoringEvent::ForwardEnd {
+                            identity: identity("put", 7, 0, CallContext::TOP_LEVEL),
+                            dest: Arc::new(addr("s1")),
+                            duration_s: (t * 250 + i) as f64,
+                            ok: i % 50 == 0,
+                        });
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let json = monitor.to_json();
+        let peer = &json["rpcs"]["65535:65535:7:0"]["origin"]["sent to ofi+tcp://s1:1"];
+        let duration = &peer["forward"]["duration"];
+        assert_eq!(duration["num"], 1000);
+        assert_eq!(duration["min"], 0.0);
+        assert_eq!(duration["max"], 999.0);
+        // Sum of 0..1000 is exact in f64, and the Welford merge preserves
+        // it bit-for-bit regardless of stripe layout.
+        assert_eq!(duration["sum"], (0..1000u64).sum::<u64>() as f64);
+        // `ok` only when i % 50 == 0 (5 of 250 per thread).
+        assert_eq!(peer["failures"], 4 * 245);
+        let name = &json["rpcs"]["65535:65535:7:0"]["name"];
+        assert_eq!(name, "put");
     }
 }

@@ -19,7 +19,9 @@
 //! * [`bytesize`] — human-readable byte-size formatting for reports,
 //! * [`ordered_lock`] — rank-checked mutex/rwlock wrappers enforcing the
 //!   workspace lock hierarchy in debug builds (see DESIGN.md and the
-//!   `mochi-lint` crate for the static half of the story).
+//!   `mochi-lint` crate for the static half of the story),
+//! * [`striped`] — thread-striped accumulators merged at dump time, the
+//!   contention-free backing store for hot-path statistics.
 
 pub mod bytesize;
 pub mod checksum;
@@ -28,6 +30,7 @@ pub mod id;
 pub mod ordered_lock;
 pub mod rng;
 pub mod stats;
+pub mod striped;
 pub mod tempdir;
 pub mod time;
 
@@ -37,4 +40,5 @@ pub use id::unique_u64;
 pub use ordered_lock::{OrderedMutex, OrderedRwLock};
 pub use rng::SeededRng;
 pub use stats::StreamStats;
+pub use striped::Striped;
 pub use tempdir::TempDir;

@@ -46,12 +46,33 @@ pub mod rank {
     pub const MARGO_MONITOR: u32 = 220;
     /// `margo::Inner::threads` — progress-loop/sampler join handles.
     pub const MARGO_THREADS: u32 = 230;
+    /// `margo::monitoring` statistics stripes (`Striped<State>`); a leaf —
+    /// stripes share this rank and are never held together (see
+    /// `mochi_util::striped`).
+    pub const MARGO_STATS: u32 = 240;
     /// `argobots::AbtRuntime::inner` — xstream/pool registry.
     pub const ABT_RUNTIME: u32 = 300;
     /// `argobots::Pool::queue` — the ready queue itself.
     pub const POOL_QUEUE: u32 = 310;
-    /// `argobots::Pool::stats` — pool counters; innermost.
+    /// `argobots::Pool::stats` — pool counter stripes; innermost.
     pub const POOL_STATS: u32 = 320;
+    /// `yokan` memory-backend shard `i` uses rank `YOKAN_SHARD_BASE + i`.
+    /// Multi-shard operations acquire shards in ascending stripe index,
+    /// which is ascending rank, so whole-table scans are deadlock-free
+    /// against each other and against single-shard writers.
+    pub const YOKAN_SHARD_BASE: u32 = 400;
+    /// Maximum shard count of the yokan memory backend; ranks
+    /// `YOKAN_SHARD_BASE .. YOKAN_SHARD_BASE + YOKAN_SHARD_MAX` are
+    /// reserved for its stripes.
+    pub const YOKAN_SHARD_MAX: u32 = 64;
+    /// `yokan::lsm` writer lock — WAL file + flush/compaction scheduling;
+    /// outermost of the LSM trio.
+    pub const LSM_WRITER: u32 = 500;
+    /// `yokan::lsm` active (mutable) memtable.
+    pub const LSM_ACTIVE: u32 = 510;
+    /// `yokan::lsm` published snapshot slot (`Arc<Snapshot>` swap);
+    /// innermost — held only long enough to clone or replace the `Arc`.
+    pub const LSM_SNAPSHOT: u32 = 520;
 }
 
 thread_local! {

@@ -1,0 +1,171 @@
+//! Thread-striped accumulators: the building block behind the
+//! contention-free statistics paths (margo monitoring, argobots pool
+//! counters).
+//!
+//! A [`Striped<T>`] holds `N` independent copies of an accumulator, each
+//! behind its own cache-line-padded [`OrderedMutex`]. Every thread is
+//! assigned one stripe (by a process-wide thread ordinal, so a thread
+//! always hits the same stripe of every `Striped` instance) and updates
+//! only that stripe on the hot path; readers merge all stripes at dump
+//! time with [`Striped::fold`]. Two threads recording statistics for
+//! unrelated work therefore never contend on the same lock — the
+//! serialization a single `Mutex<Stats>` imposes on every RPC handler.
+//!
+//! All stripes share one lock rank. That is safe because stripes are
+//! never held together: [`Striped::with`] locks exactly one, and
+//! [`Striped::fold`] / [`Striped::for_each_mut`] lock stripes strictly
+//! one at a time, releasing each before taking the next.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::ordered_lock::OrderedMutex;
+
+/// Pads (and aligns) a value to a 64-byte cache line so adjacent stripes
+/// of an array never false-share.
+#[repr(align(64))]
+pub struct CachePadded<T>(pub T);
+
+/// Process-wide ordinal of the calling thread, assigned on first use.
+/// Consecutive threads get consecutive ordinals, so up to `N` concurrent
+/// threads spread perfectly over `N` stripes.
+pub fn thread_ordinal() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static ORDINAL: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ORDINAL.with(|ordinal| *ordinal)
+}
+
+/// `N` thread-affine copies of an accumulator, merged at read time.
+pub struct Striped<T> {
+    stripes: Box<[CachePadded<OrderedMutex<T>>]>,
+}
+
+impl<T: Default> Striped<T> {
+    /// Creates `stripes` default-initialized stripes sharing one lock
+    /// class (`rank`, `name`) of the workspace hierarchy.
+    pub fn new(rank: u32, name: &'static str, stripes: usize) -> Self {
+        let stripes = stripes.max(1);
+        Self {
+            stripes: (0..stripes)
+                .map(|_| CachePadded(OrderedMutex::new(rank, name, T::default())))
+                .collect(),
+        }
+    }
+}
+
+impl<T> Striped<T> {
+    /// Number of stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Runs `f` on the calling thread's stripe (the hot-path update).
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let index = thread_ordinal() % self.stripes.len();
+        let mut guard = self.stripes[index].0.lock();
+        f(&mut guard)
+    }
+
+    /// Folds over every stripe, locking one stripe at a time (the dump
+    /// path). Stripes observed early may gain new updates before the
+    /// fold finishes; each stripe's contents are internally consistent.
+    pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, &T) -> A) -> A {
+        let mut acc = init;
+        for stripe in self.stripes.iter() {
+            let guard = stripe.0.lock();
+            acc = f(acc, &guard);
+        }
+        acc
+    }
+
+    /// Mutates every stripe, one at a time (reset paths).
+    pub fn for_each_mut(&self, mut f: impl FnMut(&mut T)) {
+        for stripe in self.stripes.iter() {
+            let mut guard = stripe.0.lock();
+            f(&mut guard);
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Striped<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Striped").field("stripes", &self.stripes.len()).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordered_lock::rank;
+    use crate::StreamStats;
+    use std::sync::Arc;
+
+    fn striped_stats(n: usize) -> Striped<StreamStats> {
+        Striped::new(rank::POOL_STATS, "test.stripe", n)
+    }
+
+    #[test]
+    fn single_thread_uses_one_stripe() {
+        let striped = striped_stats(4);
+        for i in 0..10 {
+            striped.with(|s| s.push(i as f64));
+        }
+        let non_empty = striped.fold(0, |acc, s| acc + usize::from(s.num() > 0));
+        assert_eq!(non_empty, 1, "one thread must always land on its own stripe");
+        let total = striped.fold(0u64, |acc, s| acc + s.num());
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn concurrent_threads_merge_to_exact_totals() {
+        let striped = Arc::new(striped_stats(8));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let striped = Arc::clone(&striped);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        striped.with(|s| s.push((t * 1000 + i) as f64));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let mut merged = StreamStats::new();
+        striped.fold((), |(), s| merged.merge(s));
+        assert_eq!(merged.num(), 4000);
+        assert_eq!(merged.min(), 0.0);
+        assert_eq!(merged.max(), 3999.0);
+        // Sum of 0..4000 is exact in f64.
+        assert_eq!(merged.sum(), (0..4000u64).sum::<u64>() as f64);
+    }
+
+    #[test]
+    fn stripe_count_clamped_to_at_least_one() {
+        let striped: Striped<u64> = Striped::new(rank::POOL_STATS, "test.clamp", 0);
+        assert_eq!(striped.stripe_count(), 1);
+        striped.with(|v| *v += 1);
+        assert_eq!(striped.fold(0, |acc, v| acc + *v), 1);
+    }
+
+    #[test]
+    fn for_each_mut_resets_every_stripe() {
+        let striped = Arc::new(striped_stats(2));
+        let s2 = Arc::clone(&striped);
+        std::thread::spawn(move || s2.with(|s| s.push(1.0))).join().unwrap();
+        striped.with(|s| s.push(2.0));
+        striped.for_each_mut(|s| *s = StreamStats::new());
+        assert_eq!(striped.fold(0u64, |acc, s| acc + s.num()), 0);
+    }
+
+    #[test]
+    fn thread_ordinals_are_distinct() {
+        let a = thread_ordinal();
+        let b = std::thread::spawn(thread_ordinal).join().unwrap();
+        assert_ne!(a, b);
+        // Stable within a thread.
+        assert_eq!(a, thread_ordinal());
+    }
+}

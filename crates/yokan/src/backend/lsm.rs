@@ -11,6 +11,27 @@
 //! `max_tables` tables accumulate, a full compaction merges them into
 //! one. This gives Yokan real on-disk state — the thing REMI migrates,
 //! checkpoints copy, and crash-restart tests recover.
+//!
+//! # Concurrency
+//!
+//! Reads never take the writer lock. State is split across three locks,
+//! always acquired in this order (ranks `LSM_WRITER < LSM_ACTIVE <
+//! LSM_SNAPSHOT`):
+//!
+//! * `writer` — serializes mutations: WAL appends, flushes, compaction;
+//! * `active` — the mutable memtable, briefly write-locked per put and
+//!   read-locked by readers;
+//! * `snapshot` — an `Arc<Snapshot>` slot holding sealed memtables and
+//!   the immutable table list; held only to clone or swap the `Arc`.
+//!
+//! Readers check `active` first, then clone the snapshot `Arc` and run
+//! lock-free against it. Sealing publishes the sealed memtable into the
+//! snapshot *before* the emptied active map becomes visible (both happen
+//! under the `active` write lock), so a key a reader no longer finds in
+//! `active` is guaranteed to be in whichever snapshot it clones next.
+//! Compaction builds the merged table off to the side and swaps it in
+//! with one publication; in-flight readers keep their old `Arc`, whose
+//! open file descriptors remain readable after the unlink.
 
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -18,10 +39,10 @@ use std::io::{Read, Write};
 use std::ops::Bound;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
-
-use parking_lot::Mutex;
+use std::sync::Arc;
 
 use mochi_util::crc32;
+use mochi_util::ordered_lock::{rank, OrderedMutex, OrderedRwLock};
 
 use super::{Database, YokanError};
 
@@ -45,6 +66,9 @@ const OP_ERASE: u8 = 2;
 /// Value length marking a tombstone in an SSTable.
 const TOMBSTONE: u32 = u32::MAX;
 
+/// `None` value = tombstone.
+type Memtable = BTreeMap<Vec<u8>, Option<Vec<u8>>>;
+
 #[derive(Debug, Clone, Copy)]
 struct ValueLoc {
     offset: u64,
@@ -60,11 +84,7 @@ struct SsTable {
 
 impl SsTable {
     /// Writes `entries` (sorted; `None` value = tombstone) as table `seq`.
-    fn write(
-        dir: &Path,
-        seq: u64,
-        entries: &BTreeMap<Vec<u8>, Option<Vec<u8>>>,
-    ) -> Result<SsTable, YokanError> {
+    fn write(dir: &Path, seq: u64, entries: &Memtable) -> Result<SsTable, YokanError> {
         let path = dir.join(format!("sst-{seq:010}.tbl"));
         let mut buffer = Vec::new();
         let mut index = BTreeMap::new();
@@ -163,13 +183,44 @@ impl SsTable {
     }
 }
 
-struct Inner {
-    memtable: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
-    memtable_bytes: usize,
+/// An immutable, atomically swapped view of everything below the active
+/// memtable. Readers clone the `Arc` and then run entirely lock-free;
+/// whatever a snapshot references (sealed memtables, open table files)
+/// stays alive as long as any reader holds the clone, even across a
+/// concurrent compaction that unlinks the table files.
+struct Snapshot {
+    /// Publication counter; bumps on every seal, table swap, compaction
+    /// and clear.
+    generation: u64,
+    /// Sealed memtables not yet persisted as tables, oldest → newest.
+    sealed: Vec<Arc<Memtable>>,
+    /// On-disk tables, oldest → newest.
+    tables: Vec<Arc<SsTable>>,
+}
+
+impl Snapshot {
+    /// Looks `key` up below the active memtable; `Some(None)` = deleted.
+    fn lookup(&self, key: &[u8]) -> Result<Option<Option<Vec<u8>>>, YokanError> {
+        for memtable in self.sealed.iter().rev() {
+            if let Some(entry) = memtable.get(key) {
+                return Ok(Some(entry.clone()));
+            }
+        }
+        for table in self.tables.iter().rev() {
+            if let Some(found) = table.get(key)? {
+                return Ok(Some(found));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Mutator-side state, serialized by the `writer` lock.
+struct Writer {
     wal: File,
     wal_path: PathBuf,
-    /// Oldest → newest.
-    tables: Vec<SsTable>,
+    /// Approximate bytes in the active memtable (flush trigger).
+    active_bytes: usize,
     next_seq: u64,
 }
 
@@ -177,7 +228,9 @@ struct Inner {
 pub struct LsmDatabase {
     dir: PathBuf,
     config: LsmConfig,
-    inner: Mutex<Inner>,
+    writer: OrderedMutex<Writer>,
+    active: OrderedRwLock<Memtable>,
+    snapshot: OrderedRwLock<Arc<Snapshot>>,
 }
 
 impl std::fmt::Debug for LsmDatabase {
@@ -203,7 +256,7 @@ fn wal_record(op: u8, key: &[u8], value: &[u8]) -> Vec<u8> {
 
 /// Replays a WAL buffer, stopping cleanly at the first partial or corrupt
 /// record (a crash mid-append).
-fn replay_wal(data: &[u8], memtable: &mut BTreeMap<Vec<u8>, Option<Vec<u8>>>) -> usize {
+fn replay_wal(data: &[u8], memtable: &mut Memtable) -> usize {
     let mut pos = 0usize;
     let mut bytes = 0usize;
     while pos + 13 <= data.len() {
@@ -255,22 +308,32 @@ impl LsmDatabase {
         table_paths.sort();
         let mut tables = Vec::with_capacity(table_paths.len());
         for path in table_paths {
-            tables.push(SsTable::open(path)?);
+            tables.push(Arc::new(SsTable::open(path)?));
         }
         let next_seq = tables.last().map(|t| t.seq + 1).unwrap_or(0);
 
         let wal_path = dir.join("wal.log");
-        let mut memtable = BTreeMap::new();
-        let mut memtable_bytes = 0;
+        let mut memtable = Memtable::new();
+        let mut active_bytes = 0;
         if wal_path.exists() {
             let data = std::fs::read(&wal_path)?;
-            memtable_bytes = replay_wal(&data, &mut memtable);
+            active_bytes = replay_wal(&data, &mut memtable);
         }
         let wal = OpenOptions::new().create(true).append(true).open(&wal_path)?;
         Ok(Self {
             dir,
             config,
-            inner: Mutex::new(Inner { memtable, memtable_bytes, wal, wal_path, tables, next_seq }),
+            writer: OrderedMutex::new(
+                rank::LSM_WRITER,
+                "lsm.writer",
+                Writer { wal, wal_path, active_bytes, next_seq },
+            ),
+            active: OrderedRwLock::new(rank::LSM_ACTIVE, "lsm.active", memtable),
+            snapshot: OrderedRwLock::new(
+                rank::LSM_SNAPSHOT,
+                "lsm.snapshot",
+                Arc::new(Snapshot { generation: 0, sealed: Vec::new(), tables }),
+            ),
         })
     }
 
@@ -281,81 +344,141 @@ impl LsmDatabase {
 
     /// Number of SSTables on disk (diagnostics / compaction tests).
     pub fn table_count(&self) -> usize {
-        self.inner.lock().tables.len()
+        self.snapshot_arc().tables.len()
     }
 
-    fn append_wal(inner: &mut Inner, op: u8, key: &[u8], value: &[u8]) -> Result<(), YokanError> {
+    /// Current snapshot generation (diagnostics / tests).
+    pub fn snapshot_generation(&self) -> u64 {
+        self.snapshot_arc().generation
+    }
+
+    /// Clones the current snapshot `Arc` (the lock is held only for the
+    /// clone itself).
+    fn snapshot_arc(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot.read())
+    }
+
+    /// Atomically replaces the published snapshot.
+    fn publish(&self, next: impl FnOnce(&Snapshot) -> Snapshot) {
+        let mut slot = self.snapshot.write();
+        *slot = Arc::new(next(&slot));
+    }
+
+    fn append_wal(writer: &mut Writer, op: u8, key: &[u8], value: &[u8]) -> Result<(), YokanError> {
         let record = wal_record(op, key, value);
-        inner.wal.write_all(&record)?;
+        writer.wal.write_all(&record)?;
         Ok(())
     }
 
-    fn flush_locked(&self, inner: &mut Inner) -> Result<(), YokanError> {
-        if inner.memtable.is_empty() {
-            return Ok(());
+    /// Current live value of `key`, never touching the writer lock.
+    ///
+    /// Read order matters: active memtable first, then the snapshot.
+    /// Sealing publishes the sealed memtable into the snapshot before the
+    /// emptied active map becomes visible, so a key missing from `active`
+    /// is always present in (or genuinely absent from) the snapshot read
+    /// afterwards.
+    fn lookup_live(&self, key: &[u8]) -> Result<Option<Vec<u8>>, YokanError> {
+        if let Some(entry) = self.active.read().get(key) {
+            return Ok(entry.clone());
         }
-        let seq = inner.next_seq;
-        inner.next_seq += 1;
-        let table = SsTable::write(&self.dir, seq, &inner.memtable)?;
-        inner.tables.push(table);
-        inner.memtable.clear();
-        inner.memtable_bytes = 0;
-        // Truncate the WAL: everything is in the new table.
-        inner.wal = OpenOptions::new()
+        let snap = self.snapshot_arc();
+        Ok(snap.lookup(key)?.flatten())
+    }
+
+    fn flush_locked(&self, writer: &mut Writer) -> Result<(), YokanError> {
+        {
+            let active = self.active.read();
+            if active.is_empty() && self.snapshot_arc().sealed.is_empty() {
+                writer.active_bytes = 0;
+                return Ok(());
+            }
+        }
+        // Seal the active memtable into the snapshot. The publication
+        // happens under the active write lock: readers check `active`
+        // first, so anything they no longer find there must already be
+        // visible in the snapshot.
+        {
+            let mut active = self.active.write();
+            if !active.is_empty() {
+                let sealed = Arc::new(std::mem::take(&mut *active));
+                self.publish(|old| Snapshot {
+                    generation: old.generation + 1,
+                    sealed: old.sealed.iter().cloned().chain([sealed]).collect(),
+                    tables: old.tables.clone(),
+                });
+            }
+        }
+        writer.active_bytes = 0;
+        // Persist every sealed memtable, oldest first. Normally there is
+        // exactly one; an earlier failed flush can leave more behind.
+        loop {
+            let snap = self.snapshot_arc();
+            let Some(sealed) = snap.sealed.first().map(Arc::clone) else { break };
+            let seq = writer.next_seq;
+            writer.next_seq += 1;
+            let table = Arc::new(SsTable::write(&self.dir, seq, &sealed)?);
+            // Swap the sealed memtable for its durable table in one
+            // publication; readers see one or the other, never neither.
+            self.publish(|old| Snapshot {
+                generation: old.generation + 1,
+                sealed: old
+                    .sealed
+                    .iter()
+                    .filter(|m| !Arc::ptr_eq(m, &sealed))
+                    .cloned()
+                    .collect(),
+                tables: old.tables.iter().cloned().chain([Arc::clone(&table)]).collect(),
+            });
+        }
+        // Everything the WAL covered is now durable in tables.
+        writer.wal = OpenOptions::new()
             .create(true)
             .write(true)
             .truncate(true)
-            .open(&inner.wal_path)?;
-        if inner.tables.len() > self.config.max_tables {
-            self.compact_locked(inner)?;
+            .open(&writer.wal_path)?;
+        if self.snapshot_arc().tables.len() > self.config.max_tables {
+            self.compact_locked(writer)?;
         }
         Ok(())
     }
 
-    fn compact_locked(&self, inner: &mut Inner) -> Result<(), YokanError> {
+    fn compact_locked(&self, writer: &mut Writer) -> Result<(), YokanError> {
         // Merge all tables oldest→newest; newest value wins; drop
-        // tombstones (nothing older remains to resurrect).
-        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
-        for table in &inner.tables {
+        // tombstones (nothing older remains to resurrect). Sealed and
+        // active memtables sit above the tables and are unaffected.
+        let snap = self.snapshot_arc();
+        let mut merged: Memtable = BTreeMap::new();
+        for table in &snap.tables {
             for key in table.index.keys() {
                 let value = table.get(key)?.expect("key from index");
                 merged.insert(key.clone(), value);
             }
         }
         merged.retain(|_, v| v.is_some());
-        let seq = inner.next_seq;
-        inner.next_seq += 1;
-        let new_table = SsTable::write(&self.dir, seq, &merged)?;
-        let old: Vec<PathBuf> = inner.tables.iter().map(|t| t.path.clone()).collect();
-        inner.tables = vec![new_table];
-        for path in old {
+        let seq = writer.next_seq;
+        writer.next_seq += 1;
+        let new_table = Arc::new(SsTable::write(&self.dir, seq, &merged)?);
+        let old_paths: Vec<PathBuf> = snap.tables.iter().map(|t| t.path.clone()).collect();
+        self.publish(|old| Snapshot {
+            generation: old.generation + 1,
+            sealed: old.sealed.clone(),
+            tables: vec![Arc::clone(&new_table)],
+        });
+        // In-flight readers may still hold the old tables' `Arc`s; their
+        // open descriptors keep the unlinked files readable.
+        for path in old_paths {
             std::fs::remove_file(&path).ok();
         }
         Ok(())
     }
 
-    /// Looks a key up across memtable and tables; `Some(None)` = deleted.
-    fn lookup(&self, inner: &Inner, key: &[u8]) -> Result<Option<Option<Vec<u8>>>, YokanError> {
-        if let Some(value) = inner.memtable.get(key) {
-            return Ok(Some(value.clone()));
-        }
-        for table in inner.tables.iter().rev() {
-            if let Some(found) = table.get(key)? {
-                return Ok(Some(found));
-            }
-        }
-        Ok(None)
-    }
-
-    /// Merged view of live keys (prefix-filtered), for list/len/dump.
-    fn merged_keys(
-        &self,
-        inner: &Inner,
-        prefix: &[u8],
-    ) -> Result<BTreeMap<Vec<u8>, bool>, YokanError> {
+    /// Merged aliveness of keys with `prefix`, newer sources overriding
+    /// older ones. `active` must be the caller-held guard's contents so
+    /// the cut is consistent.
+    fn merged_keys(snap: &Snapshot, active: &Memtable, prefix: &[u8]) -> BTreeMap<Vec<u8>, bool> {
         let mut alive: BTreeMap<Vec<u8>, bool> = BTreeMap::new();
         let range = (Bound::Included(prefix.to_vec()), Bound::Unbounded);
-        for table in &inner.tables {
+        for table in &snap.tables {
             for (key, loc) in table.index.range::<Vec<u8>, _>(range.clone()) {
                 if !key.starts_with(prefix) {
                     break;
@@ -363,13 +486,21 @@ impl LsmDatabase {
                 alive.insert(key.clone(), loc.len != TOMBSTONE);
             }
         }
-        for (key, value) in inner.memtable.range::<Vec<u8>, _>(range) {
+        for memtable in &snap.sealed {
+            for (key, value) in memtable.range::<Vec<u8>, _>(range.clone()) {
+                if !key.starts_with(prefix) {
+                    break;
+                }
+                alive.insert(key.clone(), value.is_some());
+            }
+        }
+        for (key, value) in active.range::<Vec<u8>, _>(range) {
             if !key.starts_with(prefix) {
                 break;
             }
             alive.insert(key.clone(), value.is_some());
         }
-        Ok(alive)
+        alive
     }
 }
 
@@ -379,28 +510,82 @@ impl Database for LsmDatabase {
     }
 
     fn put(&self, key: &[u8], value: &[u8]) -> Result<(), YokanError> {
-        let mut inner = self.inner.lock();
-        Self::append_wal(&mut inner, OP_PUT, key, value)?;
-        inner.memtable.insert(key.to_vec(), Some(value.to_vec()));
-        inner.memtable_bytes += key.len() + value.len();
-        if inner.memtable_bytes >= self.config.memtable_bytes {
-            self.flush_locked(&mut inner)?;
+        let mut writer = self.writer.lock();
+        Self::append_wal(&mut writer, OP_PUT, key, value)?;
+        {
+            let mut active = self.active.write();
+            active.insert(key.to_vec(), Some(value.to_vec()));
+        }
+        writer.active_bytes += key.len() + value.len();
+        if writer.active_bytes >= self.config.memtable_bytes {
+            self.flush_locked(&mut writer)?;
+        }
+        Ok(())
+    }
+
+    fn put_multi(&self, pairs: &[(&[u8], &[u8])]) -> Result<(), YokanError> {
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        let mut writer = self.writer.lock();
+        // One WAL write and one active-lock acquisition for the batch.
+        let mut batch = Vec::new();
+        for (key, value) in pairs {
+            batch.extend_from_slice(&wal_record(OP_PUT, key, value));
+        }
+        writer.wal.write_all(&batch)?;
+        {
+            let mut active = self.active.write();
+            for (key, value) in pairs {
+                active.insert(key.to_vec(), Some(value.to_vec()));
+            }
+        }
+        writer.active_bytes += pairs.iter().map(|(k, v)| k.len() + v.len()).sum::<usize>();
+        if writer.active_bytes >= self.config.memtable_bytes {
+            self.flush_locked(&mut writer)?;
         }
         Ok(())
     }
 
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, YokanError> {
-        let inner = self.inner.lock();
-        Ok(self.lookup(&inner, key)?.flatten())
+        self.lookup_live(key)
+    }
+
+    fn get_multi(&self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>, YokanError> {
+        // One active-read pass and one snapshot clone for the batch.
+        let mut values: Vec<Option<Vec<u8>>> = Vec::with_capacity(keys.len());
+        let mut misses: Vec<usize> = Vec::new();
+        {
+            let active = self.active.read();
+            for (i, key) in keys.iter().enumerate() {
+                match active.get(*key) {
+                    Some(entry) => values.push(entry.clone()),
+                    None => {
+                        values.push(None);
+                        misses.push(i);
+                    }
+                }
+            }
+        }
+        if misses.is_empty() {
+            return Ok(values);
+        }
+        let snap = self.snapshot_arc();
+        for i in misses {
+            values[i] = snap.lookup(keys[i])?.flatten();
+        }
+        Ok(values)
     }
 
     fn erase(&self, key: &[u8]) -> Result<bool, YokanError> {
-        let mut inner = self.inner.lock();
-        let existed = self.lookup(&inner, key)?.flatten().is_some();
+        let mut writer = self.writer.lock();
+        // Holding the writer lock freezes seals, so this two-step lookup
+        // is stable.
+        let existed = self.lookup_live(key)?.is_some();
         if existed {
-            Self::append_wal(&mut inner, OP_ERASE, key, &[])?;
-            inner.memtable.insert(key.to_vec(), None);
-            inner.memtable_bytes += key.len();
+            Self::append_wal(&mut writer, OP_ERASE, key, &[])?;
+            self.active.write().insert(key.to_vec(), None);
+            writer.active_bytes += key.len();
         }
         Ok(existed)
     }
@@ -411,18 +596,21 @@ impl Database for LsmDatabase {
         start_after: Option<&[u8]>,
         max: usize,
     ) -> Result<Vec<Vec<u8>>, YokanError> {
-        // K-way merge over the memtable and every table index, newest
-        // source winning on ties, stopping after `max` live keys — O(max)
-        // per page instead of O(range).
-        let inner = self.inner.lock();
+        // K-way merge over every table index, sealed memtable and the
+        // active memtable, newest source winning on ties, stopping after
+        // `max` live keys — O(max) per page instead of O(range). The
+        // active guard is held across the merge so the cut is consistent;
+        // everything else comes from the immutable snapshot.
+        let active = self.active.read();
+        let snap = self.snapshot_arc();
         let lower: Bound<Vec<u8>> = match start_after {
             Some(s) if s >= prefix => Bound::Excluded(s.to_vec()),
             _ => Bound::Included(prefix.to_vec()),
         };
-        // Sources ordered oldest → newest; the memtable is last (newest).
+        // Sources ordered oldest → newest; the active memtable is last.
         type KeyCursor<'a> = Box<dyn Iterator<Item = (&'a Vec<u8>, bool)> + 'a>;
         let mut cursors: Vec<KeyCursor<'_>> = Vec::new();
-        for table in &inner.tables {
+        for table in &snap.tables {
             cursors.push(Box::new(
                 table
                     .index
@@ -430,9 +618,15 @@ impl Database for LsmDatabase {
                     .map(|(k, loc)| (k, loc.len != TOMBSTONE)),
             ));
         }
+        for memtable in &snap.sealed {
+            cursors.push(Box::new(
+                memtable
+                    .range::<Vec<u8>, _>((lower.clone(), Bound::Unbounded))
+                    .map(|(k, v)| (k, v.is_some())),
+            ));
+        }
         cursors.push(Box::new(
-            inner
-                .memtable
+            active
                 .range::<Vec<u8>, _>((lower.clone(), Bound::Unbounded))
                 .map(|(k, v)| (k, v.is_some())),
         ));
@@ -472,42 +666,54 @@ impl Database for LsmDatabase {
     }
 
     fn len(&self) -> Result<u64, YokanError> {
-        let inner = self.inner.lock();
-        let alive = self.merged_keys(&inner, b"")?;
+        let active = self.active.read();
+        let snap = self.snapshot_arc();
+        let alive = Self::merged_keys(&snap, &active, b"");
         Ok(alive.values().filter(|a| **a).count() as u64)
     }
 
     fn flush(&self) -> Result<(), YokanError> {
-        let mut inner = self.inner.lock();
-        self.flush_locked(&mut inner)
+        let mut writer = self.writer.lock();
+        self.flush_locked(&mut writer)
     }
 
     fn clear(&self) -> Result<(), YokanError> {
-        let mut inner = self.inner.lock();
-        let paths: Vec<PathBuf> = inner.tables.iter().map(|t| t.path.clone()).collect();
-        inner.tables.clear();
-        inner.memtable.clear();
-        inner.memtable_bytes = 0;
-        inner.wal = OpenOptions::new()
+        let mut writer = self.writer.lock();
+        let old_paths: Vec<PathBuf> =
+            self.snapshot_arc().tables.iter().map(|t| t.path.clone()).collect();
+        {
+            let mut active = self.active.write();
+            active.clear();
+            self.publish(|old| Snapshot {
+                generation: old.generation + 1,
+                sealed: Vec::new(),
+                tables: Vec::new(),
+            });
+        }
+        writer.active_bytes = 0;
+        writer.wal = OpenOptions::new()
             .create(true)
             .write(true)
             .truncate(true)
-            .open(&inner.wal_path)?;
-        for path in paths {
+            .open(&writer.wal_path)?;
+        for path in old_paths {
             std::fs::remove_file(&path).ok();
         }
         Ok(())
     }
 
     fn dump(&self) -> Result<super::KvPairs, YokanError> {
-        let inner = self.inner.lock();
-        let alive = self.merged_keys(&inner, b"")?;
+        let active = self.active.read();
+        let snap = self.snapshot_arc();
+        let alive = Self::merged_keys(&snap, &active, b"");
         let mut out = Vec::new();
         for (key, is_alive) in alive {
             if is_alive {
-                let value = self
-                    .lookup(&inner, &key)?
-                    .flatten()
+                let value = match active.get(&key) {
+                    Some(entry) => entry.clone(),
+                    None => snap.lookup(&key)?.flatten(),
+                };
+                let value = value
                     .ok_or_else(|| YokanError::Corrupt("key vanished during dump".into()))?;
                 out.push((key, value));
             }
@@ -521,6 +727,7 @@ mod tests {
     use super::super::conformance;
     use super::*;
     use mochi_util::TempDir;
+    use std::sync::atomic::{AtomicBool, Ordering};
 
     fn tiny_config() -> LsmConfig {
         // Small thresholds so tests exercise flush + compaction.
@@ -533,7 +740,7 @@ mod tests {
 
     #[test]
     fn conformance_suite() {
-        for case in 0..5 {
+        for case in 0..6 {
             let dir = TempDir::new("lsm-conf").unwrap();
             let db = open(&dir);
             match case {
@@ -544,6 +751,7 @@ mod tests {
                     conformance::dump_and_load(&db, &open(&dir2));
                 }
                 3 => conformance::clear(&db),
+                4 => conformance::multi_ops(&db),
                 _ => conformance::empty_and_binary_keys(&db),
             }
         }
@@ -578,6 +786,22 @@ mod tests {
         assert_eq!(db.len().unwrap(), 99);
         assert_eq!(db.get(b"key-0007").unwrap(), None);
         assert_eq!(db.get(b"key-0042").unwrap().as_deref(), Some(vec![b'x'; 64].as_slice()));
+    }
+
+    #[test]
+    fn batched_puts_survive_reopen() {
+        let dir = TempDir::new("lsm-batch").unwrap();
+        {
+            let db = LsmDatabase::open(dir.path(), LsmConfig::default()).unwrap();
+            let pairs: Vec<(Vec<u8>, Vec<u8>)> =
+                (0..10u32).map(|i| (format!("b{i}").into_bytes(), vec![i as u8])).collect();
+            let borrowed: Vec<(&[u8], &[u8])> =
+                pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+            db.put_multi(&borrowed).unwrap();
+        }
+        let db = LsmDatabase::open(dir.path(), LsmConfig::default()).unwrap();
+        assert_eq!(db.len().unwrap(), 10);
+        assert_eq!(db.get(b"b7").unwrap().as_deref(), Some([7u8].as_slice()));
     }
 
     #[test]
@@ -666,5 +890,54 @@ mod tests {
         db.flush().unwrap();
         assert_eq!(db.get(b"k").unwrap().as_deref(), Some(b"v2".as_slice()));
         assert_eq!(db.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn snapshot_generation_advances_on_flush_and_compaction() {
+        let dir = TempDir::new("lsm-gen").unwrap();
+        let db = open(&dir);
+        assert_eq!(db.snapshot_generation(), 0);
+        db.put(b"a", b"1").unwrap();
+        db.flush().unwrap();
+        // One publication for the seal, one for the sealed→table swap.
+        assert!(db.snapshot_generation() >= 2);
+        let before = db.snapshot_generation();
+        db.flush().unwrap(); // nothing to do: no publication
+        assert_eq!(db.snapshot_generation(), before);
+    }
+
+    #[test]
+    fn concurrent_reads_during_flush_and_compaction_churn() {
+        let dir = TempDir::new("lsm-churn").unwrap();
+        let db = std::sync::Arc::new(open(&dir));
+        db.put(b"stable", b"value").unwrap();
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let db = std::sync::Arc::clone(&db);
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        // Never torn, never missing, regardless of which
+                        // layer currently holds the key.
+                        assert_eq!(
+                            db.get(b"stable").unwrap().as_deref(),
+                            Some(b"value".as_slice())
+                        );
+                    }
+                })
+            })
+            .collect();
+        // Enough flushes to trigger several compactions (max_tables = 3).
+        for i in 0..40u32 {
+            db.put(format!("churn-{i:03}").as_bytes(), &[b'x'; 64]).unwrap();
+            db.flush().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            reader.join().unwrap();
+        }
+        assert_eq!(db.get(b"stable").unwrap().as_deref(), Some(b"value".as_slice()));
+        assert_eq!(db.len().unwrap(), 41);
     }
 }

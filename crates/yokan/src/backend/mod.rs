@@ -63,6 +63,21 @@ pub trait Database: Send + Sync {
     /// Removes `key`; returns whether it existed.
     fn erase(&self, key: &[u8]) -> Result<bool, YokanError>;
 
+    /// Stores several pairs. Backends override this to amortize lock
+    /// acquisition (one stripe lock per shard group, one WAL append per
+    /// batch); atomicity remains per-key.
+    fn put_multi(&self, pairs: &[(&[u8], &[u8])]) -> Result<(), YokanError> {
+        for (key, value) in pairs {
+            self.put(key, value)?;
+        }
+        Ok(())
+    }
+
+    /// Fetches several keys; `result[i]` is the value of `keys[i]`.
+    fn get_multi(&self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>, YokanError> {
+        keys.iter().map(|key| self.get(key)).collect()
+    }
+
     /// Whether `key` exists.
     fn exists(&self, key: &[u8]) -> Result<bool, YokanError> {
         Ok(self.get(key)?.is_some())
@@ -116,10 +131,18 @@ pub struct BackendConfig {
     /// LSM: compact when more than this many SSTables exist.
     #[serde(default = "default_max_tables")]
     pub max_tables: usize,
+    /// Memory backend: number of hash-striped shards (clamped to
+    /// `1..=memory::MAX_SHARDS`; `1` reproduces the single-lock layout).
+    #[serde(default = "default_shards")]
+    pub shards: usize,
 }
 
 fn default_backend() -> String {
     "map".into()
+}
+
+fn default_shards() -> usize {
+    memory::DEFAULT_SHARDS
 }
 
 fn default_memtable_bytes() -> usize {
@@ -136,6 +159,7 @@ impl Default for BackendConfig {
             backend: default_backend(),
             memtable_bytes: default_memtable_bytes(),
             max_tables: default_max_tables(),
+            shards: default_shards(),
         }
     }
 }
@@ -147,7 +171,7 @@ pub fn create_backend(
     dir: &Path,
 ) -> Result<Box<dyn Database>, YokanError> {
     match config.backend.as_str() {
-        "map" => Ok(Box::new(memory::MemoryDatabase::new())),
+        "map" => Ok(Box::new(memory::MemoryDatabase::with_shards(config.shards))),
         "lsm" => Ok(Box::new(lsm::LsmDatabase::open(
             dir,
             lsm::LsmConfig {
@@ -272,6 +296,30 @@ pub(crate) mod conformance {
         assert_eq!(db.get(b"x").unwrap(), None);
         db.put(b"y", b"2").unwrap(); // usable after clear
         assert_eq!(db.len().unwrap(), 1);
+    }
+
+    pub fn multi_ops(db: &dyn Database) {
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..40u32)
+            .map(|i| (format!("m{i:03}").into_bytes(), i.to_le_bytes().to_vec()))
+            .collect();
+        let borrowed: Vec<(&[u8], &[u8])> =
+            pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+        db.put_multi(&borrowed).unwrap();
+        assert_eq!(db.len().unwrap(), 40);
+        // get_multi preserves request order, including misses.
+        let query: Vec<&[u8]> = vec![b"m005", b"absent", b"m039", b"m000"];
+        let values = db.get_multi(&query).unwrap();
+        assert_eq!(values[0].as_deref(), Some(5u32.to_le_bytes().as_slice()));
+        assert_eq!(values[1], None);
+        assert_eq!(values[2].as_deref(), Some(39u32.to_le_bytes().as_slice()));
+        assert_eq!(values[3].as_deref(), Some(0u32.to_le_bytes().as_slice()));
+        // put_multi overwrites like put.
+        db.put_multi(&[(b"m005".as_slice(), b"new".as_slice())]).unwrap();
+        assert_eq!(db.get(b"m005").unwrap().as_deref(), Some(b"new".as_slice()));
+        assert_eq!(db.len().unwrap(), 40);
+        // Empty batches are fine.
+        db.put_multi(&[]).unwrap();
+        assert_eq!(db.get_multi(&[]).unwrap(), Vec::<Option<Vec<u8>>>::new());
     }
 
     pub fn empty_and_binary_keys(db: &dyn Database) {

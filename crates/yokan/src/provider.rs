@@ -118,12 +118,15 @@ impl YokanProvider {
                 if total != body.len() {
                     return Err("body length mismatch".into());
                 }
+                let mut pairs: Vec<(&[u8], &[u8])> = Vec::with_capacity(header.keys.len());
                 let mut cursor = 0usize;
                 for (key, len) in header.keys.iter().zip(&header.value_lens) {
                     let len = *len as usize;
-                    db.put(key, &body[cursor..cursor + len]).map_err(|e| e.to_string())?;
+                    pairs.push((key.as_slice(), &body[cursor..cursor + len]));
                     cursor += len;
                 }
+                // One backend call: stripe-grouped / WAL-batched.
+                db.put_multi(&pairs).map_err(|e| e.to_string())?;
                 encode_framed(&(header.keys.len() as u64), &[]).map_err(|e| e.to_string())
             }),
         )?;
@@ -153,13 +156,15 @@ impl YokanProvider {
             framed_handler(&db, |db, payload| {
                 let (header, _) =
                     decode_framed::<GetMultiHeader>(payload).map_err(|e| e.to_string())?;
-                let mut lens = Vec::with_capacity(header.keys.len());
+                let keys: Vec<&[u8]> = header.keys.iter().map(|k| k.as_slice()).collect();
+                let values = db.get_multi(&keys).map_err(|e| e.to_string())?;
+                let mut lens = Vec::with_capacity(values.len());
                 let mut body = Vec::new();
-                for key in &header.keys {
-                    match db.get(key).map_err(|e| e.to_string())? {
+                for value in &values {
+                    match value {
                         Some(value) => {
                             lens.push(value.len() as i64);
-                            body.extend_from_slice(&value);
+                            body.extend_from_slice(value);
                         }
                         None => lens.push(-1),
                     }

@@ -8,6 +8,7 @@
 #   0  everything green
 #   20 workspace build failed
 #   21 test suite failed
+#   22 benchmark harness failed to compile
 #   10+ static-analysis failures (see scripts/lint.sh)
 set -u
 
@@ -19,5 +20,10 @@ cargo build --release || exit 20
 
 echo "==> cargo test"
 cargo test -q || exit 21
+
+# Benches are not run in CI (timing-sensitive), but they must compile:
+# they carry the experiment assertions of EXPERIMENTS.md.
+echo "==> cargo bench --no-run"
+cargo bench -p mochi-bench --no-run || exit 22
 
 exec "$root/scripts/lint.sh" "$root"
