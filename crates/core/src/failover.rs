@@ -1,0 +1,143 @@
+//! SSG-view-driven failover for resource handles (paper §7).
+//!
+//! A [`DatabaseHandle`](mochi_yokan::client::DatabaseHandle) pins one
+//! `(address, provider_id)`; when the [`ResilienceManager`] rebuilds a
+//! dead member on a fresh node, that pinned address points at a grave.
+//! [`FailoverKv`] closes the loop: it resolves the provider's *current*
+//! location from the service's own bookkeeping filtered by the SSG view
+//! (Observation 12 — SWIM tells us who is actually alive), issues the
+//! operation through the regular retry-aware client, and on a
+//! transport-class failure or an open breaker re-resolves and tries the
+//! next incarnation.
+//!
+//! [`ResilienceManager`]: crate::resilience::ResilienceManager
+
+use std::time::Duration;
+
+use mochi_margo::{MargoError, MargoRuntime};
+use mochi_mercury::Address;
+use mochi_yokan::client::DatabaseHandle;
+
+use crate::service::DynamicService;
+use std::sync::Arc;
+
+/// How long to wait between re-resolution rounds while the service
+/// recovers a member (SWIM detection + respawn are not instantaneous).
+const REROUTE_BACKOFF: Duration = Duration::from_millis(50);
+
+/// A Yokan database handle that follows its provider across failovers.
+pub struct FailoverKv {
+    service: Arc<DynamicService>,
+    margo: MargoRuntime,
+    provider: String,
+    /// Resolution rounds before giving up (each round re-reads the view).
+    max_rounds: u32,
+    /// Per-operation timeout; kept short so a stale location fails fast
+    /// and the next round re-resolves.
+    timeout: Duration,
+}
+
+impl FailoverKv {
+    /// Creates a failover handle for the provider named `provider`,
+    /// issuing RPCs from `margo` (typically a client process outside the
+    /// service).
+    pub fn new(service: &Arc<DynamicService>, margo: &MargoRuntime, provider: &str) -> Self {
+        Self {
+            service: Arc::clone(service),
+            margo: margo.clone(),
+            provider: provider.to_string(),
+            max_rounds: 40,
+            timeout: Duration::from_millis(250),
+        }
+    }
+
+    /// Overrides the number of re-resolution rounds.
+    pub fn with_max_rounds(mut self, rounds: u32) -> Self {
+        self.max_rounds = rounds.max(1);
+        self
+    }
+
+    /// Overrides the per-operation timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Resolves the provider's current location: a member that is both in
+    /// the service's records and alive per the SSG view, and that reports
+    /// hosting `self.provider`.
+    pub fn resolve(&self) -> Option<(Address, u16)> {
+        let view = self.service.view()?;
+        for addr in self.service.addresses() {
+            if !view.contains(&addr) {
+                continue;
+            }
+            let Some(server) = self.service.server(&addr) else { continue };
+            if let Ok(info) = server.lookup_provider(&self.provider) {
+                return Some((addr, info.provider_id));
+            }
+        }
+        None
+    }
+
+    /// Runs `op` against the provider's current location, re-resolving
+    /// and retrying when the location fails underneath it. Application
+    /// errors (`Handler`) pass through untouched — failover only reroutes
+    /// failures that mean "this *location* is unreachable": transport
+    /// errors, missing handlers, exhausted deadlines, and open breakers.
+    pub fn with_handle<T>(
+        &self,
+        op: impl Fn(&DatabaseHandle) -> Result<T, MargoError>,
+    ) -> Result<T, MargoError> {
+        let mut last_err = MargoError::Handler(format!(
+            "provider '{}' not found on any live member",
+            self.provider
+        ));
+        for round in 0..self.max_rounds {
+            if round > 0 {
+                std::thread::sleep(REROUTE_BACKOFF);
+            }
+            let Some((addr, provider_id)) = self.resolve() else {
+                continue;
+            };
+            let handle =
+                DatabaseHandle::new(&self.margo, addr, provider_id).with_timeout(self.timeout);
+            match op(&handle) {
+                Ok(value) => return Ok(value),
+                Err(err) if Self::should_reroute(&err) => last_err = err,
+                Err(err) => return Err(err),
+            }
+        }
+        Err(last_err)
+    }
+
+    fn should_reroute(err: &MargoError) -> bool {
+        err.is_retryable()
+            || matches!(err, MargoError::BreakerOpen { .. } | MargoError::DeadlineExceeded)
+    }
+
+    /// Stores `value` under `key` at the provider's current location.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), MargoError> {
+        self.with_handle(|h| h.put(key, value))
+    }
+
+    /// Fetches the value under `key`.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, MargoError> {
+        self.with_handle(|h| h.get(key))
+    }
+
+    /// Whether `key` exists.
+    pub fn exists(&self, key: &[u8]) -> Result<bool, MargoError> {
+        self.with_handle(|h| h.exists(key))
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> Result<u64, MargoError> {
+        self.with_handle(|h| h.len())
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> Result<bool, MargoError> {
+        Ok(self.len()? == 0)
+    }
+}

@@ -24,6 +24,7 @@
 pub mod adaptive;
 pub mod cluster;
 pub mod consistent;
+pub mod failover;
 pub mod resilience;
 pub mod service;
 pub mod workflow;
@@ -31,6 +32,7 @@ pub mod workflow;
 pub use adaptive::{AdaptiveController, ScalingPolicy};
 pub use cluster::{default_catalog, Cluster, ClusterError};
 pub use consistent::ConsistentGroup;
+pub use failover::FailoverKv;
 pub use resilience::{ResilienceConfig, ResilienceManager};
 pub use service::{DynamicService, ServiceConfig};
 pub use workflow::{Phase, PhaseReport, WorkloadSpec};

@@ -32,6 +32,9 @@ pub struct Allowlist {
     /// The kind encodes the suspending call and lock class, e.g.
     /// `forward_timeout:raft::core`.
     pub lock_across_yield: BTreeMap<Key, usize>,
+    /// Permitted finding counts for the raw-forward-in-client lint. The
+    /// kind is the forward-family method, e.g. `forward_timeout`.
+    pub raw_forward: BTreeMap<Key, usize>,
     /// Lock field names (or `crate::field` ids) excluded from the
     /// lock-order graph — for per-instance locks whose class identity
     /// would alias distinct objects.
@@ -69,13 +72,15 @@ impl Allowlist {
                             .push(item.as_str().ok_or("ignored_locks entries must be strings")?.to_string());
                     }
                 }
-                "panic_paths" | "blocking" | "serde_json" | "contracts" | "lock_across_yield" => {
+                "panic_paths" | "blocking" | "serde_json" | "contracts" | "lock_across_yield"
+                | "raw_forward" => {
                     let items = value.as_array().ok_or("allowance sections must be arrays")?;
                     let section = match key.as_str() {
                         "panic_paths" => &mut allowlist.panic_paths,
                         "blocking" => &mut allowlist.blocking,
                         "contracts" => &mut allowlist.contracts,
                         "lock_across_yield" => &mut allowlist.lock_across_yield,
+                        "raw_forward" => &mut allowlist.raw_forward,
                         _ => &mut allowlist.serde_json,
                     };
                     for item in items {
@@ -121,6 +126,7 @@ impl Allowlist {
             ("serde_json", &self.serde_json),
             ("contracts", &self.contracts),
             ("lock_across_yield", &self.lock_across_yield),
+            ("raw_forward", &self.raw_forward),
         ] {
             let _ = write!(out, "  \"{name}\": [");
             for (i, ((file, function, kind), count)) in section.iter().enumerate() {
@@ -135,19 +141,21 @@ impl Allowlist {
                 );
             }
             out.push_str(if section.is_empty() { "]" } else { "\n  ]" });
-            out.push_str(if name == "lock_across_yield" { "\n" } else { ",\n" });
+            out.push_str(if name == "raw_forward" { "\n" } else { ",\n" });
         }
         out.push_str("}\n");
         out
     }
 
     /// Builds a freeze of the given finding counts.
+    #[allow(clippy::too_many_arguments)]
     pub fn freeze(
         panic_counts: BTreeMap<Key, usize>,
         blocking_counts: BTreeMap<Key, usize>,
         json_counts: BTreeMap<Key, usize>,
         contract_counts: BTreeMap<Key, usize>,
         yield_counts: BTreeMap<Key, usize>,
+        raw_forward_counts: BTreeMap<Key, usize>,
         ignored_locks: Vec<String>,
     ) -> Allowlist {
         Allowlist {
@@ -156,6 +164,7 @@ impl Allowlist {
             serde_json: json_counts,
             contracts: contract_counts,
             lock_across_yield: yield_counts,
+            raw_forward: raw_forward_counts,
             ignored_locks,
         }
     }
@@ -170,6 +179,7 @@ impl Allowlist {
             ("serde_json", &self.serde_json),
             ("contracts", &self.contracts),
             ("lock_across_yield", &self.lock_across_yield),
+            ("raw_forward", &self.raw_forward),
         ] {
             let counts = actual.iter().find(|(n, _)| *n == section_name).map(|(_, c)| *c);
             for ((file, function, kind), count) in allowed {
@@ -414,12 +424,18 @@ mod tests {
             ("crates/raft/src/node.rs".into(), "replicate".into(), "forward_timeout:raft::core".into()),
             1,
         );
+        let mut raw_forward_counts = BTreeMap::new();
+        raw_forward_counts.insert(
+            ("crates/remi/src/client.rs".into(), "pump_chunks".into(), "forward_raw".into()),
+            1,
+        );
         let allowlist = Allowlist::freeze(
             panic_counts,
             blocking,
             json_counts,
             contract_counts,
             yield_counts,
+            raw_forward_counts,
             vec!["buffer".into()],
         );
         let json = allowlist.to_json();
@@ -429,6 +445,7 @@ mod tests {
         assert_eq!(back.serde_json, allowlist.serde_json);
         assert_eq!(back.contracts, allowlist.contracts);
         assert_eq!(back.lock_across_yield, allowlist.lock_across_yield);
+        assert_eq!(back.raw_forward, allowlist.raw_forward);
         assert_eq!(back.ignored_locks, allowlist.ignored_locks);
     }
 

@@ -11,8 +11,9 @@
 //!    `rpc_names` modules resolve exactly like string literals;
 //! 2. every registration site (`register`, `register_typed`, and the
 //!    Bedrock `handler!` wrapper macro) and every call site (the
-//!    `forward` family, `notify`, `rpc_id_for_name`, and the Bedrock
-//!    `ServiceHandle::call` wrapper) is extracted with its argument and
+//!    `forward` family, `notify`, `rpc_id_for_name`, the Bedrock
+//!    `ServiceHandle::call` wrapper, and the service-client
+//!    `call`/`call_raw` chokepoints) is extracted with its argument and
 //!    reply types where they are syntactically evident — closure
 //!    parameter annotations, turbofish type parameters, `let x: T =`
 //!    bindings, inline struct literals, and local `let`/parameter
@@ -227,6 +228,7 @@ const CALLEES: &[Callee] = &[
     Callee { name: "notify", role: Role::Call, name_arg: 1, input_arg: Some(3), min_args: 4, is_macro: false, requires_resolution: false, allow_free: false },
     Callee { name: "rpc_id_for_name", role: Role::Call, name_arg: 0, input_arg: None, min_args: 1, is_macro: false, requires_resolution: false, allow_free: true },
     Callee { name: "call", role: Role::Call, name_arg: 0, input_arg: Some(1), min_args: 2, is_macro: false, requires_resolution: true, allow_free: false },
+    Callee { name: "call_raw", role: Role::Call, name_arg: 0, input_arg: None, min_args: 2, is_macro: false, requires_resolution: true, allow_free: false },
 ];
 
 /// Extracts every registration and call site from one file.
@@ -1145,6 +1147,27 @@ fn register(margo: &M) {
         assert_eq!(call.name.as_deref(), Some("bed_get"));
         assert_eq!(call.arg_type.as_deref(), Some("GetArgs"));
         assert!(check(&found).is_empty());
+    }
+
+    #[test]
+    fn call_raw_wrapper_counts_as_client_use() {
+        // The pre-encoded chokepoint (`call_raw` in the yokan/warabi
+        // clients) carries no typed input, but it must still keep the
+        // RPC's surface alive and resolve the name through the consts.
+        let found = all_sites(&[
+            ("crates/demo/src/provider.rs", PROVIDER),
+            (
+                "crates/demo/src/client.rs",
+                "use crate::provider::rpc;\nfn put(&self) { let frame = self.call_raw(rpc::PUT, payload)?; }\nfn get(&self) { let _: bool = self.call(rpc::GET, &GetArgs { n: 1 })?; }",
+            ),
+        ]);
+        let raw = found
+            .iter()
+            .find(|s| s.role == Role::Call && s.name.as_deref() == Some("demo_put"))
+            .expect("call_raw site");
+        assert!(raw.arg_type.is_none());
+        let issues = check(&found);
+        assert!(!issues.iter().any(|i| i.kind.starts_with("dead:")), "{issues:?}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `mochi-lint`: workspace-specific static analysis for the mochi-rs
 //! stack.
 //!
-//! Six analyses, all tuned to the failure modes that matter for dynamic
+//! Seven analyses, all tuned to the failure modes that matter for dynamic
 //! HPC data services (a panicking or deadlocked provider is a dead node,
 //! which defeats the resilience layer; a mistyped RPC name only fails on
 //! a live, reconfigured cluster):
@@ -31,6 +31,10 @@
 //! 6. **Lock-held-across-yield analysis** ([`yields`], MOCHI009): a lock
 //!    guard whose span encloses a `forward`, bulk transfer, channel
 //!    receive, or `yield_now` in ULT/handler code.
+//! 7. **Raw-forward-in-client lint** ([`rawforward`], MOCHI011):
+//!    `forward`-family calls in the yokan/warabi/remi client modules
+//!    outside the `call`/`call_raw` chokepoints, which would bypass the
+//!    retry/breaker/deadline plane.
 //!
 //! Stale `lint-allow.json` entries (MOCHI010) are reported so frozen
 //! debt burns down instead of rotting. Output formats: `text` (default),
@@ -47,6 +51,7 @@ pub mod jsonuse;
 pub mod lexer;
 pub mod locks;
 pub mod panics;
+pub mod rawforward;
 pub mod report;
 pub mod source;
 pub mod yields;
@@ -60,6 +65,7 @@ use contracts::{ContractIssue, RpcSite};
 use jsonuse::JsonSite;
 use locks::{LockCycle, LockEdge, RecursiveLock};
 use panics::PanicSite;
+use rawforward::RawForwardSite;
 use source::SourceFile;
 use yields::YieldSite;
 
@@ -96,6 +102,10 @@ pub struct LintReport {
     pub yield_violations: Vec<YieldSite>,
     /// Lock-held-across-yield findings covered by the allowlist.
     pub yield_allowed: usize,
+    /// Raw-forward-in-client findings beyond the allowlist.
+    pub raw_forward_violations: Vec<RawForwardSite>,
+    /// Raw-forward-in-client findings covered by the allowlist.
+    pub raw_forward_allowed: usize,
     /// Allowlist entries matching no current finding.
     pub stale_entries: Vec<StaleEntry>,
     /// Raw (pre-allowlist) finding counts, for `--write-allowlist` and
@@ -105,6 +115,7 @@ pub struct LintReport {
     pub json_counts: BTreeMap<allowlist::Key, usize>,
     pub contract_counts: BTreeMap<allowlist::Key, usize>,
     pub yield_counts: BTreeMap<allowlist::Key, usize>,
+    pub raw_forward_counts: BTreeMap<allowlist::Key, usize>,
 }
 
 impl LintReport {
@@ -118,6 +129,7 @@ impl LintReport {
             && self.json_violations.is_empty()
             && self.contract_violations.is_empty()
             && self.yield_violations.is_empty()
+            && self.raw_forward_violations.is_empty()
     }
 
     /// The resolved RPC names in the contract table with their
@@ -153,6 +165,7 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
     let mut panic_sites: Vec<PanicSite> = Vec::new();
     let mut blocking_sites: Vec<BlockingSite> = Vec::new();
     let mut json_sites: Vec<JsonSite> = Vec::new();
+    let mut raw_forward_sites: Vec<RawForwardSite> = Vec::new();
 
     let consts = contracts::ConstTable::build(files);
     let mut contract_sites: Vec<RpcSite> = Vec::new();
@@ -170,6 +183,9 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
         if jsonuse::in_data_plane(&file.rel_path) {
             json_sites.extend(jsonuse::scan(file));
         }
+        if rawforward::in_client(&file.rel_path) {
+            raw_forward_sites.extend(rawforward::scan(file));
+        }
         blocking_sites.extend(blocking::scan(file));
         contract_sites.extend(contracts::sites(file, &consts));
     }
@@ -179,6 +195,7 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
     panic_sites.sort();
     blocking_sites.sort();
     json_sites.sort();
+    raw_forward_sites.sort();
     contract_sites.sort();
 
     let lock_cycles = locks::find_cycles(&lock_edges);
@@ -204,6 +221,10 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
         apply_allowances(&yield_sites, &allowlist.lock_across_yield, |s| {
             (s.file.clone(), s.function.clone(), format!("{}:{}", s.yield_call, s.lock))
         });
+    let (raw_forward_violations, raw_forward_allowed, raw_forward_counts) =
+        apply_allowances(&raw_forward_sites, &allowlist.raw_forward, |s| {
+            (s.file.clone(), s.function.clone(), s.kind.clone())
+        });
 
     let stale_entries = allowlist.stale_entries(&[
         ("panic_paths", &panic_counts),
@@ -211,6 +232,7 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
         ("serde_json", &json_counts),
         ("contracts", &contract_counts),
         ("lock_across_yield", &yield_counts),
+        ("raw_forward", &raw_forward_counts),
     ]);
 
     LintReport {
@@ -229,12 +251,15 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
         contract_allowed,
         yield_violations,
         yield_allowed,
+        raw_forward_violations,
+        raw_forward_allowed,
         stale_entries,
         panic_counts,
         blocking_counts,
         json_counts,
         contract_counts,
         yield_counts,
+        raw_forward_counts,
     }
 }
 

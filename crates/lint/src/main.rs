@@ -88,6 +88,7 @@ fn main() -> ExitCode {
             lint.json_counts.clone(),
             lint.contract_counts.clone(),
             lint.yield_counts.clone(),
+            lint.raw_forward_counts.clone(),
             allowlist.ignored_locks.clone(),
         );
         if let Err(e) = std::fs::write(&allowlist_path, frozen.to_json()) {
@@ -95,12 +96,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!(
-            "wrote {} panic-path, {} blocking, {} data-plane JSON, {} contract, and {} lock-across-yield allowances to {}",
+            "wrote {} panic-path, {} blocking, {} data-plane JSON, {} contract, {} lock-across-yield, and {} raw-forward allowances to {}",
             lint.panic_counts.values().sum::<usize>(),
             lint.blocking_counts.values().sum::<usize>(),
             lint.json_counts.values().sum::<usize>(),
             lint.contract_counts.values().sum::<usize>(),
             lint.yield_counts.values().sum::<usize>(),
+            lint.raw_forward_counts.values().sum::<usize>(),
             allowlist_path.display()
         );
     }

@@ -16,6 +16,7 @@
 //! | MOCHI008 | rpc-type-mismatch  | register/forward arg or reply differ  |
 //! | MOCHI009 | lock-across-yield  | guard held across a ULT suspension    |
 //! | MOCHI010 | stale-allowlist    | allowlist entry matching no site      |
+//! | MOCHI011 | raw-forward-in-client | forward bypasses the retry-aware chokepoint |
 //!
 //! The JSON document is the machine-readable contract (written to
 //! `target/lint-report.json` by `scripts/lint.sh`); SARIF 2.1.0 is for
@@ -54,6 +55,7 @@ pub const RULES: &[(&str, &str, &str)] = &[
     ("MOCHI008", "rpc-type-mismatch", "Argument or reply type disagrees between register and forward"),
     ("MOCHI009", "lock-across-yield", "Lock guard held across a ULT suspension point"),
     ("MOCHI010", "stale-allowlist", "lint-allow.json entry matches no current finding"),
+    ("MOCHI011", "raw-forward-in-client", "forward call in a service client bypasses the retry-aware call/call_raw chokepoint"),
 ];
 
 /// Flattens a report into findings, errors first. Stale-allowlist
@@ -161,6 +163,21 @@ pub fn findings(report: &LintReport) -> Vec<Finding> {
             ),
         });
     }
+    for r in &report.raw_forward_violations {
+        out.push(Finding {
+            rule: "MOCHI011",
+            rule_name: "raw-forward-in-client",
+            level: "error",
+            file: r.file.clone(),
+            line: r.line,
+            column: r.column,
+            function: r.function.clone(),
+            message: format!(
+                "raw `{}` in a service client — route through `call`/`call_raw` so retry, breaker, and deadline handling apply",
+                r.kind
+            ),
+        });
+    }
     for s in &report.stale_entries {
         out.push(Finding {
             rule: "MOCHI010",
@@ -193,7 +210,8 @@ pub fn render_text(report: &LintReport) -> String {
             + report.blocking_allowed
             + report.json_allowed
             + report.contract_allowed
-            + report.yield_allowed,
+            + report.yield_allowed
+            + report.raw_forward_allowed,
     );
     for f in findings(report) {
         let _ = writeln!(
@@ -210,7 +228,7 @@ pub fn render_text(report: &LintReport) -> String {
         );
     }
     if report.is_clean() && report.stale_entries.is_empty() {
-        let _ = writeln!(out, "OK: all six analyses clean, allowlist has no stale entries");
+        let _ = writeln!(out, "OK: all seven analyses clean, allowlist has no stale entries");
     }
     out
 }
@@ -236,7 +254,8 @@ pub fn render_json(report: &LintReport) -> String {
     let _ = writeln!(out, "      \"blocking\": {},", report.blocking_allowed);
     let _ = writeln!(out, "      \"serde_json\": {},", report.json_allowed);
     let _ = writeln!(out, "      \"contracts\": {},", report.contract_allowed);
-    let _ = writeln!(out, "      \"lock_across_yield\": {}", report.yield_allowed);
+    let _ = writeln!(out, "      \"lock_across_yield\": {},", report.yield_allowed);
+    let _ = writeln!(out, "      \"raw_forward\": {}", report.raw_forward_allowed);
     let _ = writeln!(out, "    }}");
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"findings\": [");

@@ -36,8 +36,106 @@ impl Default for MonitoringConfig {
     }
 }
 
-/// Full Margo configuration.
+/// Retry policy for forwarded RPCs (applied only to RPCs declared
+/// idempotent, and only to retryable failures — see `MargoError::is_retryable`).
+///
+/// Not `Eq`: `jitter` is an `f64` (PartialEq is all the round-trip tests
+/// need).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryConfig {
+    /// Total attempts per logical call (1 = no retries).
+    #[serde(default = "default_max_attempts")]
+    pub max_attempts: u32,
+    /// First backoff delay; doubles each retry (before jitter).
+    #[serde(default = "default_base_backoff")]
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling.
+    #[serde(default = "default_max_backoff")]
+    pub max_backoff_ms: u64,
+    /// Jitter fraction in `[0,1]`: each backoff is multiplied by a value
+    /// drawn uniformly from `[1-jitter, 1+jitter]` with the seeded RNG.
+    #[serde(default = "default_jitter")]
+    pub jitter: f64,
+    /// Seed for the jitter RNG (deterministic backoff schedules in tests).
+    #[serde(default)]
+    pub seed: u64,
+    /// Retry budget: at most this many *retries* (attempts beyond the
+    /// first) per sliding one-second window, across all RPCs. Protects
+    /// against retry storms when a whole service degrades. `0` disables
+    /// retries outright.
+    #[serde(default = "default_retry_budget")]
+    pub budget_per_sec: u32,
+}
+
+fn default_max_attempts() -> u32 {
+    4
+}
+
+fn default_base_backoff() -> u64 {
+    5
+}
+
+fn default_max_backoff() -> u64 {
+    500
+}
+
+fn default_jitter() -> f64 {
+    0.2
+}
+
+fn default_retry_budget() -> u32 {
+    64
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        Self {
+            max_attempts: default_max_attempts(),
+            base_backoff_ms: default_base_backoff(),
+            max_backoff_ms: default_max_backoff(),
+            jitter: default_jitter(),
+            seed: 0,
+            budget_per_sec: default_retry_budget(),
+        }
+    }
+}
+
+/// Circuit-breaker settings for the per-(address, provider) breakers.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Master switch; disabled breakers never reject calls.
+    #[serde(default = "default_true")]
+    pub enabled: bool,
+    /// Consecutive transport-class failures that trip the breaker open.
+    #[serde(default = "default_failure_threshold")]
+    pub failure_threshold: u32,
+    /// Time the breaker stays open before admitting one half-open probe,
+    /// in milliseconds.
+    #[serde(default = "default_probe_interval")]
+    pub probe_interval_ms: u64,
+}
+
+fn default_failure_threshold() -> u32 {
+    8
+}
+
+fn default_probe_interval() -> u64 {
+    200
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            failure_threshold: default_failure_threshold(),
+            probe_interval_ms: default_probe_interval(),
+        }
+    }
+}
+
+/// Full Margo configuration. Not `Eq` because [`RetryConfig`] carries an
+/// `f64` jitter fraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MargoConfig {
     /// Pool/xstream topology (Listing 2's `argobots` section). Defaults
     /// to the primary-only topology when omitted, like `margo_init`.
@@ -55,6 +153,12 @@ pub struct MargoConfig {
     /// Monitoring settings.
     #[serde(default)]
     pub monitoring: MonitoringConfig,
+    /// Retry policy for idempotent forwards.
+    #[serde(default)]
+    pub retry: RetryConfig,
+    /// Circuit-breaker settings.
+    #[serde(default)]
+    pub breaker: BreakerConfig,
 }
 
 fn default_progress_pool() -> String {
@@ -77,6 +181,8 @@ impl Default for MargoConfig {
             default_rpc_pool: default_rpc_pool(),
             rpc_timeout_ms: default_rpc_timeout(),
             monitoring: MonitoringConfig::default(),
+            retry: RetryConfig::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -153,6 +259,29 @@ mod tests {
         let json = serde_json::to_string(&config).unwrap();
         let back = MargoConfig::from_json(&json).unwrap();
         assert_eq!(back, config);
+    }
+
+    #[test]
+    fn retry_and_breaker_defaults() {
+        let config = MargoConfig::from_json("{}").unwrap();
+        assert_eq!(config.retry.max_attempts, 4);
+        assert_eq!(config.retry.budget_per_sec, 64);
+        assert!(config.breaker.enabled);
+        assert_eq!(config.breaker.failure_threshold, 8);
+        assert_eq!(config.breaker.probe_interval_ms, 200);
+    }
+
+    #[test]
+    fn retry_and_breaker_sections_parse() {
+        let json = r#"
+        { "retry": { "max_attempts": 2, "base_backoff_ms": 1, "jitter": 0.0, "seed": 42 },
+          "breaker": { "enabled": false, "failure_threshold": 3, "probe_interval_ms": 50 } }
+        "#;
+        let config = MargoConfig::from_json(json).unwrap();
+        assert_eq!(config.retry.max_attempts, 2);
+        assert_eq!(config.retry.seed, 42);
+        assert!(!config.breaker.enabled);
+        assert_eq!(config.breaker.failure_threshold, 3);
     }
 
     #[test]

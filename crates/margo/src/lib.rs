@@ -26,18 +26,22 @@
 //! [`mochi_mercury::Fabric`], which plays the role of the machine's
 //! interconnect.
 
+pub mod breaker;
 pub mod codec;
 pub mod config;
 pub mod error;
 pub mod frame;
 pub mod monitoring;
+pub mod retry;
 pub mod rpc;
 pub mod runtime;
 
+pub use breaker::{Admission, BreakerRegistry};
 pub use codec::{decode, encode};
 pub use frame::{decode_framed, encode_framed};
-pub use config::{MargoConfig, MonitoringConfig};
+pub use config::{BreakerConfig, MargoConfig, MonitoringConfig, RetryConfig};
 pub use error::MargoError;
+pub use retry::RetryPolicy;
 pub use monitoring::{Monitor, MonitoringEvent, StatisticsMonitor};
 pub use mochi_mercury::CallContext;
 pub use rpc::{rpc_id_for_name, RpcContext, RpcHandler};

@@ -67,7 +67,19 @@ pub enum MonitoringEvent {
     /// A client is about to forward a request.
     ForwardStart { identity: RpcIdentity, dest: Arc<Address>, payload_size: usize },
     /// A forwarded request completed (response received, or failed).
-    ForwardEnd { identity: RpcIdentity, dest: Arc<Address>, duration_s: f64, ok: bool },
+    /// `error` is `None` on success, or the fault-mode tag from
+    /// [`crate::MargoError::kind`] (timeout / handler / no-handler /
+    /// breaker-open / deadline / …) so E1 dumps distinguish fault modes.
+    /// `attempts` counts the transport attempts of this logical call
+    /// (> 1 when the retry policy re-sent it).
+    ForwardEnd {
+        identity: RpcIdentity,
+        dest: Arc<Address>,
+        duration_s: f64,
+        ok: bool,
+        error: Option<&'static str>,
+        attempts: u32,
+    },
     /// The progress loop received a request and is scheduling its ULT.
     RequestReceived {
         identity: RpcIdentity,

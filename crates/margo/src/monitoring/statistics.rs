@@ -73,6 +73,12 @@ struct OriginPeer {
     forward_duration: StreamStats,
     payload_size: StreamStats,
     failures: u64,
+    /// Failures by fault-mode tag (timeout / handler / no-handler /
+    /// breaker-open / deadline / …) so E1 dumps distinguish fault modes.
+    errors: HashMap<&'static str, u64>,
+    /// Extra transport attempts spent by the retry policy (attempts - 1,
+    /// summed over calls).
+    retries: u64,
 }
 
 impl OriginPeer {
@@ -80,6 +86,10 @@ impl OriginPeer {
         self.forward_duration.merge(&other.forward_duration);
         self.payload_size.merge(&other.payload_size);
         self.failures += other.failures;
+        for (kind, count) in &other.errors {
+            *self.errors.entry(kind).or_default() += count;
+        }
+        self.retries += other.retries;
     }
 }
 
@@ -199,12 +209,20 @@ impl StatisticsMonitor {
             origin_addrs.sort();
             for addr in origin_addrs {
                 let peer = &entry.origin[addr];
+                let mut errors = serde_json::Map::new();
+                let mut kinds: Vec<&&'static str> = peer.errors.keys().collect();
+                kinds.sort();
+                for kind in kinds {
+                    errors.insert((*kind).to_string(), json!(peer.errors[*kind]));
+                }
                 origin.insert(
                     format!("sent to {addr}"),
                     json!({
                         "forward": { "duration": peer.forward_duration.to_json() },
                         "payload": { "size": peer.payload_size.to_json() },
                         "failures": peer.failures,
+                        "errors": Value::Object(errors),
+                        "retries": peer.retries,
                     }),
                 );
             }
@@ -286,7 +304,7 @@ impl Monitor for StatisticsMonitor {
                 // arrives with ForwardEnd. The arm documents that the
                 // hook exists for custom monitors.
             }
-            MonitoringEvent::ForwardEnd { identity, dest, duration_s, ok } => {
+            MonitoringEvent::ForwardEnd { identity, dest, duration_s, ok, error, attempts } => {
                 let entry = state.rpcs.entry(Key::from_identity(identity)).or_default();
                 entry.name = identity.rpc_name.to_string();
                 let peer = entry.origin.entry(dest.clone()).or_default();
@@ -294,6 +312,10 @@ impl Monitor for StatisticsMonitor {
                 if !ok {
                     peer.failures += 1;
                 }
+                if let Some(kind) = error {
+                    *peer.errors.entry(kind).or_default() += 1;
+                }
+                peer.retries += u64::from(attempts.saturating_sub(1));
             }
             MonitoringEvent::RequestReceived { identity, source, payload_size, .. } => {
                 let entry = state.rpcs.entry(Key::from_identity(identity)).or_default();
@@ -385,18 +407,22 @@ mod tests {
     #[test]
     fn nested_context_creates_distinct_key() {
         let monitor = StatisticsMonitor::new();
-        let nested = CallContext { parent_rpc_id: 42, parent_provider_id: 3 };
+        let nested = CallContext { parent_rpc_id: 42, parent_provider_id: 3, deadline: None };
         monitor.observe(&MonitoringEvent::ForwardEnd {
             identity: identity("get", 100, 1, nested),
             dest: Arc::new(addr("server")),
             duration_s: 0.01,
             ok: true,
+            error: None,
+            attempts: 1,
         });
         monitor.observe(&MonitoringEvent::ForwardEnd {
             identity: identity("get", 100, 1, CallContext::TOP_LEVEL),
             dest: Arc::new(addr("server")),
             duration_s: 0.02,
             ok: true,
+            error: None,
+            attempts: 1,
         });
         let json = monitor.to_json();
         let rpcs = json["rpcs"].as_object().unwrap();
@@ -414,6 +440,8 @@ mod tests {
                 dest: Arc::new(addr(host)),
                 duration_s: duration,
                 ok: true,
+                error: None,
+                attempts: 1,
             });
         }
         let json = monitor.to_json();
@@ -433,9 +461,34 @@ mod tests {
             dest: Arc::new(addr("s1")),
             duration_s: 1.0,
             ok: false,
+            error: Some("timeout"),
+            attempts: 3,
         });
         let json = monitor.to_json();
-        assert_eq!(json["rpcs"]["65535:65535:7:0"]["origin"]["sent to ofi+tcp://s1:1"]["failures"], 1);
+        let peer = &json["rpcs"]["65535:65535:7:0"]["origin"]["sent to ofi+tcp://s1:1"];
+        assert_eq!(peer["failures"], 1);
+        assert_eq!(peer["errors"]["timeout"], 1, "fault mode tagged: {peer}");
+        assert_eq!(peer["retries"], 2, "two extra attempts recorded");
+    }
+
+    #[test]
+    fn error_kinds_accumulate_separately() {
+        let monitor = StatisticsMonitor::new();
+        for kind in ["timeout", "timeout", "handler", "breaker-open"] {
+            monitor.observe(&MonitoringEvent::ForwardEnd {
+                identity: identity("put", 7, 0, CallContext::TOP_LEVEL),
+                dest: Arc::new(addr("s1")),
+                duration_s: 0.5,
+                ok: false,
+                error: Some(kind),
+                attempts: 1,
+            });
+        }
+        let json = monitor.to_json();
+        let errors = &json["rpcs"]["65535:65535:7:0"]["origin"]["sent to ofi+tcp://s1:1"]["errors"];
+        assert_eq!(errors["timeout"], 2);
+        assert_eq!(errors["handler"], 1);
+        assert_eq!(errors["breaker-open"], 1);
     }
 
     #[test]
@@ -467,6 +520,8 @@ mod tests {
             dest: Arc::new(addr("s")),
             duration_s: 0.1,
             ok: true,
+            error: None,
+            attempts: 1,
         });
         monitor.reset();
         assert!(monitor.to_json()["rpcs"].as_object().unwrap().is_empty());
@@ -485,6 +540,8 @@ mod tests {
                             dest: Arc::new(addr("s1")),
                             duration_s: (t * 250 + i) as f64,
                             ok: i % 50 == 0,
+                            error: (i % 50 != 0).then_some("timeout"),
+                            attempts: 1,
                         });
                     }
                 })

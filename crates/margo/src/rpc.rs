@@ -89,6 +89,7 @@ impl RpcContext {
         CallContext {
             parent_rpc_id: self.request.rpc_id,
             parent_provider_id: self.request.provider_id,
+            deadline: self.request.context.deadline,
         }
     }
 

@@ -12,7 +12,7 @@
 //!   and [`MargoRuntime::remove_xstream`] mutate the live topology under
 //!   the validity rules the paper describes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -31,8 +31,10 @@ use mochi_mercury::{
 use mochi_util::ordered_lock::{rank, OrderedMutex, OrderedRwLock};
 use mochi_util::time::monotonic_seconds;
 
+use crate::breaker::{Admission, BreakerRegistry};
 use crate::config::MargoConfig;
 use crate::error::MargoError;
+use crate::retry::RetryPolicy;
 use crate::monitoring::{
     BulkDirection, CompositeMonitor, Monitor, MonitoringEvent, RpcIdentity, RuntimeSample,
     StatisticsMonitor,
@@ -85,6 +87,12 @@ struct Inner {
     handlers: OrderedRwLock<HashMap<(u64, u16), Arc<Registration>>>,
     monitor: OrderedRwLock<Arc<CompositeMonitor>>,
     stats: Option<Arc<StatisticsMonitor>>,
+    retry: RetryPolicy,
+    breakers: BreakerRegistry,
+    /// RPC ids declared safe to retry (see
+    /// [`MargoRuntime::declare_idempotent`]). Everything else is
+    /// never auto-retried.
+    idempotent: OrderedRwLock<HashSet<u64>>,
     in_flight_client: AtomicI64,
     in_flight_server: AtomicI64,
     finalized: AtomicBool,
@@ -128,6 +136,13 @@ impl MargoRuntime {
             handlers: OrderedRwLock::new(rank::MARGO_HANDLERS, "margo.handlers", HashMap::new()),
             monitor: OrderedRwLock::new(rank::MARGO_MONITOR, "margo.monitor", Arc::new(composite)),
             stats,
+            retry: RetryPolicy::new(config.retry.clone()),
+            breakers: BreakerRegistry::new(config.breaker.clone()),
+            idempotent: OrderedRwLock::new(
+                rank::MARGO_IDEMPOTENT,
+                "margo.idempotent",
+                HashSet::new(),
+            ),
             in_flight_client: AtomicI64::new(0),
             in_flight_server: AtomicI64::new(0),
             finalized: AtomicBool::new(false),
@@ -474,39 +489,8 @@ impl MargoRuntime {
     ) -> Result<O, MargoError> {
         self.ensure_live()?;
         let payload = crate::codec::encode(input)?;
-        let rpc_id = rpc_id_for_name(rpc_name);
-        let name = cached_rpc_name(rpc_name);
-        let identity = self.identity_for(rpc_id, &name, provider_id, context);
-        // One shared destination for both monitoring events; the request
-        // itself borrows `dest`, so this is the only deep clone per call.
-        let dest_shared = Arc::new(dest.clone());
-        self.emit(&MonitoringEvent::ForwardStart {
-            identity: identity.clone(),
-            dest: Arc::clone(&dest_shared),
-            payload_size: payload.len(),
-        });
-        self.inner.in_flight_client.fetch_add(1, Ordering::Relaxed);
-        let start = Instant::now();
-        let result = (|| -> Result<O, MargoError> {
-            let pending =
-                self.inner.endpoint.send_request(dest, rpc_id, provider_id, context, payload)?;
-            let response = pending.wait(timeout)?;
-            match response.status {
-                ResponseStatus::Ok => crate::codec::decode(&response.payload),
-                ResponseStatus::Error(message) => Err(MargoError::Handler(message)),
-                ResponseStatus::NoHandler => {
-                    Err(MargoError::NoHandler { rpc: rpc_name.to_string(), provider_id })
-                }
-            }
-        })();
-        self.inner.in_flight_client.fetch_sub(1, Ordering::Relaxed);
-        self.emit(&MonitoringEvent::ForwardEnd {
-            identity,
-            dest: dest_shared,
-            duration_s: start.elapsed().as_secs_f64(),
-            ok: result.is_ok(),
-        });
-        result
+        let response = self.forward_bytes(dest, rpc_name, provider_id, payload, context, timeout)?;
+        crate::codec::decode(&response)
     }
 
     /// Raw-payload forward for data-plane RPCs using [`crate::frame`]
@@ -522,10 +506,28 @@ impl MargoRuntime {
         context: CallContext,
         timeout: Duration,
     ) -> Result<Bytes, MargoError> {
+        self.forward_bytes(dest, rpc_name, provider_id, payload, context, timeout)
+    }
+
+    /// Shared forward core: one `ForwardStart`/`ForwardEnd` pair per
+    /// *logical* call, with the transport attempt loop (retry policy,
+    /// circuit breakers, deadline propagation) in between.
+    fn forward_bytes(
+        &self,
+        dest: &Address,
+        rpc_name: &str,
+        provider_id: u16,
+        payload: Bytes,
+        context: CallContext,
+        timeout: Duration,
+    ) -> Result<Bytes, MargoError> {
         self.ensure_live()?;
         let rpc_id = rpc_id_for_name(rpc_name);
         let name = cached_rpc_name(rpc_name);
         let identity = self.identity_for(rpc_id, &name, provider_id, context);
+        // One shared destination for monitoring events and the breaker
+        // key; the request itself borrows `dest`, so this is the only
+        // deep clone per call.
         let dest_shared = Arc::new(dest.clone());
         self.emit(&MonitoringEvent::ForwardStart {
             identity: identity.clone(),
@@ -534,26 +536,158 @@ impl MargoRuntime {
         });
         self.inner.in_flight_client.fetch_add(1, Ordering::Relaxed);
         let start = Instant::now();
-        let result = (|| -> Result<Bytes, MargoError> {
-            let pending =
-                self.inner.endpoint.send_request(dest, rpc_id, provider_id, context, payload)?;
-            let response = pending.wait(timeout)?;
-            match response.status {
-                ResponseStatus::Ok => Ok(response.payload),
-                ResponseStatus::Error(message) => Err(MargoError::Handler(message)),
-                ResponseStatus::NoHandler => {
-                    Err(MargoError::NoHandler { rpc: rpc_name.to_string(), provider_id })
+        let retryable_rpc = self.is_idempotent_rpc(rpc_id);
+        let mut attempts = 0u32;
+        let result = loop {
+            attempts += 1;
+            match self.forward_attempt(
+                &dest_shared,
+                rpc_id,
+                rpc_name,
+                provider_id,
+                payload.clone(),
+                context,
+                timeout,
+            ) {
+                Ok(response) => break Ok(response),
+                Err(err) => {
+                    // Only idempotent RPCs may be re-sent, and only for
+                    // failures where the request may not have executed
+                    // (transport-class, or no handler registered yet).
+                    // Handler errors are application outcomes; deadline
+                    // and breaker rejections end the loop immediately.
+                    if !(retryable_rpc
+                        && err.is_retryable()
+                        && self.inner.retry.admit_retry(attempts))
+                    {
+                        break Err(err);
+                    }
+                    let backoff = self.inner.retry.backoff(attempts);
+                    if let Some(deadline) = context.deadline {
+                        if Instant::now() + backoff >= deadline {
+                            break Err(err);
+                        }
+                    }
+                    std::thread::sleep(backoff);
                 }
             }
-        })();
+        };
         self.inner.in_flight_client.fetch_sub(1, Ordering::Relaxed);
         self.emit(&MonitoringEvent::ForwardEnd {
             identity,
             dest: dest_shared,
             duration_s: start.elapsed().as_secs_f64(),
             ok: result.is_ok(),
+            error: result.as_ref().err().map(MargoError::kind),
+            attempts,
         });
         result
+    }
+
+    /// One transport attempt: breaker admission, deadline clamping, send,
+    /// wait, breaker bookkeeping.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_attempt(
+        &self,
+        dest: &Arc<Address>,
+        rpc_id: u64,
+        rpc_name: &str,
+        provider_id: u16,
+        payload: Bytes,
+        context: CallContext,
+        timeout: Duration,
+    ) -> Result<Bytes, MargoError> {
+        let now = Instant::now();
+        // Clamp the wait to the remaining deadline budget, so a nested
+        // chain with a 100 ms top-level deadline can never take
+        // 3 × 100 ms: each hop inherits only what its parent has left.
+        let effective = match context.deadline {
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(now);
+                if remaining.is_zero() {
+                    return Err(MargoError::DeadlineExceeded);
+                }
+                timeout.min(remaining)
+            }
+            None => timeout,
+        };
+        match self.inner.breakers.admit(dest, provider_id) {
+            Admission::Allowed | Admission::Probe => {}
+            Admission::Rejected => {
+                return Err(MargoError::BreakerOpen { dest: dest.to_string(), provider_id });
+            }
+        }
+        // Propagate the *absolute* deadline so handlers issuing nested
+        // RPCs (via `RpcContext::nested_context`) inherit the remaining
+        // budget rather than restarting the clock.
+        let attempt_deadline = now + effective;
+        let wire_context = context
+            .with_deadline(Some(context.deadline.map_or(attempt_deadline, |d| d.min(attempt_deadline))));
+        let outcome = (|| {
+            let pending = self.inner.endpoint.send_request(
+                dest,
+                rpc_id,
+                provider_id,
+                wire_context,
+                payload,
+            )?;
+            pending.wait(effective)
+        })();
+        match outcome {
+            Ok(response) => {
+                // The network round-tripped: the breaker closes whatever
+                // the application-level status says.
+                self.inner.breakers.record_success(dest, provider_id);
+                match response.status {
+                    ResponseStatus::Ok => Ok(response.payload),
+                    ResponseStatus::Error(message) => Err(MargoError::Handler(message)),
+                    ResponseStatus::NoHandler => {
+                        Err(MargoError::NoHandler { rpc: rpc_name.to_string(), provider_id })
+                    }
+                }
+            }
+            Err(err) => {
+                let err = MargoError::from(err);
+                if err.is_retryable() {
+                    // Transport-class failure (timeout / unreachable):
+                    // counts against the breaker threshold.
+                    self.inner.breakers.record_failure(dest, provider_id);
+                }
+                // A wait that timed out because the *deadline* clipped it
+                // is a budget exhaustion, not a transport verdict.
+                if err.is_timeout() {
+                    if let Some(deadline) = context.deadline {
+                        if Instant::now() >= deadline {
+                            return Err(MargoError::DeadlineExceeded);
+                        }
+                    }
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// Declares an RPC idempotent: safe for the runtime to re-send on
+    /// transport-class failures. RPCs never declared are never
+    /// auto-retried — a non-idempotent call observes exactly one
+    /// server-side invocation per forward.
+    pub fn declare_idempotent(&self, rpc_name: &str) {
+        self.inner.idempotent.write().insert(rpc_id_for_name(rpc_name));
+    }
+
+    /// Whether `rpc_name` has been declared idempotent.
+    pub fn is_idempotent(&self, rpc_name: &str) -> bool {
+        self.is_idempotent_rpc(rpc_id_for_name(rpc_name))
+    }
+
+    fn is_idempotent_rpc(&self, rpc_id: u64) -> bool {
+        self.inner.idempotent.read().contains(&rpc_id)
+    }
+
+    /// The circuit-breaker registry (chaos tests assert convergence on
+    /// it; the monitoring JSON embeds its dump as the `breakers` section).
+    pub fn breakers(&self) -> &BreakerRegistry {
+        &self.inner.breakers
     }
 
     /// Fire-and-forget notification to `(rpc_name, provider_id)` at `dest`.
@@ -736,9 +870,18 @@ impl MargoRuntime {
     }
 
     /// The monitoring statistics accumulated so far (the runtime query
-    /// API of §4), or `None` when monitoring is disabled.
+    /// API of §4), or `None` when monitoring is disabled. On top of the
+    /// Listing-1 sections, the dump carries a `breakers` section with the
+    /// live circuit-breaker states (additive; existing consumers that key
+    /// into `rpcs`/`progress` are unaffected).
     pub fn monitoring_json(&self) -> Option<Value> {
-        self.inner.stats.as_ref().map(|s| s.to_json())
+        self.inner.stats.as_ref().map(|s| {
+            let mut json = s.to_json();
+            if let Some(map) = json.as_object_mut() {
+                map.insert("breakers".to_string(), self.inner.breakers.to_json());
+            }
+            json
+        })
     }
 
     /// Installs an additional user monitor alongside the default
@@ -1168,6 +1311,198 @@ mod tests {
         assert!(stats["progress"]["samples"].as_u64().unwrap() >= 2);
         assert!(stats["progress"]["pool_sizes"].as_object().unwrap().contains_key("__primary__"));
         server.finalize();
+    }
+
+    #[test]
+    fn nested_calls_inherit_remaining_deadline() {
+        let fabric = Fabric::new();
+        let dead = boot(&fabric, "dead");
+        register_echo(&dead, 0);
+        let dead_addr = dead.address();
+        // Finalized endpoint: requests to it vanish (no response).
+        dead.finalize();
+        let relay = boot(&fabric, "relay");
+        let observed: Arc<Mutex<Option<(Duration, MargoError)>>> = Arc::new(Mutex::new(None));
+        let observed2 = Arc::clone(&observed);
+        relay
+            .register_typed("relay", 0, None, move |input: String, ctx| {
+                // The nested forward uses the *default* 30 s timeout; the
+                // deadline inherited from the parent must clamp it to the
+                // parent's remaining budget, so a chain under a 100 ms
+                // top-level deadline can never take 3 × 100 ms.
+                let start = Instant::now();
+                let err =
+                    ctx.forward::<String, String>(&dead_addr, "echo", 0, &input).unwrap_err();
+                *observed2.lock() = Some((start.elapsed(), err));
+                Err("upstream dead".into())
+            })
+            .unwrap();
+        let client = boot(&fabric, "client");
+        let err = client
+            .forward_timeout::<String, String>(
+                &relay.address(),
+                "relay",
+                0,
+                &"x".to_string(),
+                Duration::from_millis(100),
+            )
+            .unwrap_err();
+        // The client either times out (relay answered after its wait) or
+        // sees the relay's handler error, depending on scheduling.
+        assert!(err.is_timeout() || matches!(err, MargoError::Handler(_)), "got {err}");
+        assert!(mochi_util::time::wait_until(
+            Duration::from_secs(5),
+            Duration::from_millis(1),
+            || observed.lock().is_some()
+        ));
+        let (elapsed, child_err) = observed.lock().take().unwrap();
+        assert!(
+            elapsed < Duration::from_millis(1000),
+            "child waited {elapsed:?}, not the parent's ≤100 ms remaining budget"
+        );
+        assert_eq!(child_err, MargoError::DeadlineExceeded);
+        assert!(!child_err.is_timeout(), "deadline exhaustion is not a transport timeout");
+        relay.finalize();
+        client.finalize();
+    }
+
+    #[test]
+    fn expired_deadline_fails_before_sending() {
+        let fabric = Fabric::new();
+        let server = boot(&fabric, "server");
+        let client = boot(&fabric, "client");
+        let hits = Arc::new(AtomicI64::new(0));
+        let hits2 = Arc::clone(&hits);
+        server
+            .register_typed("count", 0, None, move |_: (), _| {
+                hits2.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            })
+            .unwrap();
+        let past = Instant::now().checked_sub(Duration::from_millis(10)).unwrap_or_else(Instant::now);
+        let context = CallContext::TOP_LEVEL.with_deadline(Some(past));
+        let err = client
+            .forward_full::<(), ()>(&server.address(), "count", 0, &(), context, Duration::from_secs(1))
+            .unwrap_err();
+        assert_eq!(err, MargoError::DeadlineExceeded);
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(hits.load(Ordering::SeqCst), 0, "request must never reach the server");
+        server.finalize();
+        client.finalize();
+    }
+
+    #[test]
+    fn idempotent_rpc_survives_transient_drops() {
+        let fabric = Fabric::new();
+        let server = boot(&fabric, "server");
+        let client = boot(&fabric, "client");
+        let hits = Arc::new(AtomicI64::new(0));
+        let hits2 = Arc::clone(&hits);
+        server
+            .register_typed("get", 0, None, move |k: String, _| {
+                hits2.fetch_add(1, Ordering::SeqCst);
+                Ok(k)
+            })
+            .unwrap();
+        client.declare_idempotent("get");
+        assert!(client.is_idempotent("get"));
+        // First two request sends on the client→server link vanish; the
+        // third gets through.
+        fabric.faults().push_script(
+            Some("client"),
+            Some("server"),
+            mochi_mercury::LinkScript::FailFirst(2),
+        );
+        let out: String = client
+            .forward_timeout(&server.address(), "get", 0, &"k".to_string(), Duration::from_millis(100))
+            .unwrap();
+        assert_eq!(out, "k");
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "only the delivered attempt executed");
+        // Monitoring sees one logical call with two retries.
+        let stats = client.monitoring_json().unwrap();
+        let key = format!("65535:65535:{}:0", rpc_id_for_name("get"));
+        let peer = &stats["rpcs"][&key]["origin"][format!("sent to {}", server.address())];
+        assert_eq!(peer["retries"], 2);
+        assert_eq!(peer["forward"]["duration"]["num"], 1);
+        server.finalize();
+        client.finalize();
+    }
+
+    #[test]
+    fn non_idempotent_rpc_is_never_retried() {
+        let fabric = Fabric::new();
+        let server = boot(&fabric, "server");
+        let client = boot(&fabric, "client");
+        let hits = Arc::new(AtomicI64::new(0));
+        let hits2 = Arc::clone(&hits);
+        server
+            .register_typed("inc", 0, None, move |_: (), _| {
+                hits2.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            })
+            .unwrap();
+        // The first send is dropped. A retry *would* succeed — which is
+        // exactly what must not happen for an undeclared RPC.
+        fabric.faults().push_script(
+            Some("client"),
+            Some("server"),
+            mochi_mercury::LinkScript::FailFirst(1),
+        );
+        let err = client
+            .forward_timeout::<(), ()>(&server.address(), "inc", 0, &(), Duration::from_millis(50))
+            .unwrap_err();
+        assert!(err.is_timeout());
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(hits.load(Ordering::SeqCst), 0, "non-idempotent call was silently re-sent");
+        let stats = client.monitoring_json().unwrap();
+        let key = format!("65535:65535:{}:0", rpc_id_for_name("inc"));
+        let peer = &stats["rpcs"][&key]["origin"][format!("sent to {}", server.address())];
+        assert_eq!(peer["retries"], 0);
+        assert_eq!(peer["errors"]["timeout"], 1);
+        server.finalize();
+        client.finalize();
+    }
+
+    #[test]
+    fn breaker_trips_and_recovers_with_monitoring() {
+        let fabric = Fabric::new();
+        let mut config = MargoConfig::default();
+        config.breaker.failure_threshold = 2;
+        config.breaker.probe_interval_ms = 50;
+        let client = MargoRuntime::init(&fabric, Address::tcp("client", 1), &config).unwrap();
+        let target = Address::tcp("target", 1);
+        // Two transport failures (address never registered) trip the
+        // breaker…
+        for _ in 0..2 {
+            let err = client
+                .forward_timeout::<(), ()>(&target, "echo", 0, &(), Duration::from_millis(50))
+                .unwrap_err();
+            assert_eq!(err.kind(), "transport");
+        }
+        // …after which calls are rejected locally without touching the
+        // network, with a distinct error kind.
+        let err = client
+            .forward_timeout::<(), ()>(&target, "echo", 0, &(), Duration::from_millis(50))
+            .unwrap_err();
+        assert_eq!(err.kind(), "breaker-open");
+        assert!(matches!(err, MargoError::BreakerOpen { provider_id: 0, .. }));
+        let json = client.monitoring_json().unwrap();
+        assert_eq!(json["breakers"][format!("{target}:0")]["state"], "open");
+        // The destination comes up at the same address; once the probe
+        // interval elapses a single probe is admitted and re-closes the
+        // breaker.
+        let server = boot(&fabric, "target");
+        register_echo(&server, 0);
+        std::thread::sleep(Duration::from_millis(60));
+        let out: String = client.forward(&target, "echo", 0, &"back".to_string()).unwrap();
+        assert_eq!(out, "back");
+        assert!(client.breakers().all_closed_among(|_| true));
+        let json = client.monitoring_json().unwrap();
+        let entry = &json["breakers"][format!("{target}:0")];
+        assert_eq!(entry["state"], "closed");
+        assert_eq!(entry["trips"], 1);
+        server.finalize();
+        client.finalize();
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
@@ -24,19 +24,30 @@ use crate::fabric::FabricInner;
 use crate::message::{Envelope, Message, OneWayBody, RequestBody, ResponseBody, ResponseStatus};
 
 /// Calling context carried by requests: identifies the parent RPC when a
-/// handler issues nested RPCs (Listing 1 reports these fields).
+/// handler issues nested RPCs (Listing 1 reports these fields) and carries
+/// the absolute deadline the whole call chain must finish by, so nested
+/// forwards inherit the parent's *remaining* budget rather than restarting
+/// from the default timeout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CallContext {
     /// RPC id of the parent handler, or `u64::MAX` at top level.
     pub parent_rpc_id: u64,
     /// Provider id of the parent handler, or `u16::MAX` at top level.
     pub parent_provider_id: u16,
+    /// Absolute deadline inherited from the parent call, if any.
+    pub deadline: Option<Instant>,
 }
 
 impl CallContext {
     /// Context for calls made outside any handler.
     pub const TOP_LEVEL: CallContext =
-        CallContext { parent_rpc_id: u64::MAX, parent_provider_id: u16::MAX };
+        CallContext { parent_rpc_id: u64::MAX, parent_provider_id: u16::MAX, deadline: None };
+
+    /// Same parentage with the deadline replaced.
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
 }
 
 impl Default for CallContext {
@@ -210,6 +221,7 @@ impl Endpoint {
                 xid,
                 parent_rpc_id: context.parent_rpc_id,
                 parent_provider_id: context.parent_provider_id,
+                deadline: context.deadline,
                 payload,
             }),
         };
@@ -300,6 +312,7 @@ impl Endpoint {
                         context: CallContext {
                             parent_rpc_id: req.parent_rpc_id,
                             parent_provider_id: req.parent_provider_id,
+                            deadline: req.deadline,
                         },
                         payload: req.payload,
                     })));
@@ -490,7 +503,7 @@ mod tests {
     fn context_propagates_to_server() {
         let fabric = Fabric::new();
         let (client, server) = pair(&fabric);
-        let ctx = CallContext { parent_rpc_id: 99, parent_provider_id: 4 };
+        let ctx = CallContext { parent_rpc_id: 99, parent_provider_id: 4, deadline: None };
         let _pending =
             client.send_request(server.address(), 1, 0, ctx, Bytes::new()).unwrap();
         let incoming = server.progress(Duration::from_secs(1)).unwrap().unwrap();

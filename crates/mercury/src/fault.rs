@@ -23,11 +23,66 @@ use mochi_util::SeededRng;
 
 use crate::address::Address;
 
+/// A deterministic, message-count-driven fault script on a directed link.
+///
+/// Scripts replay identically regardless of RNG seed: they are driven by
+/// the ordinal of each message crossing the link, which makes them the
+/// right tool for reproducing exact failure sequences (retry tests,
+/// breaker threshold tests) where probabilistic drops are too blunt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkScript {
+    /// Drop the first `n` messages on the link, deliver everything after.
+    FailFirst(u64),
+    /// Repeating cycle: drop `down` messages, then deliver `up` messages.
+    Flap {
+        /// Messages dropped at the start of each cycle.
+        down: u64,
+        /// Messages delivered after the down phase of each cycle.
+        up: u64,
+    },
+    /// Every `period`-th message (1-based) incurs `spike` extra delay.
+    DelaySpike {
+        /// Spike cadence in messages; 0 disables the script.
+        period: u64,
+        /// Extra delay charged on spiking messages.
+        spike: Duration,
+    },
+}
+
+impl LinkScript {
+    /// Applies the script to the `ordinal`-th message (1-based) on the
+    /// link; returns whether to drop it and any extra delay.
+    fn apply(&self, ordinal: u64) -> (bool, Duration) {
+        match *self {
+            LinkScript::FailFirst(n) => (ordinal <= n, Duration::ZERO),
+            LinkScript::Flap { down, up } => {
+                let cycle = down + up;
+                if cycle == 0 {
+                    return (false, Duration::ZERO);
+                }
+                ((ordinal - 1) % cycle < down, Duration::ZERO)
+            }
+            LinkScript::DelaySpike { period, spike } => {
+                if period == 0 {
+                    return (false, Duration::ZERO);
+                }
+                (false, if ordinal % period == 0 { spike } else { Duration::ZERO })
+            }
+        }
+    }
+}
+
 /// Per-directed-link fault configuration.
 #[derive(Debug, Clone, Default)]
 struct LinkFaults {
     drop_probability: f64,
     extra_delay: Duration,
+    /// Deterministic scripts, all evaluated against the same per-rule
+    /// message counter; any script voting "drop" drops the message and
+    /// delay spikes accumulate.
+    scripts: Vec<LinkScript>,
+    /// Messages that have consulted this rule so far.
+    seen: u64,
 }
 
 #[derive(Debug, Default)]
@@ -83,6 +138,26 @@ impl FaultPlane {
         let mut inner = self.inner.lock();
         let key = (source.map(str::to_string), dest.map(str::to_string));
         inner.links.entry(key).or_default().extra_delay = delay;
+    }
+
+    /// Appends a deterministic [`LinkScript`] to the rule for messages
+    /// from `source` host to `dest` host (`None` = wildcard). Scripts on
+    /// the same rule share one message counter and compose: any script
+    /// voting "drop" drops, delay spikes add up.
+    pub fn push_script(&self, source: Option<&str>, dest: Option<&str>, script: LinkScript) {
+        let mut inner = self.inner.lock();
+        let key = (source.map(str::to_string), dest.map(str::to_string));
+        inner.links.entry(key).or_default().scripts.push(script);
+    }
+
+    /// Drops all scripts (and resets the message counter) on one rule.
+    pub fn clear_scripts(&self, source: Option<&str>, dest: Option<&str>) {
+        let mut inner = self.inner.lock();
+        let key = (source.map(str::to_string), dest.map(str::to_string));
+        if let Some(faults) = inner.links.get_mut(&key) {
+            faults.scripts.clear();
+            faults.seen = 0;
+        }
     }
 
     /// Partitions the fabric: hosts listed in `groups[i]` can only reach
@@ -143,30 +218,47 @@ impl FaultPlane {
             (None, Some(dest.host().to_string())),
             (None, None),
         ];
-        let mut faults: Option<LinkFaults> = None;
+        let inner = &mut *inner;
+        let mut matched: Option<&mut LinkFaults> = None;
         for key in keys {
-            if let Some(f) = inner.links.get(&key) {
-                faults = Some(f.clone());
+            if inner.links.contains_key(&key) {
+                matched = inner.links.get_mut(&key);
                 break;
             }
         }
-        let Some(faults) = faults else {
+        let Some(faults) = matched else {
             return (FaultDecision::Deliver, Duration::ZERO);
         };
+
+        // Scripts first: they are deterministic in the message ordinal and
+        // must count every message that consults this rule, including ones
+        // the probabilistic stage would also have dropped.
+        faults.seen += 1;
+        let mut extra = faults.extra_delay;
+        let mut scripted_drop = false;
+        for script in &faults.scripts {
+            let (drop, spike) = script.apply(faults.seen);
+            scripted_drop |= drop;
+            extra += spike;
+        }
+        if scripted_drop {
+            return (FaultDecision::Drop, Duration::ZERO);
+        }
 
         if faults.drop_probability >= 1.0 {
             return (FaultDecision::Drop, Duration::ZERO);
         }
         if faults.drop_probability > 0.0 {
+            let p = faults.drop_probability;
             let dropped = match inner.rng.as_mut() {
-                Some(rng) => rng.chance(faults.drop_probability),
+                Some(rng) => rng.chance(p),
                 None => false,
             };
             if dropped {
                 return (FaultDecision::Drop, Duration::ZERO);
             }
         }
-        (FaultDecision::Deliver, faults.extra_delay)
+        (FaultDecision::Deliver, extra)
     }
 }
 
@@ -258,5 +350,119 @@ mod tests {
         f.set_drop_probability(None, None, 1.0);
         f.clear();
         assert_eq!(f.decide(&addr("a"), &addr("b")).0, FaultDecision::Deliver);
+    }
+
+    #[test]
+    fn specific_link_beats_wildcards() {
+        let f = FaultPlane::new();
+        // Catch-all drops everything, but the exact (a,b) rule delivers.
+        f.set_drop_probability(None, None, 1.0);
+        f.set_drop_probability(Some("a"), None, 1.0);
+        f.set_drop_probability(None, Some("b"), 1.0);
+        f.set_drop_probability(Some("a"), Some("b"), 0.0);
+        assert_eq!(f.decide(&addr("a"), &addr("b")).0, FaultDecision::Deliver);
+        // (a,*) outranks (*,b) and (*,*) for other destinations...
+        assert_eq!(f.decide(&addr("a"), &addr("c")).0, FaultDecision::Drop);
+        // ...and (*,b) outranks (*,*) for other sources.
+        assert_eq!(f.decide(&addr("c"), &addr("b")).0, FaultDecision::Drop);
+        assert_eq!(f.decide(&addr("c"), &addr("d")).0, FaultDecision::Drop);
+    }
+
+    #[test]
+    fn partition_and_blackhole_compose() {
+        let f = FaultPlane::new();
+        f.set_partition(&[vec!["a".into(), "b".into()], vec!["c".into()]]);
+        f.blackhole(&addr("b"));
+        // Same partition group, but b is blackholed.
+        assert_eq!(f.decide(&addr("a"), &addr("b")).0, FaultDecision::Drop);
+        // Unblackholing does not heal the partition...
+        f.unblackhole(&addr("b"));
+        assert_eq!(f.decide(&addr("a"), &addr("b")).0, FaultDecision::Deliver);
+        assert_eq!(f.decide(&addr("b"), &addr("c")).0, FaultDecision::Drop);
+        // ...and healing the partition does not resurrect a blackhole.
+        f.blackhole(&addr("c"));
+        f.heal_partition();
+        assert_eq!(f.decide(&addr("b"), &addr("c")).0, FaultDecision::Drop);
+    }
+
+    #[test]
+    fn identical_seed_replays_identical_drop_decisions() {
+        let run = |seed: u64| -> Vec<FaultDecision> {
+            let f = FaultPlane::new();
+            f.set_seed(seed);
+            f.set_drop_probability(Some("a"), Some("b"), 0.4);
+            f.set_drop_probability(None, Some("c"), 0.2);
+            (0..500)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        f.decide(&addr("a"), &addr("b")).0
+                    } else {
+                        f.decide(&addr("x"), &addr("c")).0
+                    }
+                })
+                .collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should diverge");
+    }
+
+    #[test]
+    fn fail_first_script_drops_then_delivers() {
+        let f = FaultPlane::new();
+        f.push_script(Some("a"), Some("b"), LinkScript::FailFirst(3));
+        for _ in 0..3 {
+            assert_eq!(f.decide(&addr("a"), &addr("b")).0, FaultDecision::Drop);
+        }
+        for _ in 0..5 {
+            assert_eq!(f.decide(&addr("a"), &addr("b")).0, FaultDecision::Deliver);
+        }
+        // Other links never consulted the script.
+        assert_eq!(f.decide(&addr("b"), &addr("a")).0, FaultDecision::Deliver);
+    }
+
+    #[test]
+    fn flap_script_cycles() {
+        let f = FaultPlane::new();
+        f.push_script(Some("a"), Some("b"), LinkScript::Flap { down: 2, up: 3 });
+        let pattern: Vec<_> = (0..10).map(|_| f.decide(&addr("a"), &addr("b")).0).collect();
+        use FaultDecision::{Deliver as D, Drop as X};
+        assert_eq!(pattern, vec![X, X, D, D, D, X, X, D, D, D]);
+    }
+
+    #[test]
+    fn delay_spike_script_hits_on_period() {
+        let f = FaultPlane::new();
+        f.set_extra_delay(Some("a"), Some("b"), Duration::from_millis(1));
+        f.push_script(
+            Some("a"),
+            Some("b"),
+            LinkScript::DelaySpike { period: 3, spike: Duration::from_millis(10) },
+        );
+        let delays: Vec<_> = (0..6).map(|_| f.decide(&addr("a"), &addr("b")).1).collect();
+        let base = Duration::from_millis(1);
+        let spiked = Duration::from_millis(11);
+        assert_eq!(delays, vec![base, base, spiked, base, base, spiked]);
+    }
+
+    #[test]
+    fn scripts_share_counter_and_compose() {
+        let f = FaultPlane::new();
+        f.push_script(Some("a"), Some("b"), LinkScript::FailFirst(2));
+        f.push_script(
+            Some("a"),
+            Some("b"),
+            LinkScript::DelaySpike { period: 4, spike: Duration::from_millis(7) },
+        );
+        // Messages 1-2 dropped by FailFirst; message 4 spikes.
+        assert_eq!(f.decide(&addr("a"), &addr("b")).0, FaultDecision::Drop);
+        assert_eq!(f.decide(&addr("a"), &addr("b")).0, FaultDecision::Drop);
+        assert_eq!(f.decide(&addr("a"), &addr("b")), (FaultDecision::Deliver, Duration::ZERO));
+        assert_eq!(
+            f.decide(&addr("a"), &addr("b")),
+            (FaultDecision::Deliver, Duration::from_millis(7))
+        );
+        f.clear_scripts(Some("a"), Some("b"));
+        // Counter reset: no drops, no spikes.
+        assert_eq!(f.decide(&addr("a"), &addr("b")), (FaultDecision::Deliver, Duration::ZERO));
     }
 }

@@ -34,6 +34,6 @@ pub use bulk::{BulkAccess, BulkHandle, BulkRegistry};
 pub use endpoint::{CallContext, Endpoint, Incoming, OneWayInfo, PendingRequest, RequestInfo};
 pub use error::MercuryError;
 pub use fabric::Fabric;
-pub use fault::{FaultDecision, FaultPlane};
+pub use fault::{FaultDecision, FaultPlane, LinkScript};
 pub use message::{Envelope, Message, RequestBody, ResponseBody, ResponseStatus};
 pub use netmodel::{LinkClass, LinkParams, NetworkModel};

@@ -6,6 +6,8 @@
 //! serializes RPC inputs/outputs, mirroring Mercury's proc/serialization
 //! split).
 
+use std::time::Instant;
+
 use bytes::Bytes;
 
 use crate::address::Address;
@@ -35,6 +37,10 @@ pub struct RequestBody {
     pub parent_rpc_id: u64,
     /// Calling context: provider id of the parent RPC.
     pub parent_provider_id: u16,
+    /// Absolute deadline of the call chain, if one is in force. Carried
+    /// in-memory (the simulated fabric shares one clock domain); a real
+    /// transport would ship remaining-microseconds instead.
+    pub deadline: Option<Instant>,
     /// Serialized input argument.
     pub payload: Bytes,
 }
@@ -106,6 +112,7 @@ mod tests {
             xid: 3,
             parent_rpc_id: u64::MAX,
             parent_provider_id: u16::MAX,
+            deadline: None,
             payload: Bytes::from_static(b"hello"),
         });
         assert_eq!(m.payload_len(), 5);

@@ -8,6 +8,8 @@ use mochi_margo::{rpc_id_for_name, MargoError, MargoRuntime};
 use mochi_mercury::{Address, BulkAccess, CallContext, PendingRequest, ResponseStatus};
 use mochi_util::id::unique_token;
 use mochi_util::time::Stopwatch;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
 
 use crate::fileset::FileSet;
 use crate::protocol::{
@@ -57,7 +59,27 @@ pub struct RemiClient {
 impl RemiClient {
     /// Creates a client on `margo`.
     pub fn new(margo: &MargoRuntime) -> Self {
+        // Restarting a session with the same token and re-pulling the same
+        // exposed regions are safe; `end` and `chunk` are not (`end` tears
+        // the session down, chunks are sequenced) and stay retry-free.
+        margo.declare_idempotent(rpc::START);
+        margo.declare_idempotent(rpc::PULL);
         Self { margo: margo.clone() }
+    }
+
+    /// Single chokepoint for typed RPCs: every forward in this client
+    /// routes through here so retry, breaker, and deadline handling apply
+    /// uniformly — `mochi-lint` MOCHI011 enforces this. (The windowed
+    /// chunk pipeline drives the endpoint directly and is exempt.)
+    fn call<I: Serialize, O: DeserializeOwned>(
+        &self,
+        rpc_name: &str,
+        input: &I,
+        dest: &Address,
+        provider_id: u16,
+        timeout: Duration,
+    ) -> Result<O, MargoError> {
+        self.margo.forward_timeout(dest, rpc_name, provider_id, input, timeout)
     }
 
     /// Migrates `fileset` to the REMI provider `(dest, provider_id)`.
@@ -76,8 +98,7 @@ impl RemiClient {
             files: fileset.files.clone(),
             dest_subdir: options.dest_subdir.clone(),
         };
-        let _: bool =
-            self.margo.forward_timeout(dest, rpc::START, provider_id, &start, options.timeout)?;
+        let _: bool = self.call(rpc::START, &start, dest, provider_id, options.timeout)?;
 
         let (summary, chunks) = match strategy {
             Strategy::Rdma => (self.run_rdma(dest, provider_id, fileset, &token, options)?, 0),
@@ -127,7 +148,7 @@ impl RemiClient {
         }
         let args = PullArgs { token: token.to_string(), bulk_handles: handles.clone() };
         let result: Result<TransferSummary, MargoError> =
-            self.margo.forward_timeout(dest, rpc::PULL, provider_id, &args, options.timeout);
+            self.call(rpc::PULL, &args, dest, provider_id, options.timeout);
         for handle in &handles {
             self.margo.unexpose_bulk(handle);
         }
@@ -238,11 +259,11 @@ impl RemiClient {
             wait_one(p)?;
         }
 
-        let summary: TransferSummary = self.margo.forward_timeout(
-            dest,
+        let summary: TransferSummary = self.call(
             rpc::END,
-            provider_id,
             &EndArgs { token: token.to_string() },
+            dest,
+            provider_id,
             options.timeout,
         )?;
         Ok((summary, chunks_sent))

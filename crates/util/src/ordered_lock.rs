@@ -50,6 +50,13 @@ pub mod rank {
     /// stripes share this rank and are never held together (see
     /// `mochi_util::striped`).
     pub const MARGO_STATS: u32 = 240;
+    /// `margo::retry` jitter RNG — held only to draw one backoff sample.
+    pub const MARGO_RETRY_RNG: u32 = 250;
+    /// `margo::breaker` registry — per-(address, provider) breaker states;
+    /// held only for state-machine transitions, never across the network.
+    pub const MARGO_BREAKERS: u32 = 260;
+    /// `margo` idempotency registry — rpc ids declared safe to retry.
+    pub const MARGO_IDEMPOTENT: u32 = 270;
     /// `argobots::AbtRuntime::inner` — xstream/pool registry.
     pub const ABT_RUNTIME: u32 = 300;
     /// `argobots::Pool::queue` — the ready queue itself.

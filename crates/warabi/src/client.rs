@@ -3,9 +3,12 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::Bytes;
 use mochi_margo::{decode_framed, encode_framed, CallContext, MargoError, MargoRuntime};
 use mochi_mercury::{Address, BulkAccess};
 use parking_lot::Mutex;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
 
 use crate::provider::rpc;
 use crate::provider::{BulkArgs, ReadArgs, WriteHeader};
@@ -13,6 +16,20 @@ use crate::target::BlobId;
 
 /// Transfers larger than this use the bulk (RDMA-model) path.
 const BULK_THRESHOLD: u64 = 64 * 1024;
+
+/// RPCs the runtime may safely re-send on transport-class failures:
+/// reads, full-range overwrites at fixed offsets, and metadata queries.
+/// `create` is excluded (each call allocates a fresh blob id) and so is
+/// `erase` (its "did it exist" reply is not stable under retry).
+const IDEMPOTENT_RPCS: &[&str] = &[
+    rpc::WRITE,
+    rpc::WRITE_BULK,
+    rpc::READ,
+    rpc::READ_BULK,
+    rpc::SIZE,
+    rpc::PERSIST,
+    rpc::LIST,
+];
 
 /// Handle to a remote blob target.
 #[derive(Clone)]
@@ -26,8 +43,36 @@ pub struct TargetHandle {
 impl TargetHandle {
     /// Creates a handle to the target served by `(address, provider_id)`.
     pub fn new(margo: &MargoRuntime, address: Address, provider_id: u16) -> Self {
+        for name in IDEMPOTENT_RPCS {
+            margo.declare_idempotent(name);
+        }
         let timeout = margo.rpc_timeout();
         Self { margo: margo.clone(), address, provider_id, timeout }
+    }
+
+    /// Single chokepoint for typed RPCs: every forward in this client
+    /// routes through here (or [`Self::call_raw`]) so retry, breaker, and
+    /// deadline handling apply uniformly — `mochi-lint` MOCHI011 enforces
+    /// this.
+    fn call<I: Serialize, O: DeserializeOwned>(
+        &self,
+        rpc_name: &str,
+        input: &I,
+    ) -> Result<O, MargoError> {
+        self.margo.forward_timeout(&self.address, rpc_name, self.provider_id, input, self.timeout)
+    }
+
+    /// Raw-payload counterpart of [`Self::call`] for framed data-plane
+    /// RPCs.
+    fn call_raw(&self, rpc_name: &str, payload: Bytes) -> Result<Bytes, MargoError> {
+        self.margo.forward_raw(
+            &self.address,
+            rpc_name,
+            self.provider_id,
+            payload,
+            CallContext::TOP_LEVEL,
+            self.timeout,
+        )
     }
 
     /// Overrides the per-RPC timeout.
@@ -38,7 +83,7 @@ impl TargetHandle {
 
     /// Allocates a zero-filled blob.
     pub fn create(&self, size: u64) -> Result<BlobId, MargoError> {
-        self.margo.forward_timeout(&self.address, rpc::CREATE, self.provider_id, &size, self.timeout)
+        self.call(rpc::CREATE, &size)
     }
 
     /// Writes `data` at `offset`; large writes use the bulk path.
@@ -47,14 +92,7 @@ impl TargetHandle {
             return self.write_bulk(id, offset, data);
         }
         let payload = encode_framed(&WriteHeader { id, offset }, data)?;
-        let _ = self.margo.forward_raw(
-            &self.address,
-            rpc::WRITE,
-            self.provider_id,
-            payload,
-            CallContext::TOP_LEVEL,
-            self.timeout,
-        )?;
+        let _ = self.call_raw(rpc::WRITE, payload)?;
         Ok(())
     }
 
@@ -62,12 +100,9 @@ impl TargetHandle {
     pub fn write_bulk(&self, id: BlobId, offset: u64, data: &[u8]) -> Result<(), MargoError> {
         let buffer = Arc::new(Mutex::new(data.to_vec()));
         let handle = self.margo.expose_bulk(Arc::clone(&buffer), BulkAccess::ReadOnly);
-        let result: Result<bool, MargoError> = self.margo.forward_timeout(
-            &self.address,
+        let result: Result<bool, MargoError> = self.call(
             rpc::WRITE_BULK,
-            self.provider_id,
             &BulkArgs { id, offset, len: data.len() as u64, handle: handle.clone() },
-            self.timeout,
         );
         self.margo.unexpose_bulk(&handle);
         result.map(|_| ())
@@ -79,14 +114,7 @@ impl TargetHandle {
             return self.read_bulk(id, offset, len);
         }
         let args = mochi_margo::encode(&ReadArgs { id, offset, len })?;
-        let reply = self.margo.forward_raw(
-            &self.address,
-            rpc::READ,
-            self.provider_id,
-            args,
-            CallContext::TOP_LEVEL,
-            self.timeout,
-        )?;
+        let reply = self.call_raw(rpc::READ, args)?;
         let (len, body) = decode_framed::<u64>(&reply)?;
         if len as usize > body.len() {
             return Err(MargoError::Codec("read body truncated".into()));
@@ -98,13 +126,8 @@ impl TargetHandle {
     pub fn read_bulk(&self, id: BlobId, offset: u64, len: u64) -> Result<Vec<u8>, MargoError> {
         let buffer = Arc::new(Mutex::new(vec![0u8; len as usize]));
         let handle = self.margo.expose_bulk(Arc::clone(&buffer), BulkAccess::WriteOnly);
-        let result: Result<bool, MargoError> = self.margo.forward_timeout(
-            &self.address,
-            rpc::READ_BULK,
-            self.provider_id,
-            &BulkArgs { id, offset, len, handle: handle.clone() },
-            self.timeout,
-        );
+        let result: Result<bool, MargoError> =
+            self.call(rpc::READ_BULK, &BulkArgs { id, offset, len, handle: handle.clone() });
         self.margo.unexpose_bulk(&handle);
         result?;
         let data = Arc::try_unwrap(buffer)
@@ -115,28 +138,22 @@ impl TargetHandle {
 
     /// Size of a blob.
     pub fn size(&self, id: BlobId) -> Result<u64, MargoError> {
-        self.margo.forward_timeout(&self.address, rpc::SIZE, self.provider_id, &id, self.timeout)
+        self.call(rpc::SIZE, &id)
     }
 
     /// Forces a blob to durable storage.
     pub fn persist(&self, id: BlobId) -> Result<(), MargoError> {
-        let _: bool = self.margo.forward_timeout(
-            &self.address,
-            rpc::PERSIST,
-            self.provider_id,
-            &id,
-            self.timeout,
-        )?;
+        let _: bool = self.call(rpc::PERSIST, &id)?;
         Ok(())
     }
 
     /// Deletes a blob; returns whether it existed.
     pub fn erase(&self, id: BlobId) -> Result<bool, MargoError> {
-        self.margo.forward_timeout(&self.address, rpc::ERASE, self.provider_id, &id, self.timeout)
+        self.call(rpc::ERASE, &id)
     }
 
     /// Lists all blob ids.
     pub fn list(&self) -> Result<Vec<BlobId>, MargoError> {
-        self.margo.forward_timeout(&self.address, rpc::LIST, self.provider_id, &(), self.timeout)
+        self.call(rpc::LIST, &())
     }
 }

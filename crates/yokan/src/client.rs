@@ -6,11 +6,30 @@
 
 use std::time::Duration;
 
+use bytes::Bytes;
 use mochi_margo::{decode_framed, encode_framed, CallContext, MargoError, MargoRuntime};
 use mochi_mercury::Address;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
 
 use crate::provider::{GetMultiHeader, KeyHeader, ListKeysArgs, PutMultiHeader, ValuesHeader};
 use crate::provider::rpc;
+
+/// RPCs the runtime may safely re-send on transport-class failures.
+/// Yokan's mutations are last-writer-wins over full values, so re-running
+/// a `put` (or `clear`/`flush`) converges to the same state. `erase` is
+/// excluded: its reply ("did the key exist") is not stable under retry.
+const IDEMPOTENT_RPCS: &[&str] = &[
+    rpc::PUT,
+    rpc::PUT_MULTI,
+    rpc::GET,
+    rpc::GET_MULTI,
+    rpc::EXISTS,
+    rpc::LIST_KEYS,
+    rpc::LEN,
+    rpc::FLUSH,
+    rpc::CLEAR,
+];
 
 /// Handle to a remote Yokan database.
 #[derive(Clone)]
@@ -24,8 +43,36 @@ pub struct DatabaseHandle {
 impl DatabaseHandle {
     /// Creates a handle to the database served by `(address, provider_id)`.
     pub fn new(margo: &MargoRuntime, address: Address, provider_id: u16) -> Self {
+        for name in IDEMPOTENT_RPCS {
+            margo.declare_idempotent(name);
+        }
         let timeout = margo.rpc_timeout();
         Self { margo: margo.clone(), address, provider_id, timeout }
+    }
+
+    /// Single chokepoint for typed RPCs: every forward in this client
+    /// routes through here (or [`Self::call_raw`]) so retry, breaker, and
+    /// deadline handling apply uniformly — `mochi-lint` MOCHI011 enforces
+    /// this.
+    fn call<I: Serialize, O: DeserializeOwned>(
+        &self,
+        rpc_name: &str,
+        input: &I,
+    ) -> Result<O, MargoError> {
+        self.margo.forward_timeout(&self.address, rpc_name, self.provider_id, input, self.timeout)
+    }
+
+    /// Raw-payload counterpart of [`Self::call`] for framed data-plane
+    /// RPCs.
+    fn call_raw(&self, rpc_name: &str, payload: Bytes) -> Result<Bytes, MargoError> {
+        self.margo.forward_raw(
+            &self.address,
+            rpc_name,
+            self.provider_id,
+            payload,
+            CallContext::TOP_LEVEL,
+            self.timeout,
+        )
     }
 
     /// Overrides the per-RPC timeout.
@@ -47,14 +94,7 @@ impl DatabaseHandle {
     /// Stores `value` under `key`.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), MargoError> {
         let payload = encode_framed(&KeyHeader { key: key.to_vec() }, value)?;
-        let _reply = self.margo.forward_raw(
-            &self.address,
-            rpc::PUT,
-            self.provider_id,
-            payload,
-            CallContext::TOP_LEVEL,
-            self.timeout,
-        )?;
+        let _reply = self.call_raw(rpc::PUT, payload)?;
         Ok(())
     }
 
@@ -67,28 +107,14 @@ impl DatabaseHandle {
             body.extend_from_slice(value);
         }
         let payload = encode_framed(&PutMultiHeader { keys, value_lens }, &body)?;
-        let _reply = self.margo.forward_raw(
-            &self.address,
-            rpc::PUT_MULTI,
-            self.provider_id,
-            payload,
-            CallContext::TOP_LEVEL,
-            self.timeout,
-        )?;
+        let _reply = self.call_raw(rpc::PUT_MULTI, payload)?;
         Ok(())
     }
 
     /// Fetches the value under `key`.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, MargoError> {
         let payload = encode_framed(&KeyHeader { key: key.to_vec() }, &[])?;
-        let reply = self.margo.forward_raw(
-            &self.address,
-            rpc::GET,
-            self.provider_id,
-            payload,
-            CallContext::TOP_LEVEL,
-            self.timeout,
-        )?;
+        let reply = self.call_raw(rpc::GET, payload)?;
         let (header, body) = decode_framed::<ValuesHeader>(&reply)?;
         match header.lens.first() {
             Some(&len) if len >= 0 => {
@@ -105,14 +131,7 @@ impl DatabaseHandle {
     pub fn get_multi(&self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>, MargoError> {
         let header = GetMultiHeader { keys: keys.iter().map(|k| k.to_vec()).collect() };
         let payload = encode_framed(&header, &[])?;
-        let reply = self.margo.forward_raw(
-            &self.address,
-            rpc::GET_MULTI,
-            self.provider_id,
-            payload,
-            CallContext::TOP_LEVEL,
-            self.timeout,
-        )?;
+        let reply = self.call_raw(rpc::GET_MULTI, payload)?;
         let (header, body) = decode_framed::<ValuesHeader>(&reply)?;
         let mut out = Vec::with_capacity(header.lens.len());
         let mut cursor = 0usize;
@@ -133,24 +152,12 @@ impl DatabaseHandle {
 
     /// Removes `key`; returns whether it existed.
     pub fn erase(&self, key: &[u8]) -> Result<bool, MargoError> {
-        self.margo.forward_timeout(
-            &self.address,
-            rpc::ERASE,
-            self.provider_id,
-            &key.to_vec(),
-            self.timeout,
-        )
+        self.call(rpc::ERASE, &key.to_vec())
     }
 
     /// Whether `key` exists.
     pub fn exists(&self, key: &[u8]) -> Result<bool, MargoError> {
-        self.margo.forward_timeout(
-            &self.address,
-            rpc::EXISTS,
-            self.provider_id,
-            &key.to_vec(),
-            self.timeout,
-        )
+        self.call(rpc::EXISTS, &key.to_vec())
     }
 
     /// Lists up to `max` keys starting with `prefix`, after `start_after`.
@@ -160,22 +167,19 @@ impl DatabaseHandle {
         start_after: Option<&[u8]>,
         max: usize,
     ) -> Result<Vec<Vec<u8>>, MargoError> {
-        self.margo.forward_timeout(
-            &self.address,
+        self.call(
             rpc::LIST_KEYS,
-            self.provider_id,
             &ListKeysArgs {
                 prefix: prefix.to_vec(),
                 start_after: start_after.map(<[u8]>::to_vec),
                 max,
             },
-            self.timeout,
         )
     }
 
     /// Number of keys.
     pub fn len(&self) -> Result<u64, MargoError> {
-        self.margo.forward_timeout(&self.address, rpc::LEN, self.provider_id, &(), self.timeout)
+        self.call(rpc::LEN, &())
     }
 
     /// Whether the database is empty.
@@ -185,25 +189,13 @@ impl DatabaseHandle {
 
     /// Persists the database to disk.
     pub fn flush(&self) -> Result<(), MargoError> {
-        let _: bool = self.margo.forward_timeout(
-            &self.address,
-            rpc::FLUSH,
-            self.provider_id,
-            &(),
-            self.timeout,
-        )?;
+        let _: bool = self.call(rpc::FLUSH, &())?;
         Ok(())
     }
 
     /// Removes all keys.
     pub fn clear(&self) -> Result<(), MargoError> {
-        let _: bool = self.margo.forward_timeout(
-            &self.address,
-            rpc::CLEAR,
-            self.provider_id,
-            &(),
-            self.timeout,
-        )?;
+        let _: bool = self.call(rpc::CLEAR, &())?;
         Ok(())
     }
 }

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Opt-in multi-core leg of the experiment suite. The tier-1 CI box is
+# single-core, so the contention-scaling claims of EXPERIMENTS.md §A4
+# print unasserted there; run this on a host with >= 4 CPUs to
+# regenerate the baseline-vs-striped tables with the ratio assertions
+# active. Not part of scripts/ci.sh — timing-sensitive by design.
+#
+# Usage: scripts/bench-multicore.sh [workspace-root]
+#
+# Exit codes:
+#   0  tables produced (and, with >= 4 CPUs, scaling assertions held)
+#   30 host has fewer than 4 CPUs (refusing to pretend: the scaling
+#      claims cannot manifest — rerun on a multi-core host)
+#   31 the contention bench failed
+#   32 the concurrent-consistency companion tests failed
+set -u
+
+root="${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}"
+cd "$root"
+
+cpus="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+if [ "$cpus" -lt 4 ]; then
+    echo "bench-multicore.sh: only $cpus CPU(s) — the >= 4-thread scaling" >&2
+    echo "assertions cannot manifest here; run on a multi-core host." >&2
+    exit 30
+fi
+
+echo "==> a04_contention ($cpus CPUs; scaling assertions active)"
+cargo bench -p mochi-bench --bench a04_contention || exit 31
+
+# Correctness companion: the striped/snapshot designs must be faster
+# *and* indistinguishable from the global locks they replaced.
+echo "==> concurrent_consistency tests"
+cargo test -q -p mochi-yokan --test concurrent_consistency || exit 32
+
+echo "OK"

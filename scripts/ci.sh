@@ -9,6 +9,7 @@
 #   20 workspace build failed
 #   21 test suite failed
 #   22 benchmark harness failed to compile
+#   23 chaos soak failed (fault-injection resilience regression)
 #   10+ static-analysis failures (see scripts/lint.sh)
 set -u
 
@@ -17,6 +18,13 @@ cd "$root"
 
 echo "==> cargo build --release"
 cargo build --release || exit 20
+
+# The seeded chaos soak (tests/chaos_soak.rs) runs first and on its own
+# so a resilience regression triages as 23 before the full suite's 21
+# swallows it. The full suite still includes it — the re-run is cheap
+# and keeps `cargo test -q` self-contained.
+echo "==> cargo test --test chaos_soak"
+cargo test -q --test chaos_soak || exit 23
 
 echo "==> cargo test"
 cargo test -q || exit 21

@@ -11,7 +11,7 @@
 #
 # Exit codes (distinct per failure class, for CI triage):
 #   0  clean
-#   10 mochi-lint findings (MOCHI001..MOCHI009)
+#   10 mochi-lint findings (MOCHI001..MOCHI009, MOCHI011)
 #   11 stale lint-allow.json entries (MOCHI010: frozen debt paid down but
 #      not pruned)
 #   12 clippy warnings

@@ -1,7 +1,8 @@
 //! The `mochi-lint` gate as a tier-1 test: the workspace's own sources
 //! must stay free of lock-order cycles, recursive re-locks, data-plane
 //! `serde_json` uses, RPC contract violations, locks held across yield
-//! points, and *new* panic paths or blocking calls beyond the debt
+//! points, raw forwards in service clients that bypass the retry-aware
+//! chokepoints, and *new* panic paths or blocking calls beyond the debt
 //! frozen in `lint-allow.json` — and the allowlist itself must carry no
 //! stale entries (debt that was paid down but never pruned).
 //!
