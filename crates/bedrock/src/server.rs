@@ -23,7 +23,7 @@ use parking_lot::Mutex;
 use serde_json::{json, Value};
 
 use mochi_margo::{MargoRuntime, MargoError};
-use mochi_mercury::{Address, Fabric};
+use mochi_mercury::{Address, CallContext, Fabric};
 use mochi_remi::{MigrationOptions, RemiClient, RemiProvider, Strategy};
 
 use crate::config::{parse_dependency, DependencyTarget, ProcessConfig, ProviderSpec};
@@ -309,6 +309,7 @@ impl BedrockServer {
     fn resolve_dependencies(
         &self,
         spec: &ProviderSpec,
+        cx: CallContext,
     ) -> Result<HashMap<String, ResolvedDependency>, BedrockError> {
         let mut resolved = HashMap::new();
         let self_addr = self.address();
@@ -342,11 +343,12 @@ impl BedrockServer {
             } else {
                 self.inner
                     .margo
-                    .forward::<_, proto::ProviderInfo>(
+                    .forward_with_context::<_, proto::ProviderInfo>(
                         &address,
                         proto::LOOKUP_PROVIDER,
                         self.inner.provider_id,
                         &proto::NameArgs { name: name.clone() },
+                        cx,
                     )
                     .map_err(|e| BedrockError::DependencyError {
                         provider: spec.name.clone(),
@@ -365,7 +367,7 @@ impl BedrockServer {
                     .or_default()
                     .insert(dependent_tag);
             } else {
-                let _: Result<bool, _> = self.inner.margo.forward(
+                let _: Result<bool, _> = self.inner.margo.forward_with_context(
                     &address,
                     proto::ADD_DEPENDENT,
                     self.inner.provider_id,
@@ -373,6 +375,7 @@ impl BedrockServer {
                         provider: info.name.clone(),
                         dependent: dependent_tag,
                     },
+                    cx,
                 );
             }
             resolved.insert(
@@ -392,7 +395,7 @@ impl BedrockServer {
     /// Drops the reverse edges this provider registered on its
     /// dependencies' processes (best-effort: the dependency process may
     /// already be gone).
-    fn deregister_dependents(&self, spec: &ProviderSpec) {
+    fn deregister_dependents(&self, spec: &ProviderSpec, cx: CallContext) {
         let self_addr = self.address();
         let dependent_tag = format!("{}@{}", spec.name, self_addr);
         for dep in spec.dependencies.values() {
@@ -415,11 +418,12 @@ impl BedrockServer {
                     }
                 }
             } else {
-                let _: Result<bool, _> = self.inner.margo.forward(
+                let _: Result<bool, _> = self.inner.margo.forward_with_context(
                     &address,
                     proto::REMOVE_DEPENDENT,
                     self.inner.provider_id,
                     &proto::DependentArgs { provider: name, dependent: dependent_tag.clone() },
+                    cx,
                 );
             }
         }
@@ -436,6 +440,13 @@ impl BedrockServer {
 
     /// Starts a provider from its spec (Listing 5's `startProvider`).
     pub fn start_provider(&self, spec: &ProviderSpec) -> Result<(), BedrockError> {
+        self.start_provider_cx(spec, CallContext::TOP_LEVEL)
+    }
+
+    /// [`Self::start_provider`] with an explicit calling context: the RPC
+    /// handler passes `ctx.nested_context()` so dependency lookups on
+    /// other processes inherit the caller's remaining deadline budget.
+    fn start_provider_cx(&self, spec: &ProviderSpec, cx: CallContext) -> Result<(), BedrockError> {
         // Preconditions that don't need the instance yet.
         {
             let providers = self.inner.providers.lock();
@@ -474,7 +485,7 @@ impl BedrockServer {
             }
             None => self.inner.margo.default_rpc_pool(),
         };
-        let dependencies = self.resolve_dependencies(spec)?;
+        let dependencies = self.resolve_dependencies(spec, cx)?;
         let data_dir = self.inner.data_dir.join("providers").join(&spec.name);
         std::fs::create_dir_all(&data_dir)
             .map_err(|e| BedrockError::Provider(format!("creating provider dir: {e}")))?;
@@ -521,6 +532,10 @@ impl BedrockServer {
 
     /// Stops and removes a provider (Listing 5's `stopProvider` mirror).
     pub fn stop_provider(&self, name: &str) -> Result<(), BedrockError> {
+        self.stop_provider_cx(name, CallContext::TOP_LEVEL)
+    }
+
+    fn stop_provider_cx(&self, name: &str, cx: CallContext) -> Result<(), BedrockError> {
         if self.inner.txns.lock().blocks_stop(name) {
             return Err(BedrockError::TxnConflict(format!(
                 "provider '{name}' is locked by a prepared transaction"
@@ -539,7 +554,7 @@ impl BedrockServer {
                 .remove(name)
                 .ok_or_else(|| BedrockError::ProviderNotFound(name.to_string()))?
         };
-        self.deregister_dependents(&record.spec);
+        self.deregister_dependents(&record.spec, cx);
         record.instance.stop().map_err(BedrockError::Provider)
     }
 
@@ -569,6 +584,16 @@ impl BedrockServer {
         name: &str,
         dest: &Address,
         strategy: Strategy,
+    ) -> Result<proto::MigrateReply, BedrockError> {
+        self.migrate_provider_cx(name, dest, strategy, CallContext::TOP_LEVEL)
+    }
+
+    fn migrate_provider_cx(
+        &self,
+        name: &str,
+        dest: &Address,
+        strategy: Strategy,
+        cx: CallContext,
     ) -> Result<proto::MigrateReply, BedrockError> {
         if *dest == self.address() {
             return Err(BedrockError::BadConfig("cannot migrate a provider to itself".into()));
@@ -602,9 +627,9 @@ impl BedrockServer {
             }
         };
         record.instance.stop().map_err(BedrockError::Provider)?;
-        self.deregister_dependents(&record.spec);
+        self.deregister_dependents(&record.spec, cx);
         // Transfer the files into the destination's provider directory.
-        let remi = RemiClient::new(&self.inner.margo);
+        let remi = RemiClient::new(&self.inner.margo).with_context(cx);
         let options = MigrationOptions {
             dest_subdir: Some(format!("providers/{name}")),
             remove_source: true,
@@ -620,7 +645,7 @@ impl BedrockServer {
         let _: bool = self
             .inner
             .margo
-            .forward(dest, proto::START_PROVIDER, self.inner.provider_id, &spec)
+            .forward_with_context(dest, proto::START_PROVIDER, self.inner.provider_id, &spec, cx)
             .map_err(BedrockError::Margo)?;
         Ok(proto::MigrateReply {
             files: report.files,
@@ -722,12 +747,12 @@ impl BedrockServer {
         self.inner.txns.lock().prepare(txn_id, ops)
     }
 
-    fn txn_commit(&self, txn_id: &str) -> Result<(), BedrockError> {
+    fn txn_commit(&self, txn_id: &str, cx: CallContext) -> Result<(), BedrockError> {
         let ops = self.inner.txns.lock().take(txn_id)?;
         for op in ops {
             match op {
-                TxnOp::StartProvider { spec } => self.start_provider(&spec)?,
-                TxnOp::StopProvider { name } => self.stop_provider(&name)?,
+                TxnOp::StartProvider { spec } => self.start_provider_cx(&spec, cx)?,
+                TxnOp::StopProvider { name } => self.stop_provider_cx(&name, cx)?,
                 TxnOp::KeepProvider { .. } => {}
             }
         }
@@ -747,19 +772,24 @@ impl BedrockServer {
         let id = self.inner.provider_id;
         let pool = self.inner.pool.clone();
         let reg = |name: &str,
-                   handler: Box<dyn Fn(Value) -> Result<Value, String> + Send + Sync>|
+                   handler: Box<dyn Fn(Value, CallContext) -> Result<Value, String> + Send + Sync>|
          -> Result<(), MargoError> {
             margo
-                .register_typed(name, id, Some(&pool), move |args: Value, _ctx| handler(args))
+                .register_typed(name, id, Some(&pool), move |args: Value, ctx| {
+                    handler(args, ctx.nested_context())
+                })
                 .map(|_| ())
         };
 
         macro_rules! handler {
-            ($rpc:expr, $args:ty, |$server:ident, $a:ident| $body:expr) => {{
+            ($rpc:expr, $args:ty, |$server:ident, $a:ident| $body:expr) => {
+                handler!($rpc, $args, |$server, $a, _cx| $body)
+            };
+            ($rpc:expr, $args:ty, |$server:ident, $a:ident, $cx:ident| $body:expr) => {{
                 let $server = self.clone();
                 reg(
                     $rpc,
-                    Box::new(move |value: Value| {
+                    Box::new(move |value: Value, $cx: CallContext| {
                         let $a: $args = serde_json::from_value(value)
                             .map_err(|e| format!("bad arguments: {e}"))?;
                         $body
@@ -808,11 +838,11 @@ impl BedrockServer {
                 .map(|_| json!(true))
                 .map_err(|e| e.to_rpc_string())
         });
-        handler!(proto::START_PROVIDER, ProviderSpec, |server, a| {
-            server.start_provider(&a).map(|_| json!(true)).map_err(|e| e.to_rpc_string())
+        handler!(proto::START_PROVIDER, ProviderSpec, |server, a, cx| {
+            server.start_provider_cx(&a, cx).map(|_| json!(true)).map_err(|e| e.to_rpc_string())
         });
-        handler!(proto::STOP_PROVIDER, proto::NameArgs, |server, a| {
-            server.stop_provider(&a.name).map(|_| json!(true)).map_err(|e| e.to_rpc_string())
+        handler!(proto::STOP_PROVIDER, proto::NameArgs, |server, a, cx| {
+            server.stop_provider_cx(&a.name, cx).map(|_| json!(true)).map_err(|e| e.to_rpc_string())
         });
         handler!(proto::LOOKUP_PROVIDER, proto::NameArgs, |server, a| {
             server
@@ -820,10 +850,10 @@ impl BedrockServer {
                 .map(|info| serde_json::to_value(info).expect("info serializes"))
                 .map_err(|e| e.to_rpc_string())
         });
-        handler!(proto::MIGRATE_PROVIDER, proto::MigrateArgs, |server, a| {
+        handler!(proto::MIGRATE_PROVIDER, proto::MigrateArgs, |server, a, cx| {
             let dest: Address = a.dest.parse().map_err(|e| format!("{e}"))?;
             server
-                .migrate_provider(&a.name, &dest, a.strategy)
+                .migrate_provider_cx(&a.name, &dest, a.strategy, cx)
                 .map(|reply| serde_json::to_value(reply).expect("reply serializes"))
                 .map_err(|e| e.to_rpc_string())
         });
@@ -865,8 +895,8 @@ impl BedrockServer {
         handler!(proto::TXN_PREPARE, proto::TxnPrepareArgs, |server, a| {
             server.txn_prepare(&a.txn_id, a.ops).map(|_| json!(true)).map_err(|e| e.to_rpc_string())
         });
-        handler!(proto::TXN_COMMIT, proto::TxnIdArgs, |server, a| {
-            server.txn_commit(&a.txn_id).map(|_| json!(true)).map_err(|e| e.to_rpc_string())
+        handler!(proto::TXN_COMMIT, proto::TxnIdArgs, |server, a, cx| {
+            server.txn_commit(&a.txn_id, cx).map(|_| json!(true)).map_err(|e| e.to_rpc_string())
         });
         handler!(proto::TXN_ABORT, proto::TxnIdArgs, |server, a| {
             server.txn_abort(&a.txn_id).map(|_| json!(true)).map_err(|e| e.to_rpc_string())

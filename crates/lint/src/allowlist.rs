@@ -35,6 +35,19 @@ pub struct Allowlist {
     /// Permitted finding counts for the raw-forward-in-client lint. The
     /// kind is the forward-family method, e.g. `forward_timeout`.
     pub raw_forward: BTreeMap<Key, usize>,
+    /// Permitted finding counts for the interprocedural deadline-loss
+    /// analysis. The kind encodes the sink, e.g. `drop:forward_timeout`.
+    pub deadline_loss: BTreeMap<Key, usize>,
+    /// Permitted finding counts for the retry-soundness analysis. The
+    /// kind encodes effect and RPC, e.g. `remove:remi_migration_pull`.
+    pub retry_soundness: BTreeMap<Key, usize>,
+    /// Permitted finding counts for the relaxed-atomic analysis. The
+    /// kind encodes op and field, e.g. `load:closed`.
+    pub relaxed_atomics: BTreeMap<Key, usize>,
+    /// One-line justifications for allowlist entries, keyed
+    /// `(section, file, function, kind)`. Written back verbatim by
+    /// `--write-allowlist` so hand-added reasons survive regeneration.
+    pub reasons: BTreeMap<(String, String, String, String), String>,
     /// Lock field names (or `crate::field` ids) excluded from the
     /// lock-order graph — for per-instance locks whose class identity
     /// would alias distinct objects.
@@ -73,14 +86,18 @@ impl Allowlist {
                     }
                 }
                 "panic_paths" | "blocking" | "serde_json" | "contracts" | "lock_across_yield"
-                | "raw_forward" => {
+                | "raw_forward" | "deadline_loss" | "retry_soundness" | "relaxed_atomics" => {
                     let items = value.as_array().ok_or("allowance sections must be arrays")?;
+                    let section_name = key.clone();
                     let section = match key.as_str() {
                         "panic_paths" => &mut allowlist.panic_paths,
                         "blocking" => &mut allowlist.blocking,
                         "contracts" => &mut allowlist.contracts,
                         "lock_across_yield" => &mut allowlist.lock_across_yield,
                         "raw_forward" => &mut allowlist.raw_forward,
+                        "deadline_loss" => &mut allowlist.deadline_loss,
+                        "retry_soundness" => &mut allowlist.retry_soundness,
+                        "relaxed_atomics" => &mut allowlist.relaxed_atomics,
                         _ => &mut allowlist.serde_json,
                     };
                     for item in items {
@@ -97,10 +114,24 @@ impl Allowlist {
                             .find(|(k, _)| k == "count")
                             .and_then(|(_, v)| v.as_usize())
                             .ok_or("allowance entry missing numeric 'count'")?;
-                        section.insert(
-                            (get("file")?.to_string(), get("function")?.to_string(), get("kind")?.to_string()),
-                            count,
-                        );
+                        let entry_key =
+                            (get("file")?.to_string(), get("function")?.to_string(), get("kind")?.to_string());
+                        if let Some(reason) = entry
+                            .iter()
+                            .find(|(k, _)| k == "reason")
+                            .and_then(|(_, v)| v.as_str())
+                        {
+                            allowlist.reasons.insert(
+                                (
+                                    section_name.clone(),
+                                    entry_key.0.clone(),
+                                    entry_key.1.clone(),
+                                    entry_key.2.clone(),
+                                ),
+                                reason.to_string(),
+                            );
+                        }
+                        section.insert(entry_key, count);
                     }
                 }
                 other => return Err(format!("unknown allowlist section '{other}'")),
@@ -127,27 +158,37 @@ impl Allowlist {
             ("contracts", &self.contracts),
             ("lock_across_yield", &self.lock_across_yield),
             ("raw_forward", &self.raw_forward),
+            ("deadline_loss", &self.deadline_loss),
+            ("retry_soundness", &self.retry_soundness),
+            ("relaxed_atomics", &self.relaxed_atomics),
         ] {
             let _ = write!(out, "  \"{name}\": [");
             for (i, ((file, function, kind), count)) in section.iter().enumerate() {
                 out.push_str(if i == 0 { "\n" } else { ",\n" });
                 let _ = write!(
                     out,
-                    "    {{\"file\": {}, \"function\": {}, \"kind\": {}, \"count\": {}}}",
+                    "    {{\"file\": {}, \"function\": {}, \"kind\": {}, \"count\": {}",
                     quote(file),
                     quote(function),
                     quote(kind),
                     count
                 );
+                let reason_key =
+                    (name.to_string(), file.clone(), function.clone(), kind.clone());
+                if let Some(reason) = self.reasons.get(&reason_key) {
+                    let _ = write!(out, ", \"reason\": {}", quote(reason));
+                }
+                out.push('}');
             }
             out.push_str(if section.is_empty() { "]" } else { "\n  ]" });
-            out.push_str(if name == "raw_forward" { "\n" } else { ",\n" });
+            out.push_str(if name == "relaxed_atomics" { "\n" } else { ",\n" });
         }
         out.push_str("}\n");
         out
     }
 
-    /// Builds a freeze of the given finding counts.
+    /// Builds a freeze of the given finding counts. `reasons` carries
+    /// over hand-written justifications from the previous allowlist.
     #[allow(clippy::too_many_arguments)]
     pub fn freeze(
         panic_counts: BTreeMap<Key, usize>,
@@ -156,6 +197,10 @@ impl Allowlist {
         contract_counts: BTreeMap<Key, usize>,
         yield_counts: BTreeMap<Key, usize>,
         raw_forward_counts: BTreeMap<Key, usize>,
+        deadline_counts: BTreeMap<Key, usize>,
+        retry_counts: BTreeMap<Key, usize>,
+        atomics_counts: BTreeMap<Key, usize>,
+        reasons: BTreeMap<(String, String, String, String), String>,
         ignored_locks: Vec<String>,
     ) -> Allowlist {
         Allowlist {
@@ -165,6 +210,10 @@ impl Allowlist {
             contracts: contract_counts,
             lock_across_yield: yield_counts,
             raw_forward: raw_forward_counts,
+            deadline_loss: deadline_counts,
+            retry_soundness: retry_counts,
+            relaxed_atomics: atomics_counts,
+            reasons,
             ignored_locks,
         }
     }
@@ -180,6 +229,9 @@ impl Allowlist {
             ("contracts", &self.contracts),
             ("lock_across_yield", &self.lock_across_yield),
             ("raw_forward", &self.raw_forward),
+            ("deadline_loss", &self.deadline_loss),
+            ("retry_soundness", &self.retry_soundness),
+            ("relaxed_atomics", &self.relaxed_atomics),
         ] {
             let counts = actual.iter().find(|(n, _)| *n == section_name).map(|(_, c)| *c);
             for ((file, function, kind), count) in allowed {
@@ -429,6 +481,29 @@ mod tests {
             ("crates/remi/src/client.rs".into(), "pump_chunks".into(), "forward_raw".into()),
             1,
         );
+        let mut deadline_counts = BTreeMap::new();
+        deadline_counts.insert(
+            ("crates/bedrock/src/server.rs".into(), "resolve_dependencies".into(), "drop:forward".into()),
+            1,
+        );
+        let mut retry_counts = BTreeMap::new();
+        retry_counts.insert(
+            ("crates/remi/src/provider.rs".into(), "verify_and_finish".into(), "remove:remi_migration_pull".into()),
+            1,
+        );
+        let mut atomics_counts = BTreeMap::new();
+        atomics_counts
+            .insert(("crates/mercury/src/endpoint.rs".into(), "poll".into(), "load:closed".into()), 1);
+        let mut reasons = BTreeMap::new();
+        reasons.insert(
+            (
+                "retry_soundness".to_string(),
+                "crates/remi/src/provider.rs".to_string(),
+                "verify_and_finish".to_string(),
+                "remove:remi_migration_pull".to_string(),
+            ),
+            "replay-guarded by the completed-transfer map".to_string(),
+        );
         let allowlist = Allowlist::freeze(
             panic_counts,
             blocking,
@@ -436,6 +511,10 @@ mod tests {
             contract_counts,
             yield_counts,
             raw_forward_counts,
+            deadline_counts,
+            retry_counts,
+            atomics_counts,
+            reasons,
             vec!["buffer".into()],
         );
         let json = allowlist.to_json();
@@ -446,6 +525,10 @@ mod tests {
         assert_eq!(back.contracts, allowlist.contracts);
         assert_eq!(back.lock_across_yield, allowlist.lock_across_yield);
         assert_eq!(back.raw_forward, allowlist.raw_forward);
+        assert_eq!(back.deadline_loss, allowlist.deadline_loss);
+        assert_eq!(back.retry_soundness, allowlist.retry_soundness);
+        assert_eq!(back.relaxed_atomics, allowlist.relaxed_atomics);
+        assert_eq!(back.reasons, allowlist.reasons, "reason strings must round-trip");
         assert_eq!(back.ignored_locks, allowlist.ignored_locks);
     }
 

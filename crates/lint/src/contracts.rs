@@ -367,7 +367,7 @@ fn build_site(
 
 /// Resolves the expression in name position: a string literal (read from
 /// the raw bytes) or a constant path.
-fn resolve_name(
+pub(crate) fn resolve_name(
     file: &SourceFile,
     consts: &ConstTable,
     start: usize,
@@ -619,7 +619,7 @@ fn binding_type(file: &SourceFile, offset: usize, var: &str) -> Option<String> {
 
 /// Reduces a `let` annotation to the reply type: `Result<T, E>` → `T`,
 /// anything else as-is.
-fn annotation_to_type(annotation: &str) -> Option<String> {
+pub(crate) fn annotation_to_type(annotation: &str) -> Option<String> {
     let t = annotation.trim();
     let compact: String = t.chars().filter(|c| !c.is_whitespace()).collect();
     if let Some(inner) = compact.strip_prefix("Result<") {
@@ -902,7 +902,7 @@ pub fn check(sites: &[RpcSite]) -> Vec<ContractIssue> {
 // Small shared helpers
 // ----------------------------------------------------------------------
 
-fn skip_ws(text: &[u8], mut i: usize) -> usize {
+pub(crate) fn skip_ws(text: &[u8], mut i: usize) -> usize {
     while i < text.len() && text[i].is_ascii_whitespace() {
         i += 1;
     }
@@ -911,7 +911,7 @@ fn skip_ws(text: &[u8], mut i: usize) -> usize {
 
 /// True when the identifier starting at `i` is a function *definition*
 /// (`fn name(` — possibly with whitespace between `fn` and the name).
-fn preceded_by_fn_keyword(text: &[u8], i: usize) -> bool {
+pub(crate) fn preceded_by_fn_keyword(text: &[u8], i: usize) -> bool {
     let mut p = i;
     while p > 0 && text[p - 1].is_ascii_whitespace() {
         p -= 1;
@@ -919,7 +919,7 @@ fn preceded_by_fn_keyword(text: &[u8], i: usize) -> bool {
     p >= 2 && &text[p - 2..p] == b"fn" && (p == 2 || !is_ident_byte(text[p - 3]))
 }
 
-fn word_at(text: &[u8], i: usize, word: &str) -> bool {
+pub(crate) fn word_at(text: &[u8], i: usize, word: &str) -> bool {
     let w = word.as_bytes();
     if i + w.len() > text.len() || &text[i..i + w.len()] != w {
         return false;
@@ -931,7 +931,7 @@ fn word_at(text: &[u8], i: usize, word: &str) -> bool {
 
 /// `::<A, B>` immediately after a method name; advances `j` past it and
 /// returns the top-level generic arguments.
-fn parse_turbofish(text: &[u8], j: &mut usize) -> Vec<String> {
+pub(crate) fn parse_turbofish(text: &[u8], j: &mut usize) -> Vec<String> {
     let mut k = skip_ws(text, *j);
     if !(text.get(k) == Some(&b':') && text.get(k + 1) == Some(&b':') && text.get(k + 2) == Some(&b'<'))
     {
@@ -965,7 +965,7 @@ fn parse_turbofish(text: &[u8], j: &mut usize) -> Vec<String> {
     Vec::new()
 }
 
-fn matching_paren(text: &[u8], open: usize) -> usize {
+pub(crate) fn matching_paren(text: &[u8], open: usize) -> usize {
     let mut depth = 0usize;
     let mut i = open;
     while i < text.len() {
@@ -985,7 +985,7 @@ fn matching_paren(text: &[u8], open: usize) -> usize {
 }
 
 /// Splits an argument span at depth-0 commas (parens, brackets, braces).
-fn split_args(text: &[u8], start: usize, end: usize) -> Vec<(usize, usize)> {
+pub(crate) fn split_args(text: &[u8], start: usize, end: usize) -> Vec<(usize, usize)> {
     let mut args = Vec::new();
     let mut depth = 0i32;
     let mut arg_start = start;

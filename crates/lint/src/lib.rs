@@ -1,7 +1,7 @@
 //! `mochi-lint`: workspace-specific static analysis for the mochi-rs
 //! stack.
 //!
-//! Seven analyses, all tuned to the failure modes that matter for dynamic
+//! Ten analyses, all tuned to the failure modes that matter for dynamic
 //! HPC data services (a panicking or deadlocked provider is a dead node,
 //! which defeats the resilience layer; a mistyped RPC name only fails on
 //! a live, reconfigured cluster):
@@ -36,6 +36,26 @@
 //!    outside the `call`/`call_raw` chokepoints, which would bypass the
 //!    retry/breaker/deadline plane.
 //!
+//! Three interprocedural analyses run on a workspace-wide call graph
+//! ([`callgraph`] — method/trait/free-call edges with receiver-type
+//! inference, plus handler-registration entry points from the contract
+//! table):
+//!
+//! 8. **Deadline-loss analysis** ([`deadline`], MOCHI012): a
+//!    `forward`-family call reachable from a registered RPC handler that
+//!    builds its context from `CallContext::TOP_LEVEL` instead of
+//!    threading `nested_context`, silently restarting the caller's
+//!    deadline budget mid-fan-out.
+//! 9. **Retry-soundness analysis** ([`retry`], MOCHI013): a
+//!    non-idempotent effect (unkeyed collection mutation, counter bump,
+//!    REMI file append) reachable from the server-side handler of an RPC
+//!    in a `declare_idempotent` set — the retry plane would duplicate it.
+//! 10. **Relaxed-atomic analysis** ([`atomics`], MOCHI014):
+//!    `Ordering::Relaxed` on cross-function decision flags (shutdown /
+//!    closed state read in `if`/`while` conditions) where publish and
+//!    decision happen in different functions; stats counters pass by
+//!    construction.
+//!
 //! Stale `lint-allow.json` entries (MOCHI010) are reported so frozen
 //! debt burns down instead of rotting. Output formats: `text` (default),
 //! `json`, and `sarif` — see [`report`].
@@ -45,14 +65,18 @@
 //! the tier-1 gate.
 
 pub mod allowlist;
+pub mod atomics;
 pub mod blocking;
+pub mod callgraph;
 pub mod contracts;
+pub mod deadline;
 pub mod jsonuse;
 pub mod lexer;
 pub mod locks;
 pub mod panics;
 pub mod rawforward;
 pub mod report;
+pub mod retry;
 pub mod source;
 pub mod yields;
 
@@ -60,12 +84,16 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
 use allowlist::{Allowlist, StaleEntry};
+use atomics::AtomicSite;
 use blocking::BlockingSite;
+use callgraph::{CallGraph, GraphStats};
 use contracts::{ContractIssue, RpcSite};
+use deadline::DeadlineSite;
 use jsonuse::JsonSite;
 use locks::{LockCycle, LockEdge, RecursiveLock};
 use panics::PanicSite;
 use rawforward::RawForwardSite;
+use retry::RetrySite;
 use source::SourceFile;
 use yields::YieldSite;
 
@@ -106,6 +134,20 @@ pub struct LintReport {
     pub raw_forward_violations: Vec<RawForwardSite>,
     /// Raw-forward-in-client findings covered by the allowlist.
     pub raw_forward_allowed: usize,
+    /// Deadline-loss findings beyond the allowlist.
+    pub deadline_violations: Vec<DeadlineSite>,
+    /// Deadline-loss findings covered by the allowlist.
+    pub deadline_allowed: usize,
+    /// Retry-soundness findings beyond the allowlist.
+    pub retry_violations: Vec<RetrySite>,
+    /// Retry-soundness findings covered by the allowlist.
+    pub retry_allowed: usize,
+    /// Relaxed-atomic findings beyond the allowlist.
+    pub atomics_violations: Vec<AtomicSite>,
+    /// Relaxed-atomic findings covered by the allowlist.
+    pub atomics_allowed: usize,
+    /// Call-graph construction counters (nodes, edges, resolution).
+    pub graph_stats: GraphStats,
     /// Allowlist entries matching no current finding.
     pub stale_entries: Vec<StaleEntry>,
     /// Raw (pre-allowlist) finding counts, for `--write-allowlist` and
@@ -116,6 +158,9 @@ pub struct LintReport {
     pub contract_counts: BTreeMap<allowlist::Key, usize>,
     pub yield_counts: BTreeMap<allowlist::Key, usize>,
     pub raw_forward_counts: BTreeMap<allowlist::Key, usize>,
+    pub deadline_counts: BTreeMap<allowlist::Key, usize>,
+    pub retry_counts: BTreeMap<allowlist::Key, usize>,
+    pub atomics_counts: BTreeMap<allowlist::Key, usize>,
 }
 
 impl LintReport {
@@ -130,6 +175,9 @@ impl LintReport {
             && self.contract_violations.is_empty()
             && self.yield_violations.is_empty()
             && self.raw_forward_violations.is_empty()
+            && self.deadline_violations.is_empty()
+            && self.retry_violations.is_empty()
+            && self.atomics_violations.is_empty()
     }
 
     /// The resolved RPC names in the contract table with their
@@ -201,6 +249,13 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
     let lock_cycles = locks::find_cycles(&lock_edges);
     let contract_issues = contracts::check(&contract_sites);
 
+    // The interprocedural layer: one call graph, three analyses.
+    let graph = CallGraph::build(files);
+    let graph_stats = graph.stats();
+    let deadline_sites = deadline::check(files, &graph, &contract_sites);
+    let retry_sites = retry::check(files, &graph, &consts, &contract_sites);
+    let atomics_sites = atomics::check(files);
+
     let (panic_violations, panic_allowed, panic_counts) =
         apply_allowances(&panic_sites, &allowlist.panic_paths, |s| {
             (s.file.clone(), s.function.clone(), s.kind.clone())
@@ -225,6 +280,18 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
         apply_allowances(&raw_forward_sites, &allowlist.raw_forward, |s| {
             (s.file.clone(), s.function.clone(), s.kind.clone())
         });
+    let (deadline_violations, deadline_allowed, deadline_counts) =
+        apply_allowances(&deadline_sites, &allowlist.deadline_loss, |s| {
+            (s.file.clone(), s.function.clone(), s.kind.clone())
+        });
+    let (retry_violations, retry_allowed, retry_counts) =
+        apply_allowances(&retry_sites, &allowlist.retry_soundness, |s| {
+            (s.file.clone(), s.function.clone(), s.kind.clone())
+        });
+    let (atomics_violations, atomics_allowed, atomics_counts) =
+        apply_allowances(&atomics_sites, &allowlist.relaxed_atomics, |s| {
+            (s.file.clone(), s.function.clone(), s.kind.clone())
+        });
 
     let stale_entries = allowlist.stale_entries(&[
         ("panic_paths", &panic_counts),
@@ -233,6 +300,9 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
         ("contracts", &contract_counts),
         ("lock_across_yield", &yield_counts),
         ("raw_forward", &raw_forward_counts),
+        ("deadline_loss", &deadline_counts),
+        ("retry_soundness", &retry_counts),
+        ("relaxed_atomics", &atomics_counts),
     ]);
 
     LintReport {
@@ -253,6 +323,13 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
         yield_allowed,
         raw_forward_violations,
         raw_forward_allowed,
+        deadline_violations,
+        deadline_allowed,
+        retry_violations,
+        retry_allowed,
+        atomics_violations,
+        atomics_allowed,
+        graph_stats,
         stale_entries,
         panic_counts,
         blocking_counts,
@@ -260,6 +337,9 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
         contract_counts,
         yield_counts,
         raw_forward_counts,
+        deadline_counts,
+        retry_counts,
+        atomics_counts,
     }
 }
 

@@ -10,7 +10,8 @@
 //! * 0 — clean (no findings; no stale allowlist entries, unless
 //!   `--allow-stale` downgraded them to warnings)
 //! * 1 — findings (cycles / new panic paths / new blocking calls /
-//!   data-plane JSON / contract issues / locks across yields)
+//!   data-plane JSON / contract issues / locks across yields /
+//!   deadline loss / retry-unsound effects / relaxed-atomic misuse)
 //! * 2 — usage or I/O error
 //! * 3 — no findings, but stale `lint-allow.json` entries (frozen debt
 //!   that has been paid down must be pruned; pass `--allow-stale` to
@@ -89,6 +90,10 @@ fn main() -> ExitCode {
             lint.contract_counts.clone(),
             lint.yield_counts.clone(),
             lint.raw_forward_counts.clone(),
+            lint.deadline_counts.clone(),
+            lint.retry_counts.clone(),
+            lint.atomics_counts.clone(),
+            allowlist.reasons.clone(),
             allowlist.ignored_locks.clone(),
         );
         if let Err(e) = std::fs::write(&allowlist_path, frozen.to_json()) {
@@ -96,13 +101,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!(
-            "wrote {} panic-path, {} blocking, {} data-plane JSON, {} contract, {} lock-across-yield, and {} raw-forward allowances to {}",
+            "wrote {} panic-path, {} blocking, {} data-plane JSON, {} contract, {} lock-across-yield, {} raw-forward, {} deadline-loss, {} retry-soundness, and {} relaxed-atomic allowances to {}",
             lint.panic_counts.values().sum::<usize>(),
             lint.blocking_counts.values().sum::<usize>(),
             lint.json_counts.values().sum::<usize>(),
             lint.contract_counts.values().sum::<usize>(),
             lint.yield_counts.values().sum::<usize>(),
             lint.raw_forward_counts.values().sum::<usize>(),
+            lint.deadline_counts.values().sum::<usize>(),
+            lint.retry_counts.values().sum::<usize>(),
+            lint.atomics_counts.values().sum::<usize>(),
             allowlist_path.display()
         );
     }

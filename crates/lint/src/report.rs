@@ -17,6 +17,9 @@
 //! | MOCHI009 | lock-across-yield  | guard held across a ULT suspension    |
 //! | MOCHI010 | stale-allowlist    | allowlist entry matching no site      |
 //! | MOCHI011 | raw-forward-in-client | forward bypasses the retry-aware chokepoint |
+//! | MOCHI012 | deadline-loss      | handler-reachable forward drops the caller's deadline |
+//! | MOCHI013 | retry-unsound      | non-idempotent effect behind a retryable RPC |
+//! | MOCHI014 | relaxed-atomic     | Relaxed ordering on a cross-function decision flag |
 //!
 //! The JSON document is the machine-readable contract (written to
 //! `target/lint-report.json` by `scripts/lint.sh`); SARIF 2.1.0 is for
@@ -56,6 +59,9 @@ pub const RULES: &[(&str, &str, &str)] = &[
     ("MOCHI009", "lock-across-yield", "Lock guard held across a ULT suspension point"),
     ("MOCHI010", "stale-allowlist", "lint-allow.json entry matches no current finding"),
     ("MOCHI011", "raw-forward-in-client", "forward call in a service client bypasses the retry-aware call/call_raw chokepoint"),
+    ("MOCHI012", "deadline-loss", "forward reachable from an RPC handler rebuilds a TOP_LEVEL context, dropping the caller's deadline"),
+    ("MOCHI013", "retry-unsound", "non-idempotent effect reachable from the handler of a declared-idempotent RPC"),
+    ("MOCHI014", "relaxed-atomic", "Ordering::Relaxed on an atomic flag written and condition-read in different functions"),
 ];
 
 /// Flattens a report into findings, errors first. Stale-allowlist
@@ -178,6 +184,53 @@ pub fn findings(report: &LintReport) -> Vec<Finding> {
             ),
         });
     }
+    for d in &report.deadline_violations {
+        out.push(Finding {
+            rule: "MOCHI012",
+            rule_name: "deadline-loss",
+            level: "error",
+            file: d.file.clone(),
+            line: d.line,
+            column: d.column,
+            function: d.function.clone(),
+            message: format!(
+                "`{}` rebuilds a TOP_LEVEL context on a handler-reachable path ({}) — thread `ctx.nested_context()` (or a `with_context` client) so the caller's deadline propagates",
+                d.kind.trim_start_matches("drop:"),
+                d.path.join(" -> ")
+            ),
+        });
+    }
+    for r in &report.retry_violations {
+        out.push(Finding {
+            rule: "MOCHI013",
+            rule_name: "retry-unsound",
+            level: "error",
+            file: r.file.clone(),
+            line: r.line,
+            column: r.column,
+            function: r.function.clone(),
+            message: format!(
+                "non-idempotent `{}` effect reachable from the handler of `{}`, which is declared idempotent — a transport-level retry would duplicate it",
+                r.effect, r.rpc
+            ),
+        });
+    }
+    for a in &report.atomics_violations {
+        let verb = if a.kind.starts_with("load:") { "decision load of" } else { "publish to" };
+        out.push(Finding {
+            rule: "MOCHI014",
+            rule_name: "relaxed-atomic",
+            level: "error",
+            file: a.file.clone(),
+            line: a.line,
+            column: a.column,
+            function: a.function.clone(),
+            message: format!(
+                "Relaxed {verb} atomic flag `{}` crossing functions — use Acquire for the decision load and Release for the publish",
+                a.field
+            ),
+        });
+    }
     for s in &report.stale_entries {
         out.push(Finding {
             rule: "MOCHI010",
@@ -211,7 +264,19 @@ pub fn render_text(report: &LintReport) -> String {
             + report.json_allowed
             + report.contract_allowed
             + report.yield_allowed
-            + report.raw_forward_allowed,
+            + report.raw_forward_allowed
+            + report.deadline_allowed
+            + report.retry_allowed
+            + report.atomics_allowed,
+    );
+    let _ = writeln!(
+        out,
+        "call graph: {} nodes, {} edges ({} resolved calls, {} unresolved, {} fallback edges)",
+        report.graph_stats.nodes,
+        report.graph_stats.edges,
+        report.graph_stats.resolved_calls,
+        report.graph_stats.unresolved_calls,
+        report.graph_stats.fallback_edges,
     );
     for f in findings(report) {
         let _ = writeln!(
@@ -228,7 +293,7 @@ pub fn render_text(report: &LintReport) -> String {
         );
     }
     if report.is_clean() && report.stale_entries.is_empty() {
-        let _ = writeln!(out, "OK: all seven analyses clean, allowlist has no stale entries");
+        let _ = writeln!(out, "OK: all ten analyses clean, allowlist has no stale entries");
     }
     out
 }
@@ -255,7 +320,17 @@ pub fn render_json(report: &LintReport) -> String {
     let _ = writeln!(out, "      \"serde_json\": {},", report.json_allowed);
     let _ = writeln!(out, "      \"contracts\": {},", report.contract_allowed);
     let _ = writeln!(out, "      \"lock_across_yield\": {},", report.yield_allowed);
-    let _ = writeln!(out, "      \"raw_forward\": {}", report.raw_forward_allowed);
+    let _ = writeln!(out, "      \"raw_forward\": {},", report.raw_forward_allowed);
+    let _ = writeln!(out, "      \"deadline_loss\": {},", report.deadline_allowed);
+    let _ = writeln!(out, "      \"retry_soundness\": {},", report.retry_allowed);
+    let _ = writeln!(out, "      \"relaxed_atomics\": {}", report.atomics_allowed);
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"call_graph\": {{");
+    let _ = writeln!(out, "      \"nodes\": {},", report.graph_stats.nodes);
+    let _ = writeln!(out, "      \"edges\": {},", report.graph_stats.edges);
+    let _ = writeln!(out, "      \"resolved\": {},", report.graph_stats.resolved_calls);
+    let _ = writeln!(out, "      \"unresolved\": {},", report.graph_stats.unresolved_calls);
+    let _ = writeln!(out, "      \"fallback\": {}", report.graph_stats.fallback_edges);
     let _ = writeln!(out, "    }}");
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"findings\": [");

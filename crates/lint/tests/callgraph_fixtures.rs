@@ -1,0 +1,174 @@
+//! Call-graph tests over the on-disk fixture mini-workspace in
+//! `tests/fixtures/callgraph/`: two crates exercising every edge kind
+//! (direct same-file, direct cross-crate, typed method, trait fan-out,
+//! unique-name fallback), the spawn fire-and-forget boundary, the
+//! handler-registration entry point, and the resolution counters the
+//! report surfaces — pinned exactly so resolution regressions fail
+//! loudly instead of silently shrinking the graph.
+
+use std::path::Path;
+
+use mochi_lint::callgraph::{CallGraph, EdgeKind};
+use mochi_lint::contracts::{ConstTable, Role};
+use mochi_lint::source::SourceFile;
+
+/// Loads the fixture pair as `crates/alpha` and `crates/beta`.
+fn fixture_files() -> Vec<SourceFile> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/callgraph");
+    [("client.rs", "crates/alpha/src/client.rs"), ("provider.rs", "crates/beta/src/provider.rs")]
+        .iter()
+        .map(|(name, rel)| {
+            let text = std::fs::read_to_string(dir.join(name))
+                .unwrap_or_else(|e| panic!("reading fixture {name}: {e}"));
+            SourceFile::parse(rel, &text)
+        })
+        .collect()
+}
+
+/// The single node named `function`, by workspace-wide lookup.
+fn node(graph: &CallGraph, file: &str, function: &str) -> usize {
+    let ids = graph.nodes_named(file, function);
+    assert_eq!(ids.len(), 1, "expected exactly one node {file}::{function}, got {ids:?}");
+    ids[0]
+}
+
+fn edge_kinds(graph: &CallGraph, from: usize, to: usize) -> Vec<EdgeKind> {
+    graph.edges[from].iter().filter(|e| e.to == to).map(|e| e.kind).collect()
+}
+
+#[test]
+fn direct_edges_resolve_same_file_and_cross_crate() {
+    let files = fixture_files();
+    let graph = CallGraph::build(&files);
+    let tally = node(&graph, "crates/beta/src/provider.rs", "tally_totals");
+    let summarize = node(&graph, "crates/beta/src/provider.rs", "summarize");
+    assert_eq!(edge_kinds(&graph, tally, summarize), vec![EdgeKind::Direct]);
+
+    // Cross-crate: alpha's `totals` calls beta's `tally_totals`.
+    let totals = node(&graph, "crates/alpha/src/client.rs", "totals");
+    assert_eq!(edge_kinds(&graph, totals, tally), vec![EdgeKind::Direct]);
+}
+
+#[test]
+fn method_edge_types_receiver_through_field_index() {
+    let files = fixture_files();
+    let graph = CallGraph::build(&files);
+    let save = node(&graph, "crates/alpha/src/client.rs", "save");
+    // `self.store` is a `MemStore`, so only that impl's `persist` is a
+    // target — never `DiskStore`'s.
+    let persists = graph.nodes_named("crates/alpha/src/client.rs", "persist");
+    assert_eq!(persists.len(), 2, "two `impl Store for …` methods expected");
+    let targets: Vec<usize> = graph.edges[save].iter().map(|e| e.to).collect();
+    assert_eq!(targets.len(), 1, "typed method call must resolve to one impl");
+    assert_eq!(graph.edges[save][0].kind, EdgeKind::Method);
+    assert!(persists.contains(&targets[0]));
+}
+
+#[test]
+fn trait_dispatch_fans_out_to_every_impl() {
+    let files = fixture_files();
+    let graph = CallGraph::build(&files);
+    let save_any = node(&graph, "crates/alpha/src/client.rs", "save_any");
+    let persists = graph.nodes_named("crates/alpha/src/client.rs", "persist");
+    let mut targets: Vec<usize> =
+        graph.edges[save_any].iter().map(|e| e.to).collect();
+    targets.sort_unstable();
+    let mut expected = persists.clone();
+    expected.sort_unstable();
+    assert_eq!(targets, expected, "dyn Store call must reach both impls");
+    assert!(graph.edges[save_any].iter().all(|e| e.kind == EdgeKind::Trait));
+}
+
+#[test]
+fn spawn_is_a_fire_and_forget_boundary() {
+    let files = fixture_files();
+    let graph = CallGraph::build(&files);
+    let background = node(&graph, "crates/alpha/src/client.rs", "background");
+    assert!(
+        graph.edges[background].is_empty(),
+        "calls inside a spawn argument span must produce no edges"
+    );
+    // The site is still recorded (and resolved) for the analyses that
+    // want to see it — just marked detached.
+    let spawned = graph.calls[background]
+        .iter()
+        .find(|c| c.callee == "tally_totals")
+        .expect("spawned call site recorded");
+    assert!(spawned.in_spawn);
+    assert!(!spawned.targets.is_empty());
+}
+
+#[test]
+fn unique_name_fallback_applies_and_is_counted() {
+    let files = fixture_files();
+    let graph = CallGraph::build(&files);
+    let refresh = node(&graph, "crates/alpha/src/client.rs", "refresh");
+    let revalidate = node(&graph, "crates/beta/src/provider.rs", "revalidate");
+    assert_eq!(edge_kinds(&graph, refresh, revalidate), vec![EdgeKind::Fallback]);
+    assert_eq!(graph.stats().fallback_edges, 1);
+}
+
+#[test]
+fn ambiguous_untyped_method_counts_as_unresolved() {
+    let files = fixture_files();
+    let graph = CallGraph::build(&files);
+    let flush_any = node(&graph, "crates/alpha/src/client.rs", "flush_any");
+    assert!(
+        graph.edges[flush_any].is_empty(),
+        "two `persist` candidates and no receiver type: no edge"
+    );
+    assert_eq!(graph.stats().unresolved_calls, 1);
+}
+
+#[test]
+fn handler_registration_seeds_reachability() {
+    let files = fixture_files();
+    let graph = CallGraph::build(&files);
+    let consts = ConstTable::build(&files);
+    let mut register_sites = Vec::new();
+    for file in &files {
+        register_sites.extend(
+            mochi_lint::contracts::sites(file, &consts)
+                .into_iter()
+                .filter(|s| s.role == Role::Register),
+        );
+    }
+    assert_eq!(register_sites.len(), 1, "one register_typed site expected");
+    let site = &register_sites[0];
+    assert_eq!(site.name.as_deref(), Some("mini_save"));
+
+    // The handler closure lives inside `register`, so a walk from the
+    // registering function reaches the handler body's callees.
+    let entries = graph.nodes_named(&site.file, &site.function);
+    let parents = graph.reachable(&entries, |_| true);
+    let apply_save = node(&graph, "crates/beta/src/provider.rs", "apply_save");
+    let record_write = node(&graph, "crates/beta/src/provider.rs", "record_write");
+    assert!(parents.contains_key(&apply_save), "handler callee reachable from register");
+    assert!(parents.contains_key(&record_write), "transitive callee reachable too");
+    assert_eq!(
+        graph.path_names(&parents, record_write),
+        vec!["register".to_string(), "apply_save".to_string(), "record_write".to_string()]
+    );
+}
+
+#[test]
+fn resolution_counters_are_pinned() {
+    let files = fixture_files();
+    let graph = CallGraph::build(&files);
+    let stats = graph.stats();
+    // 14 function bodies: 8 in alpha (2 persist impls + 6 Client
+    // methods), 6 in beta. Trait signatures declare no body and thus no
+    // node.
+    assert_eq!(stats.nodes, 14);
+    // Resolved: summarize, apply_save, record_write (beta) +
+    // record_write, save's persist, save_any's persist, tally_totals,
+    // the spawned tally_totals, revalidate (alpha).
+    assert_eq!(stats.resolved_calls, 9);
+    assert_eq!(stats.unresolved_calls, 1);
+    assert_eq!(stats.fallback_edges, 1);
+    // Edges: tally→summarize, register→apply_save, apply_save→
+    // record_write, persist→record_write, totals→tally, save→persist,
+    // save_any→persist×2, refresh→revalidate. The spawned call adds
+    // none.
+    assert_eq!(stats.edges, 9);
+}

@@ -1,0 +1,71 @@
+//! Call-graph fixture: the "client" crate of a two-crate mini-workspace.
+//!
+//! Loaded by `tests/callgraph_fixtures.rs` as `crates/alpha/src/client.rs`;
+//! its partner `provider.rs` becomes `crates/beta/src/provider.rs`. Each
+//! function exercises exactly one resolution path so the tests can pin
+//! edge kinds and the resolved/unresolved/fallback counters.
+
+pub trait Store {
+    fn persist(&self, data: &[u8]) -> usize;
+}
+
+pub struct MemStore;
+
+impl Store for MemStore {
+    fn persist(&self, data: &[u8]) -> usize {
+        record_write(data.len())
+    }
+}
+
+pub struct DiskStore;
+
+impl Store for DiskStore {
+    fn persist(&self, data: &[u8]) -> usize {
+        data.len()
+    }
+}
+
+pub struct Client {
+    store: MemStore,
+}
+
+impl Client {
+    /// Method edge: `self.store` types through the field index.
+    pub fn save(&self, data: &[u8]) -> usize {
+        self.store.persist(data)
+    }
+
+    /// Trait edge: `dyn Store` fans out to every `impl Store for …`.
+    pub fn save_any(&self, store: &dyn Store, data: &[u8]) -> usize {
+        store.persist(data)
+    }
+
+    /// Direct cross-crate edge: `tally_totals` lives in crates/beta.
+    pub fn totals(&self) -> usize {
+        tally_totals()
+    }
+
+    /// Fire-and-forget boundary: the spawned closure's call resolves but
+    /// produces no edge out of `background`.
+    pub fn background(&self) {
+        std::thread::spawn(move || {
+            tally_totals();
+        });
+    }
+
+    /// Fallback edge: `conn`'s type is not inferrable (opaque free-call
+    /// RHS), but exactly one workspace function is named `revalidate`
+    /// and the name is not std-common.
+    pub fn refresh(&self) -> bool {
+        let conn = open_conn();
+        conn.revalidate()
+    }
+
+    /// Unresolved: `store` is untyped here and more than one workspace
+    /// function is named `persist`, so neither receiver typing nor the
+    /// unique-name fallback applies.
+    pub fn flush_any(&self) -> usize {
+        let store = pick_store();
+        store.persist(&[])
+    }
+}

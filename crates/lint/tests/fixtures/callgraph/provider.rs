@@ -1,0 +1,41 @@
+//! Call-graph fixture: the "provider" crate of the mini-workspace.
+//!
+//! Loaded as `crates/beta/src/provider.rs` — see `client.rs` for the
+//! other half and `tests/callgraph_fixtures.rs` for what each function
+//! pins down.
+
+/// Cross-crate direct-call target (`Client::totals` in alpha).
+pub fn tally_totals() -> usize {
+    summarize(7)
+}
+
+/// Same-file direct-call target.
+fn summarize(n: usize) -> usize {
+    n + 1
+}
+
+/// Cross-crate direct-call target (`MemStore::persist` in alpha).
+pub fn record_write(len: usize) -> usize {
+    len
+}
+
+pub struct Conn;
+
+impl Conn {
+    /// Unique method name: the fallback-edge target for alpha's untyped
+    /// `conn` receiver.
+    pub fn revalidate(&self) -> bool {
+        true
+    }
+}
+
+/// Registration entry: the handler closure is lexically inside this
+/// function, so its calls are attributed here and `apply_save` is
+/// reachable from the registering function.
+pub fn register(margo: &MargoRuntime) {
+    margo.register_typed("mini_save", 1, None, move |args: Vec<u8>, _ctx| apply_save(&args));
+}
+
+fn apply_save(data: &[u8]) -> Result<usize, String> {
+    Ok(record_write(data.len()))
+}

@@ -1,0 +1,295 @@
+//! End-to-end fixtures for the interprocedural rules: each of
+//! MOCHI012 (deadline loss), MOCHI013 (retry soundness), and MOCHI014
+//! (relaxed atomics) gets at least one true-positive and one
+//! true-negative case, driven through the full `analyze` pipeline the
+//! CLI uses so registration discovery, call-graph construction, and
+//! allowlist filtering are all in the loop.
+
+use mochi_lint::allowlist::Allowlist;
+use mochi_lint::source::SourceFile;
+
+fn parse(files: &[(&str, &str)]) -> Vec<SourceFile> {
+    files.iter().map(|(path, src)| SourceFile::parse(path, src)).collect()
+}
+
+// ---------------------------------------------------------------- MOCHI012
+
+#[test]
+fn deadline_loss_flags_handler_reachable_top_level_forward() {
+    let files = parse(&[(
+        "crates/omega/src/server.rs",
+        "pub fn register_all(margo: &MargoRuntime) {\n\
+             margo.register_typed(\"omega_echo\", 1, None, move |v: u64, _ctx| relay(margo2, v));\n\
+         }\n\
+         fn relay(margo: &MargoRuntime, v: u64) -> Result<u64, String> {\n\
+             margo.forward(&dest(), \"omega_next\", 1, &v).map_err(|e| e.to_string())\n\
+         }\n",
+    )]);
+    let report = mochi_lint::analyze(&files, &Allowlist::default());
+    assert_eq!(report.deadline_violations.len(), 1, "{:?}", report.deadline_violations);
+    let d = &report.deadline_violations[0];
+    assert_eq!(d.kind, "drop:forward");
+    assert_eq!(d.function, "relay");
+    assert_eq!(d.path, vec!["register_all".to_string(), "relay".to_string()]);
+    assert!(report.render().contains("MOCHI012"));
+}
+
+#[test]
+fn deadline_loss_flags_forward_timeout_even_in_the_registering_fn() {
+    let files = parse(&[(
+        "crates/omega/src/server.rs",
+        "pub fn register_all(margo: &MargoRuntime) {\n\
+             margo.register_typed(\"omega_echo\", 1, None, move |v: u64, _ctx| {\n\
+                 margo2.forward_timeout(&dest(), \"omega_next\", 1, &v, t())\n\
+             });\n\
+         }\n",
+    )]);
+    let report = mochi_lint::analyze(&files, &Allowlist::default());
+    assert_eq!(report.deadline_violations.len(), 1);
+    assert_eq!(report.deadline_violations[0].kind, "drop:forward_timeout");
+}
+
+#[test]
+fn deadline_loss_accepts_rpc_context_forward_and_nested_context() {
+    // Clean on both counts: an `RpcContext`-receiver `forward` threads
+    // the nested context by construction, and an explicit-context form
+    // whose argument is `…nested_context()` is the fix itself.
+    let files = parse(&[(
+        "crates/omega/src/server.rs",
+        "pub fn register_all(margo: &MargoRuntime) {\n\
+             margo.register_typed(\"omega_echo\", 1, None, move |v: u64, ctx| relay(ctx, v));\n\
+         }\n\
+         fn relay(ctx: &RpcContext, v: u64) -> Result<u64, String> {\n\
+             ctx.forward(&dest(), \"omega_next\", 1, &v)?;\n\
+             margo().forward_full(&dest(), \"omega_next\", 1, &v, ctx.nested_context(), t())\n\
+                 .map_err(|e| e.to_string())\n\
+         }\n",
+    )]);
+    let report = mochi_lint::analyze(&files, &Allowlist::default());
+    assert!(report.deadline_violations.is_empty(), "{:?}", report.deadline_violations);
+}
+
+#[test]
+fn deadline_loss_ignores_forwards_not_reachable_from_a_handler() {
+    // A TOP_LEVEL forward in plain client code is correct — only
+    // handler-reachable forwards restart a budget that already exists.
+    let files = parse(&[(
+        "crates/omega/src/client.rs",
+        "pub fn ping(margo: &MargoRuntime, v: u64) -> Result<u64, String> {\n\
+             margo.forward(&dest(), \"omega_echo\", 1, &v).map_err(|e| e.to_string())\n\
+         }\n",
+    )]);
+    let report = mochi_lint::analyze(&files, &Allowlist::default());
+    assert!(report.deadline_violations.is_empty(), "{:?}", report.deadline_violations);
+}
+
+// ---------------------------------------------------------------- MOCHI013
+
+#[test]
+fn retry_soundness_flags_remove_behind_declared_idempotent_handler() {
+    let files = parse(&[(
+        "crates/omega/src/provider.rs",
+        "pub fn register_all(margo: &MargoRuntime, state: SharedState) {\n\
+             margo.declare_idempotent(\"omega_put\");\n\
+             margo.register_typed(\"omega_put\", 1, None, move |k: Vec<u8>, _ctx| {\n\
+                 finish(&state, &k)\n\
+             });\n\
+         }\n\
+         fn finish(state: &SharedState, k: &[u8]) -> Result<bool, String> {\n\
+             state.sessions.lock().remove(k);\n\
+             Ok(true)\n\
+         }\n",
+    )]);
+    let report = mochi_lint::analyze(&files, &Allowlist::default());
+    assert_eq!(report.retry_violations.len(), 1, "{:?}", report.retry_violations);
+    let r = &report.retry_violations[0];
+    assert_eq!(r.rpc, "omega_put");
+    assert_eq!(r.effect, "remove");
+    assert_eq!(r.function, "finish");
+    assert_eq!(r.kind, "remove:omega_put");
+    assert!(report.render().contains("MOCHI013"));
+}
+
+#[test]
+fn retry_soundness_accepts_keyed_overwrites() {
+    // `insert` is last-writer-wins: replaying it converges, so the
+    // declared idempotency holds.
+    let files = parse(&[(
+        "crates/omega/src/provider.rs",
+        "pub fn register_all(margo: &MargoRuntime, state: SharedState) {\n\
+             margo.declare_idempotent(\"omega_put\");\n\
+             margo.register_typed(\"omega_put\", 1, None, move |k: Vec<u8>, _ctx| {\n\
+                 state.sessions.lock().insert(k, ());\n\
+                 Ok(true)\n\
+             });\n\
+         }\n",
+    )]);
+    let report = mochi_lint::analyze(&files, &Allowlist::default());
+    assert!(report.retry_violations.is_empty(), "{:?}", report.retry_violations);
+}
+
+#[test]
+fn retry_soundness_ignores_effects_behind_undeclared_rpcs() {
+    // The same `remove`, but the RPC was never declared idempotent: the
+    // runtime will not retry it, so the effect is fine.
+    let files = parse(&[(
+        "crates/omega/src/provider.rs",
+        "pub fn register_all(margo: &MargoRuntime, state: SharedState) {\n\
+             margo.register_typed(\"omega_put\", 1, None, move |k: Vec<u8>, _ctx| {\n\
+                 state.sessions.lock().remove(&k);\n\
+                 Ok(true)\n\
+             });\n\
+         }\n",
+    )]);
+    let report = mochi_lint::analyze(&files, &Allowlist::default());
+    assert!(report.retry_violations.is_empty(), "{:?}", report.retry_violations);
+}
+
+#[test]
+fn retry_soundness_resolves_the_const_array_loop_form() {
+    // `for name in IDEMPOTENT_RPCS { margo.declare_idempotent(name) }` —
+    // the declaration form every service client actually uses.
+    let files = parse(&[(
+        "crates/omega/src/provider.rs",
+        "const IDEMPOTENT_RPCS: &[&str] = &[\"omega_put\"];\n\
+         pub fn register_all(margo: &MargoRuntime, state: SharedState) {\n\
+             for name in IDEMPOTENT_RPCS {\n\
+                 margo.declare_idempotent(name);\n\
+             }\n\
+             margo.register_typed(\"omega_put\", 1, None, move |k: Vec<u8>, _ctx| {\n\
+                 state.counts.lock().remove(&k);\n\
+                 Ok(true)\n\
+             });\n\
+         }\n",
+    )]);
+    let report = mochi_lint::analyze(&files, &Allowlist::default());
+    assert_eq!(report.retry_violations.len(), 1, "{:?}", report.retry_violations);
+    assert_eq!(report.retry_violations[0].rpc, "omega_put");
+}
+
+// ---------------------------------------------------------------- MOCHI014
+
+#[test]
+fn relaxed_atomics_flags_decision_load_with_foreign_writer() {
+    let files = parse(&[(
+        "crates/omega/src/breaker.rs",
+        "pub struct Breaker { closed: AtomicBool }\n\
+         impl Breaker {\n\
+             pub fn admit(&self) -> bool {\n\
+                 if self.closed.load(Ordering::Relaxed) {\n\
+                     return false;\n\
+                 }\n\
+                 true\n\
+             }\n\
+             pub fn trip(&self) {\n\
+                 self.closed.store(true, Ordering::SeqCst);\n\
+             }\n\
+         }\n",
+    )]);
+    let report = mochi_lint::analyze(&files, &Allowlist::default());
+    assert_eq!(report.atomics_violations.len(), 1, "{:?}", report.atomics_violations);
+    let a = &report.atomics_violations[0];
+    assert_eq!(a.kind, "load:closed");
+    assert_eq!(a.function, "admit");
+    assert!(report.render().contains("MOCHI014"));
+}
+
+#[test]
+fn relaxed_atomics_flags_relaxed_publish_with_foreign_decider() {
+    let files = parse(&[(
+        "crates/omega/src/breaker.rs",
+        "pub struct Breaker { closed: AtomicBool }\n\
+         impl Breaker {\n\
+             pub fn admit(&self) -> bool {\n\
+                 while self.closed.load(Ordering::Acquire) {\n\
+                     return false;\n\
+                 }\n\
+                 true\n\
+             }\n\
+             pub fn trip(&self) {\n\
+                 self.closed.store(true, Ordering::Relaxed);\n\
+             }\n\
+         }\n",
+    )]);
+    let report = mochi_lint::analyze(&files, &Allowlist::default());
+    assert_eq!(report.atomics_violations.len(), 1, "{:?}", report.atomics_violations);
+    assert_eq!(report.atomics_violations[0].kind, "store:closed");
+    assert_eq!(report.atomics_violations[0].function, "trip");
+}
+
+#[test]
+fn relaxed_atomics_accepts_the_counter_idiom() {
+    // Monotonic stats: relaxed RMW bumps, snapshot loads outside any
+    // condition. This is PR 4's striped-stats shape and must stay clean.
+    let files = parse(&[(
+        "crates/omega/src/stats.rs",
+        "pub struct Stats { hits: AtomicU64 }\n\
+         impl Stats {\n\
+             pub fn bump(&self) {\n\
+                 self.hits.fetch_add(1, Ordering::Relaxed);\n\
+             }\n\
+             pub fn snapshot(&self) -> u64 {\n\
+                 let n = self.hits.load(Ordering::Relaxed);\n\
+                 n\n\
+             }\n\
+         }\n",
+    )]);
+    let report = mochi_lint::analyze(&files, &Allowlist::default());
+    assert!(report.atomics_violations.is_empty(), "{:?}", report.atomics_violations);
+}
+
+#[test]
+fn relaxed_atomics_accepts_acquire_release_pairing() {
+    let files = parse(&[(
+        "crates/omega/src/breaker.rs",
+        "pub struct Breaker { closed: AtomicBool }\n\
+         impl Breaker {\n\
+             pub fn admit(&self) -> bool {\n\
+                 if self.closed.load(Ordering::Acquire) {\n\
+                     return false;\n\
+                 }\n\
+                 true\n\
+             }\n\
+             pub fn trip(&self) {\n\
+                 self.closed.store(true, Ordering::Release);\n\
+             }\n\
+         }\n",
+    )]);
+    let report = mochi_lint::analyze(&files, &Allowlist::default());
+    assert!(report.atomics_violations.is_empty(), "{:?}", report.atomics_violations);
+}
+
+// ------------------------------------------------- allowlist interaction
+
+#[test]
+fn interproc_findings_respect_the_allowlist_and_staleness() {
+    let files = parse(&[(
+        "crates/omega/src/provider.rs",
+        "pub fn register_all(margo: &MargoRuntime, state: SharedState) {\n\
+             margo.declare_idempotent(\"omega_put\");\n\
+             margo.register_typed(\"omega_put\", 1, None, move |k: Vec<u8>, _ctx| {\n\
+                 state.sessions.lock().remove(&k);\n\
+                 Ok(true)\n\
+             });\n\
+         }\n",
+    )]);
+    let json = r#"{
+        "version": 1,
+        "retry_soundness": [
+            {"file": "crates/omega/src/provider.rs", "function": "register_all",
+             "kind": "remove:omega_put", "count": 1,
+             "reason": "replay-guarded"}
+        ]
+    }"#;
+    let allowlist = Allowlist::from_json(json).expect("parse allowlist");
+    let report = mochi_lint::analyze(&files, &allowlist);
+    assert!(report.retry_violations.is_empty(), "{:?}", report.retry_violations);
+    assert_eq!(report.retry_allowed, 1);
+    assert!(report.stale_entries.is_empty());
+
+    // The same allowlist against clean sources is stale debt: MOCHI010.
+    let clean = parse(&[("crates/omega/src/provider.rs", "pub fn register_all() {}\n")]);
+    let report = mochi_lint::analyze(&clean, &allowlist);
+    assert_eq!(report.stale_entries.len(), 1);
+    assert!(report.render().contains("MOCHI010"));
+}

@@ -190,7 +190,7 @@ impl Endpoint {
     }
 
     fn ensure_open(&self) -> Result<(), MercuryError> {
-        if self.closed.load(Ordering::Relaxed) {
+        if self.closed.load(Ordering::Acquire) {
             Err(MercuryError::LocalShutdown)
         } else {
             Ok(())
@@ -275,7 +275,7 @@ impl Endpoint {
         let deadline = std::time::Instant::now() + timeout;
         let mut made_progress = false;
         loop {
-            if self.closed.load(Ordering::Relaxed) {
+            if self.closed.load(Ordering::Acquire) {
                 return Err(MercuryError::LocalShutdown);
             }
             let envelope = if made_progress {
@@ -416,7 +416,7 @@ impl Endpoint {
 
 impl Drop for Endpoint {
     fn drop(&mut self) {
-        if !self.closed.load(Ordering::Relaxed) {
+        if !self.closed.load(Ordering::Acquire) {
             self.shutdown();
         }
     }

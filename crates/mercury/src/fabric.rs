@@ -253,7 +253,7 @@ impl Fabric {
     /// silently dropped (peers must rely on timeouts, like on real HPC
     /// fabrics where a dead node just stops answering).
     pub fn send(&self, envelope: Envelope) -> Result<(), MercuryError> {
-        if self.inner.closed.load(Ordering::Relaxed) {
+        if self.inner.closed.load(Ordering::Acquire) {
             return Err(MercuryError::LocalShutdown);
         }
         {
@@ -292,7 +292,7 @@ impl Fabric {
     /// Shuts down the fabric: the delivery thread exits and in-flight
     /// delayed messages are discarded. Endpoints read as shut down.
     pub fn shutdown(&self) {
-        self.inner.closed.store(true, Ordering::Relaxed);
+        self.inner.closed.store(true, Ordering::Release);
         {
             let mut state = self.inner.scheduler.lock();
             state.shutdown = true;

@@ -54,6 +54,7 @@ pub struct MigrationReport {
 #[derive(Clone)]
 pub struct RemiClient {
     margo: MargoRuntime,
+    context: CallContext,
 }
 
 impl RemiClient {
@@ -64,7 +65,16 @@ impl RemiClient {
         // the session down, chunks are sequenced) and stay retry-free.
         margo.declare_idempotent(rpc::START);
         margo.declare_idempotent(rpc::PULL);
-        Self { margo: margo.clone() }
+        Self { margo: margo.clone(), context: CallContext::TOP_LEVEL }
+    }
+
+    /// Threads a calling context (a handler passes
+    /// `ctx.nested_context()`) so migration RPCs issued by this client
+    /// count as nested calls and inherit the parent's remaining deadline
+    /// budget instead of restarting it.
+    pub fn with_context(mut self, context: CallContext) -> Self {
+        self.context = context;
+        self
     }
 
     /// Single chokepoint for typed RPCs: every forward in this client
@@ -79,7 +89,7 @@ impl RemiClient {
         provider_id: u16,
         timeout: Duration,
     ) -> Result<O, MargoError> {
-        self.margo.forward_timeout(dest, rpc_name, provider_id, input, timeout)
+        self.margo.forward_full(dest, rpc_name, provider_id, input, self.context, timeout)
     }
 
     /// Migrates `fileset` to the REMI provider `(dest, provider_id)`.
@@ -204,7 +214,7 @@ impl RemiClient {
                 dest,
                 chunk_rpc_id,
                 provider_id,
-                CallContext::TOP_LEVEL,
+                self.context,
                 Bytes::from(frame),
             )?;
             pending.push_back(request);

@@ -23,6 +23,10 @@ struct Transfer {
 struct Inner {
     root: PathBuf,
     transfers: Mutex<HashMap<String, Transfer>>,
+    /// Summaries of finished transfers, so a retried `end`/`pull` (both
+    /// declared idempotent by the client) replays its recorded result
+    /// instead of failing on the already-consumed session.
+    completed: Mutex<HashMap<String, TransferSummary>>,
 }
 
 /// Destination-side migration endpoint. Registering one makes a process
@@ -67,11 +71,12 @@ impl Inner {
                 .map_err(|e| format!("create {}: {e}", path.display()))?;
             file.set_len(entry.size).map_err(|e| e.to_string())?;
         }
-        let mut transfers = self.transfers.lock();
-        if transfers.contains_key(&args.token) {
-            return Err(format!("transfer '{}' already started", args.token));
-        }
-        transfers.insert(
+        // A reused token supersedes any previous session: a retried
+        // `start` (it is declared idempotent) resets the session it
+        // started, and the files were just re-truncated above, so the
+        // fresh record matches the on-disk state either way.
+        self.completed.lock().remove(&args.token);
+        self.transfers.lock().insert(
             args.token.clone(),
             Transfer { files: args.files, dest_root, received_bytes: 0 },
         );
@@ -108,11 +113,19 @@ impl Inner {
     }
 
     fn verify_and_finish(&self, token: &str) -> Result<TransferSummary, String> {
-        let transfer = self
-            .transfers
-            .lock()
-            .remove(token)
-            .ok_or_else(|| format!("unknown transfer '{token}'"))?;
+        let transfer = match self.transfers.lock().remove(token) {
+            Some(transfer) => transfer,
+            // A retry of an `end`/`pull` that already finished: replay
+            // the recorded summary.
+            None => {
+                return self
+                    .completed
+                    .lock()
+                    .get(token)
+                    .cloned()
+                    .ok_or_else(|| format!("unknown transfer '{token}'"));
+            }
+        };
         let mut bytes = 0u64;
         for entry in &transfer.files {
             let path = safe_join(&transfer.dest_root, &entry.path)?;
@@ -125,16 +138,27 @@ impl Inner {
             }
             bytes += entry.size;
         }
-        Ok(TransferSummary { files: transfer.files.len() as u64, bytes })
+        let summary = TransferSummary { files: transfer.files.len() as u64, bytes };
+        self.completed.lock().insert(token.to_string(), summary.clone());
+        Ok(summary)
     }
 
     fn pull(&self, ctx: &RpcContext, args: PullArgs) -> Result<TransferSummary, String> {
         let (files, dest_root) = {
             let transfers = self.transfers.lock();
-            let transfer = transfers
-                .get(&args.token)
-                .ok_or_else(|| format!("unknown transfer '{}'", args.token))?;
-            (transfer.files.clone(), transfer.dest_root.clone())
+            match transfers.get(&args.token) {
+                Some(transfer) => (transfer.files.clone(), transfer.dest_root.clone()),
+                // A retried `pull` whose predecessor completed the
+                // transfer: replay the summary, skip the re-pull.
+                None => {
+                    return self
+                        .completed
+                        .lock()
+                        .get(&args.token)
+                        .cloned()
+                        .ok_or_else(|| format!("unknown transfer '{}'", args.token));
+                }
+            }
         };
         if args.bulk_handles.len() != files.len() {
             return Err(format!(
@@ -172,7 +196,11 @@ impl RemiProvider {
         root: impl Into<PathBuf>,
         pool: Option<&str>,
     ) -> Result<Arc<Self>, mochi_margo::MargoError> {
-        let inner = Arc::new(Inner { root: root.into(), transfers: Mutex::new(HashMap::new()) });
+        let inner = Arc::new(Inner {
+            root: root.into(),
+            transfers: Mutex::new(HashMap::new()),
+            completed: Mutex::new(HashMap::new()),
+        });
 
         let start_inner = Arc::clone(&inner);
         margo.register_typed(rpc::START, provider_id, pool, move |args: StartArgs, _ctx| {

@@ -38,6 +38,7 @@ pub struct TargetHandle {
     address: Address,
     provider_id: u16,
     timeout: Duration,
+    context: CallContext,
 }
 
 impl TargetHandle {
@@ -47,7 +48,13 @@ impl TargetHandle {
             margo.declare_idempotent(name);
         }
         let timeout = margo.rpc_timeout();
-        Self { margo: margo.clone(), address, provider_id, timeout }
+        Self {
+            margo: margo.clone(),
+            address,
+            provider_id,
+            timeout,
+            context: CallContext::TOP_LEVEL,
+        }
     }
 
     /// Single chokepoint for typed RPCs: every forward in this client
@@ -59,7 +66,14 @@ impl TargetHandle {
         rpc_name: &str,
         input: &I,
     ) -> Result<O, MargoError> {
-        self.margo.forward_timeout(&self.address, rpc_name, self.provider_id, input, self.timeout)
+        self.margo.forward_full(
+            &self.address,
+            rpc_name,
+            self.provider_id,
+            input,
+            self.context,
+            self.timeout,
+        )
     }
 
     /// Raw-payload counterpart of [`Self::call`] for framed data-plane
@@ -70,7 +84,7 @@ impl TargetHandle {
             rpc_name,
             self.provider_id,
             payload,
-            CallContext::TOP_LEVEL,
+            self.context,
             self.timeout,
         )
     }
@@ -78,6 +92,15 @@ impl TargetHandle {
     /// Overrides the per-RPC timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Threads a calling context (a handler passes
+    /// `ctx.nested_context()`) so this handle's RPCs count as nested
+    /// calls and inherit the parent's remaining deadline budget instead
+    /// of restarting it.
+    pub fn with_context(mut self, context: CallContext) -> Self {
+        self.context = context;
         self
     }
 

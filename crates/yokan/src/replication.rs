@@ -19,7 +19,7 @@ use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use mochi_margo::{decode_framed, encode_framed, MargoError, MargoRuntime, RpcContext};
-use mochi_mercury::Address;
+use mochi_mercury::{Address, CallContext};
 
 use crate::client::DatabaseHandle;
 use crate::provider::rpc;
@@ -48,6 +48,7 @@ struct Inner {
 impl Inner {
     fn write_all<T>(
         &self,
+        cx: CallContext,
         op: impl Fn(&DatabaseHandle) -> Result<T, MargoError>,
     ) -> Result<T, String> {
         let replicas = self.replicas.read();
@@ -56,7 +57,10 @@ impl Inner {
         }
         let mut last = None;
         for handle in replicas.iter() {
-            match op(handle) {
+            // Per-request clone so the fan-out inherits the caller's
+            // remaining deadline budget instead of restarting it.
+            let handle = handle.clone().with_context(cx);
+            match op(&handle) {
                 Ok(value) => last = Some(value),
                 Err(e) => {
                     return Err(format!("replica {} failed: {e}", handle.address()));
@@ -68,6 +72,7 @@ impl Inner {
 
     fn read_any<T>(
         &self,
+        cx: CallContext,
         op: impl Fn(&DatabaseHandle) -> Result<T, MargoError>,
     ) -> Result<T, String> {
         let replicas = self.replicas.read();
@@ -76,7 +81,8 @@ impl Inner {
         }
         let mut errors = Vec::new();
         for handle in replicas.iter() {
-            match op(handle) {
+            let handle = handle.clone().with_context(cx);
+            match op(&handle) {
                 Ok(value) => return Ok(value),
                 Err(e) => errors.push(format!("{}: {e}", handle.address())),
             }
@@ -110,10 +116,11 @@ impl VirtualDatabaseProvider {
             .collect();
         let inner = Arc::new(Inner { replicas: parking_lot::RwLock::new(handles) });
 
-        type FramedOp = Box<dyn Fn(&Inner, &[u8]) -> Result<Bytes, String> + Send + Sync>;
+        type FramedOp =
+            Box<dyn Fn(&Inner, &[u8], CallContext) -> Result<Bytes, String> + Send + Sync>;
         let raw = |inner: &Arc<Inner>, f: FramedOp| -> mochi_margo::RpcHandler {
             let inner = Arc::clone(inner);
-            Arc::new(move |ctx: RpcContext| match f(&inner, ctx.payload()) {
+            Arc::new(move |ctx: RpcContext| match f(&inner, ctx.payload(), ctx.nested_context()) {
                 Ok(payload) => {
                     let _ = ctx.respond_bytes(payload);
                 }
@@ -129,10 +136,10 @@ impl VirtualDatabaseProvider {
             pool,
             raw(
                 &inner,
-                Box::new(|inner, payload| {
+                Box::new(|inner, payload, cx| {
                     let (header, body): (KeyHeader, &[u8]) =
                         decode_framed(payload).map_err(|e| e.to_string())?;
-                    inner.write_all(|h| h.put(&header.key, body))?;
+                    inner.write_all(cx, |h| h.put(&header.key, body))?;
                     encode_framed(&true, &[]).map_err(|e| e.to_string())
                 }),
             ),
@@ -143,7 +150,7 @@ impl VirtualDatabaseProvider {
             pool,
             raw(
                 &inner,
-                Box::new(|inner, payload| {
+                Box::new(|inner, payload, cx| {
                     let (header, body): (PutMultiHeader, &[u8]) =
                         decode_framed(payload).map_err(|e| e.to_string())?;
                     let mut pairs: Vec<(&[u8], &[u8])> = Vec::with_capacity(header.keys.len());
@@ -153,7 +160,7 @@ impl VirtualDatabaseProvider {
                         pairs.push((key.as_slice(), &body[cursor..cursor + len]));
                         cursor += len;
                     }
-                    inner.write_all(|h| h.put_multi(&pairs))?;
+                    inner.write_all(cx, |h| h.put_multi(&pairs))?;
                     encode_framed(&(pairs.len() as u64), &[]).map_err(|e| e.to_string())
                 }),
             ),
@@ -164,10 +171,10 @@ impl VirtualDatabaseProvider {
             pool,
             raw(
                 &inner,
-                Box::new(|inner, payload| {
+                Box::new(|inner, payload, cx| {
                     let (header, _): (KeyHeader, &[u8]) =
                         decode_framed(payload).map_err(|e| e.to_string())?;
-                    let value = inner.read_any(|h| h.get(&header.key))?;
+                    let value = inner.read_any(cx, |h| h.get(&header.key))?;
                     match value {
                         Some(v) => {
                             encode_framed(&ValuesHeader { lens: vec![v.len() as i64] }, &v)
@@ -185,11 +192,11 @@ impl VirtualDatabaseProvider {
             pool,
             raw(
                 &inner,
-                Box::new(|inner, payload| {
+                Box::new(|inner, payload, cx| {
                     let (header, _): (GetMultiHeader, &[u8]) =
                         decode_framed(payload).map_err(|e| e.to_string())?;
                     let keys: Vec<&[u8]> = header.keys.iter().map(|k| k.as_slice()).collect();
-                    let values = inner.read_any(|h| h.get_multi(&keys))?;
+                    let values = inner.read_any(cx, |h| h.get_multi(&keys))?;
                     let mut lens = Vec::with_capacity(values.len());
                     let mut body = Vec::new();
                     for value in values {
@@ -206,28 +213,30 @@ impl VirtualDatabaseProvider {
             ),
         )?;
         let erase_inner = Arc::clone(&inner);
-        margo.register_typed(rpc::ERASE, provider_id, pool, move |key: Vec<u8>, _| {
-            erase_inner.write_all(|h| h.erase(&key))
+        margo.register_typed(rpc::ERASE, provider_id, pool, move |key: Vec<u8>, ctx| {
+            erase_inner.write_all(ctx.nested_context(), |h| h.erase(&key))
         })?;
         let exists_inner = Arc::clone(&inner);
-        margo.register_typed(rpc::EXISTS, provider_id, pool, move |key: Vec<u8>, _| {
-            exists_inner.read_any(|h| h.exists(&key))
+        margo.register_typed(rpc::EXISTS, provider_id, pool, move |key: Vec<u8>, ctx| {
+            exists_inner.read_any(ctx.nested_context(), |h| h.exists(&key))
         })?;
         let list_inner = Arc::clone(&inner);
-        margo.register_typed(rpc::LIST_KEYS, provider_id, pool, move |args: ListKeysArgs, _| {
-            list_inner.read_any(|h| h.list_keys(&args.prefix, args.start_after.as_deref(), args.max))
+        margo.register_typed(rpc::LIST_KEYS, provider_id, pool, move |args: ListKeysArgs, ctx| {
+            list_inner.read_any(ctx.nested_context(), |h| {
+                h.list_keys(&args.prefix, args.start_after.as_deref(), args.max)
+            })
         })?;
         let len_inner = Arc::clone(&inner);
-        margo.register_typed(rpc::LEN, provider_id, pool, move |_: (), _| {
-            len_inner.read_any(|h| h.len())
+        margo.register_typed(rpc::LEN, provider_id, pool, move |_: (), ctx| {
+            len_inner.read_any(ctx.nested_context(), |h| h.len())
         })?;
         let flush_inner = Arc::clone(&inner);
-        margo.register_typed(rpc::FLUSH, provider_id, pool, move |_: (), _| {
-            flush_inner.write_all(|h| h.flush()).map(|()| true)
+        margo.register_typed(rpc::FLUSH, provider_id, pool, move |_: (), ctx| {
+            flush_inner.write_all(ctx.nested_context(), |h| h.flush()).map(|()| true)
         })?;
         let clear_inner = Arc::clone(&inner);
-        margo.register_typed(rpc::CLEAR, provider_id, pool, move |_: (), _| {
-            clear_inner.write_all(|h| h.clear()).map(|()| true)
+        margo.register_typed(rpc::CLEAR, provider_id, pool, move |_: (), ctx| {
+            clear_inner.write_all(ctx.nested_context(), |h| h.clear()).map(|()| true)
         })?;
 
         Ok(Arc::new(Self { margo: margo.clone(), provider_id, inner }))

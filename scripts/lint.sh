@@ -2,8 +2,9 @@
 # Pre-PR gate: workspace-specific static analysis plus (when available)
 # clippy and rustfmt. mochi-lint is the hard gate — lock-order cycles,
 # recursive re-locks, RPC contract violations, locks held across yields,
-# and any panic path or blocking call not frozen in lint-allow.json fail
-# the build. See DESIGN.md §9 and §11.
+# the interprocedural deadline/retry/atomics analyses, and any panic
+# path or blocking call not frozen in lint-allow.json fail the build.
+# See DESIGN.md §9, §11, and §14.
 #
 # Usage: scripts/lint.sh [workspace-root]
 #
@@ -11,7 +12,7 @@
 #
 # Exit codes (distinct per failure class, for CI triage):
 #   0  clean
-#   10 mochi-lint findings (MOCHI001..MOCHI009, MOCHI011)
+#   10 mochi-lint findings (MOCHI001..MOCHI009, MOCHI011..MOCHI014)
 #   11 stale lint-allow.json entries (MOCHI010: frozen debt paid down but
 #      not pruned)
 #   12 clippy warnings

@@ -2,9 +2,11 @@
 //! must stay free of lock-order cycles, recursive re-locks, data-plane
 //! `serde_json` uses, RPC contract violations, locks held across yield
 //! points, raw forwards in service clients that bypass the retry-aware
-//! chokepoints, and *new* panic paths or blocking calls beyond the debt
-//! frozen in `lint-allow.json` — and the allowlist itself must carry no
-//! stale entries (debt that was paid down but never pruned).
+//! chokepoints, the interprocedural hazards (handler-reachable deadline
+//! loss, retry-unsound effects, relaxed decision flags — MOCHI012–014),
+//! and *new* panic paths or blocking calls beyond the debt frozen in
+//! `lint-allow.json` — and the allowlist itself must carry no stale
+//! entries (debt that was paid down but never pruned).
 //!
 //! To regenerate the allowlist after deliberately accepting new debt:
 //! `cargo run -p mochi-lint -- --root . --write-allowlist`.
@@ -21,6 +23,19 @@ fn workspace_passes_mochi_lint() {
     assert!(
         !report.lock_edges.is_empty(),
         "lock-order extraction found no edges — the analysis is likely broken"
+    );
+    // The interprocedural analyses are only as good as the graph under
+    // them: an empty or unresolved graph would let MOCHI012/013 pass
+    // vacuously, so a resolution collapse must fail loudly here.
+    assert!(
+        report.graph_stats.nodes > 500 && report.graph_stats.edges > 500,
+        "call graph collapsed: {} nodes, {} edges",
+        report.graph_stats.nodes,
+        report.graph_stats.edges
+    );
+    assert!(
+        report.graph_stats.resolved_calls > report.graph_stats.fallback_edges,
+        "most resolution should come from typing, not the unique-name fallback"
     );
     assert!(report.is_clean(), "{}", report.render());
     assert!(
