@@ -748,7 +748,7 @@ impl BedrockServer {
     }
 
     fn txn_commit(&self, txn_id: &str, cx: CallContext) -> Result<(), BedrockError> {
-        let ops = self.inner.txns.lock().take(txn_id)?;
+        let ops = self.inner.txns.lock().take_prepared(txn_id)?;
         for op in ops {
             match op {
                 TxnOp::StartProvider { spec } => self.start_provider_cx(&spec, cx)?,
@@ -760,7 +760,7 @@ impl BedrockServer {
     }
 
     fn txn_abort(&self, txn_id: &str) -> Result<(), BedrockError> {
-        self.inner.txns.lock().take(txn_id).map(|_| ())
+        self.inner.txns.lock().take_prepared(txn_id).map(|_| ())
     }
 
     // ------------------------------------------------------------------

@@ -152,7 +152,7 @@ impl TxnTable {
 
     /// Removes a prepared transaction, releasing its locks, and returns
     /// its ops for execution (commit) or discarding (abort).
-    pub fn take(&mut self, txn_id: &str) -> Result<Vec<TxnOp>, BedrockError> {
+    pub fn take_prepared(&mut self, txn_id: &str) -> Result<Vec<TxnOp>, BedrockError> {
         let txn = self
             .prepared
             .remove(txn_id)
@@ -217,7 +217,7 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, BedrockError::TxnConflict(_)));
         // After c1 commits/aborts, c2 can proceed.
-        table.take("c1").unwrap();
+        table.take_prepared("c1").unwrap();
         table.prepare("c2", vec![TxnOp::StopProvider { name: "p2".into() }]).unwrap();
     }
 
@@ -237,9 +237,9 @@ mod tests {
         table.prepare("a", vec![TxnOp::KeepProvider { name: "p".into() }]).unwrap();
         table.prepare("b", vec![TxnOp::KeepProvider { name: "p".into() }]).unwrap();
         assert!(table.blocks_stop("p"));
-        table.take("a").unwrap();
+        table.take_prepared("a").unwrap();
         assert!(table.blocks_stop("p"));
-        table.take("b").unwrap();
+        table.take_prepared("b").unwrap();
         assert!(!table.blocks_stop("p"));
     }
 
@@ -266,7 +266,7 @@ mod tests {
                 ],
             )
             .unwrap();
-        let ops = table.take("t").unwrap();
+        let ops = table.take_prepared("t").unwrap();
         assert_eq!(ops.len(), 2);
         assert!(!table.blocks_start("x"));
         assert!(!table.blocks_stop("dep"));
@@ -276,7 +276,7 @@ mod tests {
     #[test]
     fn unknown_txn_reported() {
         let mut table = TxnTable::new();
-        assert!(matches!(table.take("ghost"), Err(BedrockError::TxnUnknown(_))));
+        assert!(matches!(table.take_prepared("ghost"), Err(BedrockError::TxnUnknown(_))));
     }
 
     #[test]

@@ -9,8 +9,15 @@
 //! This ablation sweeps the two knobs in isolation (no network) to show
 //! each effect, justifying both the "ingest-tuned" and "scan-tuned"
 //! configurations used by E11 and the `hepnos_workflow` example.
+//!
+//! A third knob arrived with the striped write path (DESIGN.md §15): the
+//! stripe count. The second table sweeps stripes × writer threads to show
+//! where parallel ingest stops paying — the gating numbers live in
+//! `a04_contention`, this table is the tuning-oriented view.
 
-use mochi_bench::{fmt_secs, Table};
+use std::sync::{Arc, Barrier};
+
+use mochi_bench::{fmt_rate, fmt_secs, Table};
 use mochi_util::time::Stopwatch;
 use mochi_util::TempDir;
 use mochi_yokan::backend::lsm::{LsmConfig, LsmDatabase};
@@ -35,8 +42,10 @@ fn main() {
         (64 << 20, 8), // scan-tuned: never flushes at this scale
     ] {
         let dir = TempDir::new("a01").unwrap();
-        let db = LsmDatabase::open(dir.path(), LsmConfig { memtable_bytes, max_tables })
-            .unwrap();
+        // One stripe: this sweep isolates the memtable/compaction knobs,
+        // so stripe parallelism must not blur the picture.
+        let config = LsmConfig { memtable_bytes, max_tables, stripes: 1, ..LsmConfig::default() };
+        let db = LsmDatabase::open(dir.path(), config).unwrap();
         let value = vec![0xAAu8; VALUE];
         let sw = Stopwatch::start();
         for i in 0..KEYS {
@@ -77,4 +86,51 @@ fn main() {
     println!("shape: small memtables inflate ingest (flush+compaction churn)");
     println!("while large memtables avoid it — the asymmetry E11's dynamic");
     println!("reconfiguration exploits per step.");
+    println!();
+
+    stripe_sweep();
+}
+
+/// Stripes × writer threads: parallel ingest throughput (puts/s).
+fn stripe_sweep() {
+    let thread_counts = [1usize, 2, 4, 8];
+    let mut table = Table::new(&["stripes", "1 thr", "2 thr", "4 thr", "8 thr"]);
+    for stripes in [1usize, 2, 4, 8] {
+        let mut row = vec![stripes.to_string()];
+        for &threads in &thread_counts {
+            let dir = TempDir::new("a01-stripes").unwrap();
+            let config =
+                LsmConfig { memtable_bytes: 64 << 10, max_tables: 4, stripes, ..LsmConfig::default() };
+            let db = Arc::new(LsmDatabase::open(dir.path(), config).unwrap());
+            let per_thread = KEYS / threads;
+            let barrier = Arc::new(Barrier::new(threads + 1));
+            let workers: Vec<_> = (0..threads)
+                .map(|t| {
+                    let db = Arc::clone(&db);
+                    let barrier = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        let value = vec![0x55u8; VALUE];
+                        barrier.wait();
+                        for i in 0..per_thread {
+                            db.put(format!("w{t}/{i:08}").as_bytes(), &value).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            barrier.wait();
+            let sw = Stopwatch::start();
+            for worker in workers {
+                worker.join().unwrap();
+            }
+            let elapsed = sw.elapsed_secs();
+            row.push(fmt_rate((per_thread * threads) as u64, elapsed));
+        }
+        table.row(&row);
+    }
+    table.print(&format!(
+        "A1b — striped ingest ({KEYS} puts x {VALUE} B total, threads pinned to disjoint key ranges)"
+    ));
+    println!("shape: one stripe serializes every writer on one WAL; stripe");
+    println!("counts at or above the thread count let ingest scale until the");
+    println!("flush path (shared disk) becomes the limit.");
 }

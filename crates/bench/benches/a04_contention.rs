@@ -5,28 +5,35 @@
 //! statistics) turns flat or negative thread scaling into near-linear
 //! scaling, without regressing the single-thread path.
 //!
-//! Three legs:
+//! Four legs:
 //!   1. Memory backend put/get at 1/2/4/8 threads, 16 shards vs. the
 //!      historical single-lock layout (`with_shards(1)`).
 //!   2. LSM gets at 1/2/4/8 threads, snapshot reads vs. a bench-local
 //!      global-mutex wrapper reproducing the old "every op takes the
 //!      writer lock" design; plus a single-thread get p50 check.
-//!   3. Echo RPCs through two monitored Margo runtimes, confirming the
+//!   3. LSM puts at 1/2/4/8 threads, 8 stripes (per-stripe WALs +
+//!      background flush) vs. a single stripe — the DESIGN.md §15 write
+//!      path. Emits `target/BENCH_a04.json` with throughput and put
+//!      p50/p99 for the CI gate (`scripts/ci.sh`).
+//!   4. Echo RPCs through two monitored Margo runtimes, confirming the
 //!      striped statistics monitor still emits Listing-1-shaped dumps.
 //!
 //! The ratio assertions only fire when the host exposes >= 4 CPUs;
 //! on smaller machines the tables still print but contention cannot
-//! manifest, so the numbers are reported unasserted.
+//! manifest, so the numbers are reported unasserted (and recorded as
+//! `"asserted": false` in the JSON).
 
-use std::sync::{Barrier, Mutex};
+use std::path::Path;
+use std::sync::{Arc, Barrier, Mutex};
 
 use mochi_bench::{fmt_rate, measure, Table};
 use mochi_margo::{MargoConfig, MargoRuntime};
 use mochi_mercury::{Address, Fabric};
 use mochi_util::TempDir;
-use mochi_yokan::backend::lsm::{LsmConfig, LsmDatabase};
+use mochi_yokan::backend::lsm::{BackgroundExecutor, LsmConfig, LsmDatabase};
 use mochi_yokan::backend::memory::MemoryDatabase;
 use mochi_yokan::backend::Database;
+use serde_json::json;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const OPS_PER_THREAD: usize = 20_000;
@@ -150,10 +157,14 @@ fn bench_memory(parallel: bool) {
 fn bench_lsm(parallel: bool) {
     let dir_snapshot = TempDir::new("a04-lsm-snapshot").unwrap();
     let dir_global = TempDir::new("a04-lsm-global").unwrap();
-    let config = LsmConfig { memtable_bytes: 64 * 1024, max_tables: 4 };
+    let config = LsmConfig { memtable_bytes: 64 * 1024, max_tables: 4, ..LsmConfig::default() };
     let snapshot_db = LsmDatabase::open(dir_snapshot.path(), config).unwrap();
     let global_db = GlobalLocked {
-        inner: Mutex::new(LsmDatabase::open(dir_global.path(), config).unwrap()),
+        // One stripe under the mutex: the pre-striping design had one
+        // WAL and one memtable, so the baseline reproduces that too.
+        inner: Mutex::new(
+            LsmDatabase::open(dir_global.path(), LsmConfig { stripes: 1, ..config }).unwrap(),
+        ),
     };
 
     // Prefill through several flush cycles so gets touch SSTables, not
@@ -217,6 +228,116 @@ fn bench_lsm(parallel: bool) {
     }
 }
 
+/// Per-flush thread executor: moves flush/compaction off the writer the
+/// same way the Bedrock module's Argobots pool does, without needing a
+/// runtime in a backend-only bench.
+fn thread_executor() -> BackgroundExecutor {
+    Arc::new(|task| {
+        std::thread::spawn(task);
+    })
+}
+
+fn write_db(dir: &Path, stripes: usize) -> LsmDatabase {
+    let config = LsmConfig {
+        memtable_bytes: 64 * 1024,
+        max_tables: 4,
+        stripes,
+        ..LsmConfig::default()
+    };
+    let db = LsmDatabase::open(dir, config).unwrap();
+    db.set_background_executor(thread_executor());
+    db
+}
+
+/// Leg 3: the §15 parallel write path. Returns the JSON fragment for
+/// `target/BENCH_a04.json`.
+fn bench_lsm_writes(parallel: bool) -> serde_json::Value {
+    const VALUE: &[u8] = b"write-scaling-bench-value-0123456789abcdef";
+
+    // Single-thread put latency first, on fresh databases, so the
+    // distribution is not polluted by the scaling runs' compaction debt.
+    let p50_p99 = |stripes: usize| {
+        let dir = TempDir::new("a04-lsm-write-lat").unwrap();
+        let db = write_db(dir.path(), stripes);
+        let mut i = 0u64;
+        let hist = measure(500, 5_000, || {
+            db.put(format!("lat-{i:08}").as_bytes(), VALUE).unwrap();
+            i += 1;
+        });
+        (hist.quantile(0.5), hist.quantile(0.99))
+    };
+    let (p50_single, p99_single) = p50_p99(1);
+    let (p50_striped, p99_striped) = p50_p99(8);
+
+    let mut table = Table::new(&["threads", "put 1-stripe", "put 8-stripe"]);
+    let mut scaling = Vec::new();
+    let mut ratio_at_4 = 0.0;
+    for &threads in &THREAD_COUNTS {
+        // Fresh databases per thread count: write benches accumulate
+        // tables, and carried-over compaction debt would bias later rows.
+        let dir_single = TempDir::new("a04-lsm-write-single").unwrap();
+        let dir_striped = TempDir::new("a04-lsm-write-striped").unwrap();
+        let single = write_db(dir_single.path(), 1);
+        let striped = write_db(dir_striped.path(), 8);
+
+        let rate_single = run_threads(threads, LSM_OPS_PER_THREAD, |t, i| {
+            single.put(format!("w{t}-{i:08}").as_bytes(), VALUE).unwrap();
+        });
+        let rate_striped = run_threads(threads, LSM_OPS_PER_THREAD, |t, i| {
+            striped.put(format!("w{t}-{i:08}").as_bytes(), VALUE).unwrap();
+        });
+        if threads == 4 {
+            ratio_at_4 = rate_striped / rate_single;
+        }
+        let ops = (LSM_OPS_PER_THREAD * threads) as u64;
+        table.row(&[
+            threads.to_string(),
+            fmt_rate(ops, ops as f64 / rate_single),
+            fmt_rate(ops, ops as f64 / rate_striped),
+        ]);
+        scaling.push(json!({
+            "threads": threads,
+            "single_stripe_ops_per_s": rate_single,
+            "striped_ops_per_s": rate_striped,
+        }));
+        // Flush before dropping so background work quiesces inside the
+        // TempDir's lifetime.
+        single.flush().unwrap();
+        striped.flush().unwrap();
+    }
+    table.print("A4 — LSM put throughput: 1 stripe vs 8 stripes (background flush)");
+
+    assert!(
+        p50_striped <= p50_single * 1.5,
+        "striped put p50 ({p50_striped:.3e}s) must not regress past 1.5x the \
+         single-stripe baseline ({p50_single:.3e}s) single-threaded"
+    );
+    println!(
+        "single-thread put p50: striped {p50_striped:.3e}s vs single-stripe {p50_single:.3e}s \
+         (asserted <= 1.5x); p99 {p99_striped:.3e}s vs {p99_single:.3e}s"
+    );
+    if parallel {
+        assert!(
+            ratio_at_4 >= 2.0,
+            "striped puts should be >= 2x the single-stripe baseline at 4 threads \
+             (measured {ratio_at_4:.2}x)"
+        );
+        println!("4-thread striped/single-stripe put ratio: {ratio_at_4:.2}x (asserted >= 2x)");
+    } else {
+        println!(
+            "4-thread striped/single-stripe put ratio: {ratio_at_4:.2}x \
+             (host has < 4 CPUs; not asserted)"
+        );
+    }
+
+    json!({
+        "write_scaling": scaling,
+        "ratio_at_4_threads": ratio_at_4,
+        "put_p50_s": { "single_stripe": p50_single, "striped": p50_striped },
+        "put_p99_s": { "single_stripe": p99_single, "striped": p99_striped },
+    })
+}
+
 fn bench_echo() {
     let fabric = Fabric::new();
     let mut config = MargoConfig::default();
@@ -260,7 +381,20 @@ fn main() {
 
     bench_memory(parallel);
     bench_lsm(parallel);
+    let writes = bench_lsm_writes(parallel);
     bench_echo();
+
+    // Machine-readable record for the ci.sh bench gate.
+    let report = json!({
+        "bench": "a04_contention",
+        "host_parallelism": cpus,
+        "asserted": parallel,
+        "lsm_writes": writes,
+    });
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/BENCH_a04.json");
+    std::fs::create_dir_all(out.parent().unwrap()).unwrap();
+    std::fs::write(&out, serde_json::to_string_pretty(&report).unwrap()).unwrap();
+    println!("wrote {}", out.display());
 
     println!("claim: striping removes data-plane lock contention; single-thread");
     println!("latency and the Listing-1 monitoring contract are unchanged.");

@@ -25,6 +25,7 @@
 
 pub mod bytesize;
 pub mod checksum;
+pub mod hash;
 pub mod histogram;
 pub mod id;
 pub mod ordered_lock;
@@ -35,6 +36,7 @@ pub mod tempdir;
 pub mod time;
 
 pub use checksum::{crc32, crc64};
+pub use hash::fnv1a64;
 pub use histogram::Histogram;
 pub use id::unique_u64;
 pub use ordered_lock::{OrderedMutex, OrderedRwLock};

@@ -72,14 +72,28 @@ pub mod rank {
     /// `YOKAN_SHARD_BASE .. YOKAN_SHARD_BASE + YOKAN_SHARD_MAX` are
     /// reserved for its stripes.
     pub const YOKAN_SHARD_MAX: u32 = 64;
-    /// `yokan::lsm` writer lock — WAL file + flush/compaction scheduling;
-    /// outermost of the LSM trio.
-    pub const LSM_WRITER: u32 = 500;
-    /// `yokan::lsm` active (mutable) memtable.
-    pub const LSM_ACTIVE: u32 = 510;
-    /// `yokan::lsm` published snapshot slot (`Arc<Snapshot>` swap);
-    /// innermost — held only long enough to clone or replace the `Arc`.
-    pub const LSM_SNAPSHOT: u32 = 520;
+    /// `yokan::lsm` stripe-`i` writer lock (`LSM_WRITER_BASE + i`) — that
+    /// stripe's WAL file, sealed-segment list, and flush/compaction
+    /// scheduling; outermost of the per-stripe trio. Single-key mutations
+    /// hold exactly one writer lock; batched mutations visit stripes one
+    /// at a time, never holding two writer locks at once.
+    pub const LSM_WRITER_BASE: u32 = 500;
+    /// `yokan::lsm` stripe-`i` active (mutable) memtable
+    /// (`LSM_ACTIVE_BASE + i`). Whole-table reads acquire every stripe's
+    /// active lock in ascending stripe index — ascending rank — before
+    /// touching any snapshot slot.
+    pub const LSM_ACTIVE_BASE: u32 = 520;
+    /// `yokan::lsm` stripe-`i` published snapshot slot (`Arc<Snapshot>`
+    /// swap, `LSM_SNAPSHOT_BASE + i`); held only long enough to clone or
+    /// replace the `Arc`. Every snapshot rank is above every active rank,
+    /// so "all actives, then all snapshots" is a legal acquisition order.
+    pub const LSM_SNAPSHOT_BASE: u32 = 540;
+    /// Maximum stripe count of the yokan LSM backend; each of the three
+    /// bases above reserves `LSM_STRIPE_MAX` consecutive ranks.
+    pub const LSM_STRIPE_MAX: u32 = 16;
+    /// `yokan::lsm` deferred background-maintenance error slot; a leaf,
+    /// taken with no other LSM lock held.
+    pub const LSM_BG_ERROR: u32 = 560;
 }
 
 thread_local! {

@@ -1,37 +1,64 @@
-//! The `"lsm"` backend: a from-scratch log-structured merge tree.
+//! The `"lsm"` backend: a from-scratch log-structured merge tree, hash-
+//! striped over N independent stripes so concurrent writers to different
+//! stripes never contend on a lock or a WAL file.
 //!
 //! Layout inside the provider's data directory:
 //!
-//! * `wal.log` — write-ahead log of operations since the last flush,
-//!   each record CRC-protected; replayed on open, truncated on flush;
-//! * `sst-<seq>.tbl` — immutable sorted tables, newest sequence wins;
-//!   tombstones mark deletions until compaction drops them.
+//! * `lsm-stripes` — the stripe count this directory was created with;
+//!   routing must be stable across reopens, so the manifest wins over
+//!   whatever the config says on a later open;
+//! * `wal-<stripe>.log` — stripe `s`'s active write-ahead log, one
+//!   CRC-protected record per operation since that stripe's last seal;
+//! * `wal-<stripe>-<epoch>.seg` — a sealed WAL segment: when a stripe's
+//!   memtable seals, its WAL is atomically renamed to a `.seg` file and a
+//!   fresh `wal-<stripe>.log` starts. The segment is deleted only after
+//!   its memtable is durable in a table, so a crash at *any* point
+//!   between seal and truncation replays without losing an acked write;
+//! * `sst-<stripe>-<seq>.tbl` — immutable sorted tables of one stripe,
+//!   newest sequence wins; tombstones mark deletions until compaction
+//!   drops them.
 //!
-//! The memtable flushes once it exceeds `memtable_bytes`; when more than
-//! `max_tables` tables accumulate, a full compaction merges them into
-//! one. This gives Yokan real on-disk state — the thing REMI migrates,
-//! checkpoints copy, and crash-restart tests recover.
+//! A stripe's memtable seals once it exceeds `memtable_bytes`; when more
+//! than `max_tables` tables accumulate in a stripe, a compaction merges
+//! them into one. Flush and compaction normally run *off* the request
+//! path: [`LsmDatabase::set_background_executor`] installs a scheduler
+//! (in production, a low-priority Argobots pool; see
+//! `crate::bedrock`) and sealing merely enqueues a maintenance task.
+//! Without an executor — or when a stripe's sealed bytes exceed
+//! `max_sealed_bytes` (backpressure) — the sealing writer drains inline,
+//! exactly like the historical single-stripe code.
 //!
 //! # Concurrency
 //!
-//! Reads never take the writer lock. State is split across three locks,
-//! always acquired in this order (ranks `LSM_WRITER < LSM_ACTIVE <
-//! LSM_SNAPSHOT`):
+//! Reads never take a writer lock. Each stripe splits its state across
+//! three locks, always acquired in this order (ranks
+//! `LSM_WRITER_BASE + s < LSM_ACTIVE_BASE + s < LSM_SNAPSHOT_BASE + s`):
 //!
-//! * `writer` — serializes mutations: WAL appends, flushes, compaction;
-//! * `active` — the mutable memtable, briefly write-locked per put and
-//!   read-locked by readers;
-//! * `snapshot` — an `Arc<Snapshot>` slot holding sealed memtables and
-//!   the immutable table list; held only to clone or swap the `Arc`.
+//! * `writer` — serializes that stripe's mutations: WAL appends, seals,
+//!   and (via the `maintaining` flag) flush/compaction exclusivity;
+//! * `active` — the stripe's mutable memtable, briefly write-locked per
+//!   put and read-locked by readers;
+//! * `snapshot` — an `Arc<Snapshot>` slot holding the stripe's sealed
+//!   memtables and immutable table list; held only to clone or swap.
 //!
 //! Readers check `active` first, then clone the snapshot `Arc` and run
 //! lock-free against it. Sealing publishes the sealed memtable into the
 //! snapshot *before* the emptied active map becomes visible (both happen
 //! under the `active` write lock), so a key a reader no longer finds in
 //! `active` is guaranteed to be in whichever snapshot it clones next.
-//! Compaction builds the merged table off to the side and swaps it in
-//! with one publication; in-flight readers keep their old `Arc`, whose
-//! open file descriptors remain readable after the unlink.
+//! Whole-table operations acquire every stripe's `active` read lock in
+//! ascending stripe index (ascending rank), then every snapshot — an
+//! atomic cut across stripes, deadlock-free by construction.
+//!
+//! Background maintenance claims a stripe by setting `maintaining` under
+//! the writer lock, then does all file I/O *without* holding any lock:
+//! it pre-allocates table sequence numbers under the lock, writes the
+//! tables, and re-takes the lock only to publish. `maintaining` makes
+//! flush/compaction single-writer per stripe, so the table list a
+//! compaction merges cannot change under it. Foreground `flush()` (the
+//! durability barrier) waits for in-flight maintenance, then drains
+//! inline; errors from background maintenance park in a deferred slot
+//! that the next `flush()` surfaces.
 
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -39,26 +66,72 @@ use std::io::{Read, Write};
 use std::ops::Bound;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
 
-use mochi_util::crc32;
 use mochi_util::ordered_lock::{rank, OrderedMutex, OrderedRwLock};
+use mochi_util::{crc32, fnv1a64};
 
 use super::{Database, YokanError};
+
+/// Upper bound on the stripe count; the lock hierarchy reserves
+/// `LSM_STRIPE_MAX` ranks per lock class for the stripes.
+pub const MAX_STRIPES: usize = rank::LSM_STRIPE_MAX as usize;
+
+/// Default stripe count: like the memory backend's shards, enough that
+/// 8 execution streams rarely collide, small enough that whole-table
+/// scans and per-stripe file sets stay cheap.
+pub const DEFAULT_STRIPES: usize = 8;
+
+/// Scheduler for background flush/compaction work: called with a closure
+/// to run off the request path (in production, a ULT pushed to a
+/// low-priority Argobots pool). The closure is self-contained; dropping
+/// it without running it only delays maintenance, never loses data.
+pub type BackgroundExecutor = Arc<dyn Fn(Box<dyn FnOnce() + Send + 'static>) + Send + Sync>;
 
 /// Tuning knobs of the LSM backend.
 #[derive(Debug, Clone, Copy)]
 pub struct LsmConfig {
-    /// Flush the memtable to an SSTable beyond this many bytes.
+    /// Seal a stripe's memtable to a sealed segment beyond this many bytes.
     pub memtable_bytes: usize,
-    /// Compact when the number of SSTables exceeds this.
+    /// Compact a stripe when its number of SSTables exceeds this.
     pub max_tables: usize,
+    /// Number of independent stripes (clamped to `1..=MAX_STRIPES`).
+    /// `stripes: 1` reproduces the historical single-writer layout and
+    /// serves as the contention baseline in `a04_contention`.
+    pub stripes: usize,
+    /// Backpressure budget: once a stripe holds more than this many
+    /// sealed-but-unflushed bytes, the sealing writer drains inline
+    /// instead of queueing more work behind a lagging background pool.
+    pub max_sealed_bytes: usize,
 }
 
 impl Default for LsmConfig {
     fn default() -> Self {
-        Self { memtable_bytes: 4 << 20, max_tables: 4 }
+        Self {
+            memtable_bytes: 4 << 20,
+            max_tables: 4,
+            stripes: DEFAULT_STRIPES,
+            max_sealed_bytes: 32 << 20,
+        }
     }
+}
+
+/// Fault-injection points inside the flush path, for crash-recovery
+/// tests: the drain errors out (simulating a crash of the process at
+/// that instant) either before the table file is written or after the
+/// table is durable but before the sealed segment is deleted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum LsmFailPoint {
+    /// No fault injected (the default).
+    None = 0,
+    /// Fail before writing the SSTable: the sealed segment survives.
+    BeforeTablePersist = 1,
+    /// Fail after the SSTable is durable, before the segment is deleted:
+    /// both the table and the segment survive (recovery must be
+    /// idempotent against the duplicate).
+    AfterTablePersist = 2,
 }
 
 const OP_PUT: u8 = 1;
@@ -68,6 +141,26 @@ const TOMBSTONE: u32 = u32::MAX;
 
 /// `None` value = tombstone.
 type Memtable = BTreeMap<Vec<u8>, Option<Vec<u8>>>;
+
+fn wal_path(dir: &Path, stripe: usize) -> PathBuf {
+    dir.join(format!("wal-{stripe:03}.log"))
+}
+
+fn seg_path(dir: &Path, stripe: usize, epoch: u64) -> PathBuf {
+    dir.join(format!("wal-{stripe:03}-{epoch:010}.seg"))
+}
+
+fn table_path(dir: &Path, stripe: usize, seq: u64) -> PathBuf {
+    dir.join(format!("sst-{stripe:03}-{seq:010}.tbl"))
+}
+
+/// Parses `prefix-<stripe:03>-<number:010>` stems (tables and segments).
+fn parse_striped_name(path: &Path, prefix: &str) -> Option<(usize, u64)> {
+    let stem = path.file_stem()?.to_str()?;
+    let rest = stem.strip_prefix(prefix)?;
+    let (stripe, number) = rest.split_once('-')?;
+    Some((stripe.parse().ok()?, number.parse().ok()?))
+}
 
 #[derive(Debug, Clone, Copy)]
 struct ValueLoc {
@@ -83,9 +176,9 @@ struct SsTable {
 }
 
 impl SsTable {
-    /// Writes `entries` (sorted; `None` value = tombstone) as table `seq`.
-    fn write(dir: &Path, seq: u64, entries: &Memtable) -> Result<SsTable, YokanError> {
-        let path = dir.join(format!("sst-{seq:010}.tbl"));
+    /// Writes `entries` (sorted; `None` value = tombstone) to `path` as
+    /// table `seq`.
+    fn write(path: PathBuf, seq: u64, entries: &Memtable) -> Result<SsTable, YokanError> {
         let mut buffer = Vec::new();
         let mut index = BTreeMap::new();
         for (key, value) in entries {
@@ -118,11 +211,7 @@ impl SsTable {
 
     /// Opens and validates an existing table.
     fn open(path: PathBuf) -> Result<SsTable, YokanError> {
-        let seq: u64 = path
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .and_then(|s| s.strip_prefix("sst-"))
-            .and_then(|s| s.parse().ok())
+        let (_, seq) = parse_striped_name(&path, "sst-")
             .ok_or_else(|| YokanError::Corrupt(format!("bad table name {}", path.display())))?;
         let mut file = OpenOptions::new()
             .read(true)
@@ -183,11 +272,11 @@ impl SsTable {
     }
 }
 
-/// An immutable, atomically swapped view of everything below the active
-/// memtable. Readers clone the `Arc` and then run entirely lock-free;
-/// whatever a snapshot references (sealed memtables, open table files)
-/// stays alive as long as any reader holds the clone, even across a
-/// concurrent compaction that unlinks the table files.
+/// An immutable, atomically swapped view of everything below one
+/// stripe's active memtable. Readers clone the `Arc` and then run
+/// entirely lock-free; whatever a snapshot references (sealed memtables,
+/// open table files) stays alive as long as any reader holds the clone,
+/// even across a concurrent compaction that unlinks the table files.
 struct Snapshot {
     /// Publication counter; bumps on every seal, table swap, compaction
     /// and clear.
@@ -215,28 +304,66 @@ impl Snapshot {
     }
 }
 
-/// Mutator-side state, serialized by the `writer` lock.
-struct Writer {
+/// A sealed memtable together with the WAL segment that backs it; the
+/// segment is deleted only once the memtable is durable in a table.
+struct SealedSegment {
+    memtable: Arc<Memtable>,
+    seg_path: PathBuf,
+    bytes: usize,
+}
+
+/// One stripe's mutator-side state, serialized by that stripe's
+/// `writer` lock.
+struct StripeWriter {
     wal: File,
     wal_path: PathBuf,
-    /// Approximate bytes in the active memtable (flush trigger).
+    /// Approximate bytes in the active memtable (seal trigger).
     active_bytes: usize,
+    /// Next SSTable sequence number of this stripe.
     next_seq: u64,
+    /// Next WAL-segment epoch of this stripe.
+    next_epoch: u64,
+    /// Sealed-but-unflushed segments, oldest → newest. Mirrors the
+    /// snapshot's `sealed` list, plus the backing file of each entry.
+    sealed: Vec<SealedSegment>,
+    /// Total bytes across `sealed` (backpressure trigger).
+    sealed_bytes: usize,
+    /// Whether a flush/compaction (background or foreground) currently
+    /// owns this stripe's maintenance. While set, nobody else may write
+    /// tables for this stripe — this is what keeps the table list stable
+    /// under an off-lock compaction merge.
+    maintaining: bool,
+}
+
+struct Stripe {
+    index: usize,
+    writer: OrderedMutex<StripeWriter>,
+    active: OrderedRwLock<Memtable>,
+    snapshot: OrderedRwLock<Arc<Snapshot>>,
+}
+
+struct LsmInner {
+    dir: PathBuf,
+    config: LsmConfig,
+    stripes: Box<[Stripe]>,
+    /// Background scheduler, installed at most once.
+    executor: OnceLock<BackgroundExecutor>,
+    /// Last error from background maintenance; surfaced by `flush()`.
+    background_error: OrderedMutex<Option<YokanError>>,
+    /// Armed [`LsmFailPoint`] (tests only; `LsmFailPoint::None` normally).
+    fail_point: AtomicU8,
 }
 
 /// The LSM database.
 pub struct LsmDatabase {
-    dir: PathBuf,
-    config: LsmConfig,
-    writer: OrderedMutex<Writer>,
-    active: OrderedRwLock<Memtable>,
-    snapshot: OrderedRwLock<Arc<Snapshot>>,
+    inner: Arc<LsmInner>,
 }
 
 impl std::fmt::Debug for LsmDatabase {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LsmDatabase")
-            .field("dir", &self.dir)
+            .field("dir", &self.inner.dir)
+            .field("stripes", &self.inner.stripes.len())
             .field("tables", &self.table_count())
             .finish_non_exhaustive()
     }
@@ -291,175 +418,222 @@ fn replay_wal(data: &[u8], memtable: &mut Memtable) -> usize {
     bytes
 }
 
-impl LsmDatabase {
-    /// Opens (or creates) a database in `dir`, replaying any WAL and
-    /// loading existing tables.
-    pub fn open(dir: impl Into<PathBuf>, config: LsmConfig) -> Result<Self, YokanError> {
-        let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
-        let mut table_paths: Vec<PathBuf> = std::fs::read_dir(&dir)?
-            .filter_map(|e| e.ok())
-            .map(|e| e.path())
-            .filter(|p| {
-                p.extension().is_some_and(|x| x == "tbl")
-                    && p.file_name().is_some_and(|n| n.to_string_lossy().starts_with("sst-"))
-            })
-            .collect();
-        table_paths.sort();
-        let mut tables = Vec::with_capacity(table_paths.len());
-        for path in table_paths {
-            tables.push(Arc::new(SsTable::open(path)?));
+/// Reads or creates the stripe-count manifest. Routing must be stable
+/// for the life of the directory, so the recorded count always wins.
+fn stripe_manifest(dir: &Path, configured: usize) -> Result<usize, YokanError> {
+    let path = dir.join("lsm-stripes");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => {
+            let count: usize = text.trim().parse().map_err(|_| {
+                YokanError::Corrupt(format!("bad stripe manifest {}", path.display()))
+            })?;
+            if !(1..=MAX_STRIPES).contains(&count) {
+                return Err(YokanError::Corrupt(format!(
+                    "stripe manifest {} out of range: {count}",
+                    path.display()
+                )));
+            }
+            Ok(count)
         }
-        let next_seq = tables.last().map(|t| t.seq + 1).unwrap_or(0);
-
-        let wal_path = dir.join("wal.log");
-        let mut memtable = Memtable::new();
-        let mut active_bytes = 0;
-        if wal_path.exists() {
-            let data = std::fs::read(&wal_path)?;
-            active_bytes = replay_wal(&data, &mut memtable);
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            std::fs::write(&path, format!("{configured}\n"))?;
+            Ok(configured)
         }
-        let wal = OpenOptions::new().create(true).append(true).open(&wal_path)?;
-        Ok(Self {
-            dir,
-            config,
-            writer: OrderedMutex::new(
-                rank::LSM_WRITER,
-                "lsm.writer",
-                Writer { wal, wal_path, active_bytes, next_seq },
-            ),
-            active: OrderedRwLock::new(rank::LSM_ACTIVE, "lsm.active", memtable),
-            snapshot: OrderedRwLock::new(
-                rank::LSM_SNAPSHOT,
-                "lsm.snapshot",
-                Arc::new(Snapshot { generation: 0, sealed: Vec::new(), tables }),
-            ),
-        })
+        Err(e) => Err(YokanError::Io(format!("{}: {e}", path.display()))),
+    }
+}
+
+impl LsmInner {
+    fn stripe_of(&self, key: &[u8]) -> &Stripe {
+        &self.stripes[self.stripe_index(key)]
     }
 
-    /// The data directory.
-    pub fn dir(&self) -> &Path {
-        &self.dir
+    fn stripe_index(&self, key: &[u8]) -> usize {
+        (fnv1a64(key) % self.stripes.len() as u64) as usize
     }
 
-    /// Number of SSTables on disk (diagnostics / compaction tests).
-    pub fn table_count(&self) -> usize {
-        self.snapshot_arc().tables.len()
-    }
-
-    /// Current snapshot generation (diagnostics / tests).
-    pub fn snapshot_generation(&self) -> u64 {
-        self.snapshot_arc().generation
-    }
-
-    /// Clones the current snapshot `Arc` (the lock is held only for the
+    /// Clones a stripe's snapshot `Arc` (the lock is held only for the
     /// clone itself).
-    fn snapshot_arc(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.snapshot.read())
+    fn snapshot_arc(stripe: &Stripe) -> Arc<Snapshot> {
+        Arc::clone(&stripe.snapshot.read())
     }
 
-    /// Atomically replaces the published snapshot.
-    fn publish(&self, next: impl FnOnce(&Snapshot) -> Snapshot) {
-        let mut slot = self.snapshot.write();
+    /// Atomically replaces a stripe's published snapshot.
+    fn publish(stripe: &Stripe, next: impl FnOnce(&Snapshot) -> Snapshot) {
+        let mut slot = stripe.snapshot.write();
         *slot = Arc::new(next(&slot));
     }
 
-    fn append_wal(writer: &mut Writer, op: u8, key: &[u8], value: &[u8]) -> Result<(), YokanError> {
+    fn append_wal(
+        writer: &mut StripeWriter,
+        op: u8,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<(), YokanError> {
         let record = wal_record(op, key, value);
         writer.wal.write_all(&record)?;
         Ok(())
     }
 
-    /// Current live value of `key`, never touching the writer lock.
-    ///
-    /// Read order matters: active memtable first, then the snapshot.
-    /// Sealing publishes the sealed memtable into the snapshot before the
-    /// emptied active map becomes visible, so a key missing from `active`
-    /// is always present in (or genuinely absent from) the snapshot read
-    /// afterwards.
-    fn lookup_live(&self, key: &[u8]) -> Result<Option<Vec<u8>>, YokanError> {
-        if let Some(entry) = self.active.read().get(key) {
-            return Ok(entry.clone());
-        }
-        let snap = self.snapshot_arc();
-        Ok(snap.lookup(key)?.flatten())
-    }
-
-    fn flush_locked(&self, writer: &mut Writer) -> Result<(), YokanError> {
-        {
-            let active = self.active.read();
-            if active.is_empty() && self.snapshot_arc().sealed.is_empty() {
-                writer.active_bytes = 0;
-                return Ok(());
-            }
-        }
-        // Seal the active memtable into the snapshot. The publication
-        // happens under the active write lock: readers check `active`
-        // first, so anything they no longer find there must already be
-        // visible in the snapshot.
-        {
-            let mut active = self.active.write();
-            if !active.is_empty() {
-                let sealed = Arc::new(std::mem::take(&mut *active));
-                self.publish(|old| Snapshot {
-                    generation: old.generation + 1,
-                    sealed: old.sealed.iter().cloned().chain([sealed]).collect(),
-                    tables: old.tables.clone(),
-                });
-            }
-        }
-        writer.active_bytes = 0;
-        // Persist every sealed memtable, oldest first. Normally there is
-        // exactly one; an earlier failed flush can leave more behind.
-        loop {
-            let snap = self.snapshot_arc();
-            let Some(sealed) = snap.sealed.first().map(Arc::clone) else { break };
-            let seq = writer.next_seq;
-            writer.next_seq += 1;
-            let table = Arc::new(SsTable::write(&self.dir, seq, &sealed)?);
-            // Swap the sealed memtable for its durable table in one
-            // publication; readers see one or the other, never neither.
-            self.publish(|old| Snapshot {
-                generation: old.generation + 1,
-                sealed: old
-                    .sealed
-                    .iter()
-                    .filter(|m| !Arc::ptr_eq(m, &sealed))
-                    .cloned()
-                    .collect(),
-                tables: old.tables.iter().cloned().chain([Arc::clone(&table)]).collect(),
-            });
-        }
-        // Everything the WAL covered is now durable in tables.
-        writer.wal = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&writer.wal_path)?;
-        if self.snapshot_arc().tables.len() > self.config.max_tables {
-            self.compact_locked(writer)?;
+    fn check_fail(&self, point: LsmFailPoint) -> Result<(), YokanError> {
+        if self.fail_point.load(Ordering::Acquire) == point as u8 {
+            return Err(YokanError::Io(format!("injected fault: {point:?}")));
         }
         Ok(())
     }
 
-    fn compact_locked(&self, writer: &mut Writer) -> Result<(), YokanError> {
-        // Merge all tables oldest→newest; newest value wins; drop
-        // tombstones (nothing older remains to resurrect). Sealed and
-        // active memtables sit above the tables and are unaffected.
-        let snap = self.snapshot_arc();
-        let mut merged: Memtable = BTreeMap::new();
-        for table in &snap.tables {
-            for key in table.index.keys() {
-                let value = table.get(key)?.expect("key from index");
-                merged.insert(key.clone(), value);
-            }
+    /// Current live value of `key` in its stripe, never touching a
+    /// writer lock.
+    ///
+    /// Read order matters: active memtable first, then the snapshot.
+    /// Sealing publishes the sealed memtable into the snapshot before
+    /// the emptied active map becomes visible, so a key missing from
+    /// `active` is always present in (or genuinely absent from) the
+    /// snapshot read afterwards.
+    fn lookup_live(&self, key: &[u8]) -> Result<Option<Vec<u8>>, YokanError> {
+        let stripe = self.stripe_of(key);
+        if let Some(entry) = stripe.active.read().get(key) {
+            return Ok(entry.clone());
         }
-        merged.retain(|_, v| v.is_some());
+        let snap = Self::snapshot_arc(stripe);
+        Ok(snap.lookup(key)?.flatten())
+    }
+
+    /// Seals the stripe's active memtable: publishes it into the
+    /// snapshot, rotates `wal-<s>.log` to a `.seg` file, and records the
+    /// pair in the writer's sealed list. No-op on an empty memtable.
+    fn seal_locked(&self, stripe: &Stripe, writer: &mut StripeWriter) -> Result<(), YokanError> {
+        let sealed = {
+            let mut active = stripe.active.write();
+            if active.is_empty() {
+                writer.active_bytes = 0;
+                return Ok(());
+            }
+            let sealed = Arc::new(std::mem::take(&mut *active));
+            // Publish under the active write lock: readers check
+            // `active` first, so anything they no longer find there must
+            // already be visible in the snapshot.
+            Self::publish(stripe, |old| Snapshot {
+                generation: old.generation + 1,
+                sealed: old.sealed.iter().cloned().chain([Arc::clone(&sealed)]).collect(),
+                tables: old.tables.clone(),
+            });
+            sealed
+        };
+        let epoch = writer.next_epoch;
+        writer.next_epoch += 1;
+        let seg = seg_path(&self.dir, stripe.index, epoch);
+        writer.wal.sync_data().ok();
+        std::fs::rename(&writer.wal_path, &seg)
+            .map_err(|e| YokanError::Io(format!("rotate {}: {e}", seg.display())))?;
+        writer.wal = OpenOptions::new().create(true).append(true).open(&writer.wal_path)?;
+        let bytes = writer.active_bytes;
+        writer.active_bytes = 0;
+        writer.sealed_bytes += bytes;
+        writer.sealed.push(SealedSegment { memtable: sealed, seg_path: seg, bytes });
+        Ok(())
+    }
+
+    /// Post-append check: seals past `memtable_bytes`, then either asks
+    /// the caller to hand the stripe to the background executor (returns
+    /// `true`; the caller must drop the writer guard *before* calling
+    /// [`Self::schedule_maintenance`], since a synchronous executor
+    /// would re-enter this stripe's writer lock) or drains inline (no
+    /// executor installed, or sealed bytes past the backpressure budget
+    /// while no maintenance is in flight).
+    fn maybe_seal_and_flush(
+        &self,
+        stripe: &Stripe,
+        writer: &mut StripeWriter,
+    ) -> Result<bool, YokanError> {
+        if writer.active_bytes < self.config.memtable_bytes {
+            return Ok(false);
+        }
+        self.seal_locked(stripe, writer)?;
+        let over_budget = writer.sealed_bytes > self.config.max_sealed_bytes;
+        if self.executor.get().is_some() && !over_budget {
+            return Ok(true);
+        }
+        // Inline drain — unless background maintenance currently owns
+        // the stripe, in which case the budget is soft: the in-flight
+        // maintenance will pick the new segment up.
+        if !writer.maintaining {
+            self.drain_locked(stripe, writer)?;
+        }
+        Ok(false)
+    }
+
+    /// Enqueues a maintenance task for stripe `index` on the installed
+    /// executor. Must be called with no stripe lock held. The task holds
+    /// only a `Weak` back-reference, so a queued task never outlives the
+    /// database it serves.
+    fn schedule_maintenance(self: &Arc<Self>, index: usize) {
+        if let Some(executor) = self.executor.get() {
+            let weak = Arc::downgrade(self);
+            executor(Box::new(move || {
+                if let Some(inner) = weak.upgrade() {
+                    inner.maintain_stripe(index);
+                }
+            }));
+        }
+    }
+
+    /// Persists every sealed segment of `stripe` (oldest first), then
+    /// compacts if the table count exceeds the limit. Runs with the
+    /// writer lock held; callers guarantee no concurrent maintenance
+    /// (`!writer.maintaining`).
+    fn drain_locked(&self, stripe: &Stripe, writer: &mut StripeWriter) -> Result<(), YokanError> {
+        while !writer.sealed.is_empty() {
+            self.check_fail(LsmFailPoint::BeforeTablePersist)?;
+            let memtable = Arc::clone(&writer.sealed[0].memtable);
+            let seq = writer.next_seq;
+            writer.next_seq += 1;
+            let table = Arc::new(SsTable::write(
+                table_path(&self.dir, stripe.index, seq),
+                seq,
+                &memtable,
+            )?);
+            self.check_fail(LsmFailPoint::AfterTablePersist)?;
+            // Swap the sealed memtable for its durable table in one
+            // publication; readers see one or the other, never neither.
+            Self::publish(stripe, |old| Snapshot {
+                generation: old.generation + 1,
+                sealed: old
+                    .sealed
+                    .iter()
+                    .filter(|m| !Arc::ptr_eq(m, &memtable))
+                    .cloned()
+                    .collect(),
+                tables: old.tables.iter().cloned().chain([Arc::clone(&table)]).collect(),
+            });
+            let segment = writer.sealed.remove(0);
+            writer.sealed_bytes -= segment.bytes;
+            // Everything the segment covered is now durable in a table.
+            std::fs::remove_file(&segment.seg_path).ok();
+        }
+        if Self::snapshot_arc(stripe).tables.len() > self.config.max_tables {
+            self.compact_locked(stripe, writer)?;
+        }
+        Ok(())
+    }
+
+    /// Merges all of one stripe's tables into one, dropping tombstones
+    /// (nothing older remains to resurrect). Sealed and active memtables
+    /// sit above the tables and are unaffected. Callers hold the writer
+    /// lock or own `maintaining`, so the table list cannot change.
+    fn compact_locked(
+        &self,
+        stripe: &Stripe,
+        writer: &mut StripeWriter,
+    ) -> Result<(), YokanError> {
+        let snap = Self::snapshot_arc(stripe);
+        let merged = Self::merge_tables(&snap)?;
         let seq = writer.next_seq;
         writer.next_seq += 1;
-        let new_table = Arc::new(SsTable::write(&self.dir, seq, &merged)?);
+        let new_table =
+            Arc::new(SsTable::write(table_path(&self.dir, stripe.index, seq), seq, &merged)?);
         let old_paths: Vec<PathBuf> = snap.tables.iter().map(|t| t.path.clone()).collect();
-        self.publish(|old| Snapshot {
+        Self::publish(stripe, |old| Snapshot {
             generation: old.generation + 1,
             sealed: old.sealed.clone(),
             tables: vec![Arc::clone(&new_table)],
@@ -472,9 +646,158 @@ impl LsmDatabase {
         Ok(())
     }
 
-    /// Merged aliveness of keys with `prefix`, newer sources overriding
-    /// older ones. `active` must be the caller-held guard's contents so
-    /// the cut is consistent.
+    /// Merge all tables oldest → newest; newest value wins; tombstones
+    /// dropped.
+    fn merge_tables(snap: &Snapshot) -> Result<Memtable, YokanError> {
+        let mut merged: Memtable = BTreeMap::new();
+        for table in &snap.tables {
+            for key in table.index.keys() {
+                // An indexed key is always present in its own table.
+                if let Some(value) = table.get(key)? {
+                    merged.insert(key.clone(), value);
+                }
+            }
+        }
+        merged.retain(|_, v| v.is_some());
+        Ok(merged)
+    }
+
+    /// Background entry point for one stripe: claim maintenance, flush
+    /// sealed segments (file I/O off-lock), compact if needed, repeat
+    /// until the stripe is clean. Errors park in `background_error` for
+    /// the next `flush()` to surface; the sealed segments stay queued
+    /// and are retried by the next seal or flush.
+    fn maintain_stripe(&self, index: usize) {
+        let stripe = &self.stripes[index];
+        {
+            let mut writer = stripe.writer.lock();
+            if writer.maintaining {
+                // Another task owns the stripe; it will re-check for our
+                // work before releasing ownership.
+                return;
+            }
+            writer.maintaining = true;
+        }
+        loop {
+            match self.maintain_round(stripe) {
+                Ok(true) => continue,
+                // `maintain_round` released ownership under the writer
+                // lock after seeing no work, so no seal can slip between
+                // the check and the release.
+                Ok(false) => break,
+                Err(e) => {
+                    stripe.writer.lock().maintaining = false;
+                    *self.background_error.lock() = Some(e);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// One maintenance round. Returns `Ok(false)` — after clearing
+    /// `maintaining` — when the stripe has no work left.
+    fn maintain_round(&self, stripe: &Stripe) -> Result<bool, YokanError> {
+        // Claim the current sealed list and a sequence range under the
+        // lock; write the tables with no lock held.
+        let (to_flush, base_seq) = {
+            let mut writer = stripe.writer.lock();
+            if writer.sealed.is_empty() {
+                if Self::snapshot_arc(stripe).tables.len() <= self.config.max_tables {
+                    writer.maintaining = false;
+                    return Ok(false);
+                }
+                (Vec::new(), writer.next_seq)
+            } else {
+                let to_flush: Vec<Arc<Memtable>> =
+                    writer.sealed.iter().map(|s| Arc::clone(&s.memtable)).collect();
+                let base = writer.next_seq;
+                writer.next_seq += to_flush.len() as u64;
+                (to_flush, base)
+            }
+        };
+        if to_flush.is_empty() {
+            // Compaction-only round. `maintaining` keeps the table list
+            // frozen, so merging from a snapshot clone off-lock is safe;
+            // the lock is re-taken only to allocate the sequence number
+            // and publish.
+            let mut writer = stripe.writer.lock();
+            self.compact_locked(stripe, &mut writer)?;
+            return Ok(true);
+        }
+        let mut tables = Vec::with_capacity(to_flush.len());
+        for (i, memtable) in to_flush.iter().enumerate() {
+            self.check_fail(LsmFailPoint::BeforeTablePersist)?;
+            let seq = base_seq + i as u64;
+            tables.push(Arc::new(SsTable::write(
+                table_path(&self.dir, stripe.index, seq),
+                seq,
+                memtable,
+            )?));
+            self.check_fail(LsmFailPoint::AfterTablePersist)?;
+        }
+        // Publish and retire the segments. New seals may have appended
+        // to `writer.sealed` meanwhile; they keep their position and are
+        // handled next round (their sequence numbers are larger, so
+        // table order stays correct).
+        let mut writer = stripe.writer.lock();
+        for (memtable, table) in to_flush.iter().zip(&tables) {
+            Self::publish(stripe, |old| Snapshot {
+                generation: old.generation + 1,
+                sealed: old.sealed.iter().filter(|m| !Arc::ptr_eq(m, memtable)).cloned().collect(),
+                tables: old.tables.iter().cloned().chain([Arc::clone(table)]).collect(),
+            });
+            if let Some(pos) =
+                writer.sealed.iter().position(|s| Arc::ptr_eq(&s.memtable, memtable))
+            {
+                let segment = writer.sealed.remove(pos);
+                writer.sealed_bytes -= segment.bytes;
+                std::fs::remove_file(&segment.seg_path).ok();
+            }
+        }
+        Ok(true)
+    }
+
+    /// Foreground durability barrier: waits out in-flight background
+    /// maintenance per stripe, seals and drains everything inline, then
+    /// surfaces any parked background error.
+    fn flush_all(&self) -> Result<(), YokanError> {
+        for stripe in self.stripes.iter() {
+            loop {
+                let mut writer = stripe.writer.lock();
+                if writer.maintaining {
+                    // Background maintenance owns the stripe; spin-yield
+                    // until it hands back. The maintainer runs on its
+                    // own xstream and never waits on us, so this always
+                    // terminates.
+                    drop(writer);
+                    std::thread::yield_now();
+                    continue;
+                }
+                self.seal_locked(stripe, &mut writer)?;
+                self.drain_locked(stripe, &mut writer)?;
+                break;
+            }
+        }
+        if let Some(e) = self.background_error.lock().take() {
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Read-locks every stripe's active memtable in ascending stripe
+    /// index (ascending rank), then clones every snapshot: an atomic cut
+    /// of the whole table.
+    fn atomic_cut(
+        &self,
+    ) -> (Vec<mochi_util::ordered_lock::OrderedReadGuard<'_, Memtable>>, Vec<Arc<Snapshot>>) {
+        let actives: Vec<_> = self.stripes.iter().map(|s| s.active.read()).collect();
+        let snaps: Vec<_> = self.stripes.iter().map(Self::snapshot_arc).collect();
+        (actives, snaps)
+    }
+
+    /// Merged aliveness of keys with `prefix` in one stripe, newer
+    /// sources overriding older ones. `active` must be the caller-held
+    /// guard's contents so the cut is consistent.
     fn merged_keys(snap: &Snapshot, active: &Memtable, prefix: &[u8]) -> BTreeMap<Vec<u8>, bool> {
         let mut alive: BTreeMap<Vec<u8>, bool> = BTreeMap::new();
         let range = (Bound::Included(prefix.to_vec()), Bound::Unbounded);
@@ -502,111 +825,17 @@ impl LsmDatabase {
         }
         alive
     }
-}
 
-impl Database for LsmDatabase {
-    fn backend_name(&self) -> &'static str {
-        "lsm"
-    }
-
-    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), YokanError> {
-        let mut writer = self.writer.lock();
-        Self::append_wal(&mut writer, OP_PUT, key, value)?;
-        {
-            let mut active = self.active.write();
-            active.insert(key.to_vec(), Some(value.to_vec()));
-        }
-        writer.active_bytes += key.len() + value.len();
-        if writer.active_bytes >= self.config.memtable_bytes {
-            self.flush_locked(&mut writer)?;
-        }
-        Ok(())
-    }
-
-    fn put_multi(&self, pairs: &[(&[u8], &[u8])]) -> Result<(), YokanError> {
-        if pairs.is_empty() {
-            return Ok(());
-        }
-        let mut writer = self.writer.lock();
-        // One WAL write and one active-lock acquisition for the batch.
-        let mut batch = Vec::new();
-        for (key, value) in pairs {
-            batch.extend_from_slice(&wal_record(OP_PUT, key, value));
-        }
-        writer.wal.write_all(&batch)?;
-        {
-            let mut active = self.active.write();
-            for (key, value) in pairs {
-                active.insert(key.to_vec(), Some(value.to_vec()));
-            }
-        }
-        writer.active_bytes += pairs.iter().map(|(k, v)| k.len() + v.len()).sum::<usize>();
-        if writer.active_bytes >= self.config.memtable_bytes {
-            self.flush_locked(&mut writer)?;
-        }
-        Ok(())
-    }
-
-    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, YokanError> {
-        self.lookup_live(key)
-    }
-
-    fn get_multi(&self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>, YokanError> {
-        // One active-read pass and one snapshot clone for the batch.
-        let mut values: Vec<Option<Vec<u8>>> = Vec::with_capacity(keys.len());
-        let mut misses: Vec<usize> = Vec::new();
-        {
-            let active = self.active.read();
-            for (i, key) in keys.iter().enumerate() {
-                match active.get(*key) {
-                    Some(entry) => values.push(entry.clone()),
-                    None => {
-                        values.push(None);
-                        misses.push(i);
-                    }
-                }
-            }
-        }
-        if misses.is_empty() {
-            return Ok(values);
-        }
-        let snap = self.snapshot_arc();
-        for i in misses {
-            values[i] = snap.lookup(keys[i])?.flatten();
-        }
-        Ok(values)
-    }
-
-    fn erase(&self, key: &[u8]) -> Result<bool, YokanError> {
-        let mut writer = self.writer.lock();
-        // Holding the writer lock freezes seals, so this two-step lookup
-        // is stable.
-        let existed = self.lookup_live(key)?.is_some();
-        if existed {
-            Self::append_wal(&mut writer, OP_ERASE, key, &[])?;
-            self.active.write().insert(key.to_vec(), None);
-            writer.active_bytes += key.len();
-        }
-        Ok(existed)
-    }
-
-    fn list_keys(
-        &self,
+    /// K-way merge over one stripe's table indexes, sealed memtables and
+    /// active memtable, newest source winning on ties, stopping after
+    /// `max` live keys — O(max) per page instead of O(range).
+    fn stripe_keys(
+        snap: &Snapshot,
+        active: &Memtable,
         prefix: &[u8],
-        start_after: Option<&[u8]>,
+        lower: &Bound<Vec<u8>>,
         max: usize,
-    ) -> Result<Vec<Vec<u8>>, YokanError> {
-        // K-way merge over every table index, sealed memtable and the
-        // active memtable, newest source winning on ties, stopping after
-        // `max` live keys — O(max) per page instead of O(range). The
-        // active guard is held across the merge so the cut is consistent;
-        // everything else comes from the immutable snapshot.
-        let active = self.active.read();
-        let snap = self.snapshot_arc();
-        let lower: Bound<Vec<u8>> = match start_after {
-            Some(s) if s >= prefix => Bound::Excluded(s.to_vec()),
-            _ => Bound::Included(prefix.to_vec()),
-        };
+    ) -> Vec<Vec<u8>> {
         // Sources ordered oldest → newest; the active memtable is last.
         type KeyCursor<'a> = Box<dyn Iterator<Item = (&'a Vec<u8>, bool)> + 'a>;
         let mut cursors: Vec<KeyCursor<'_>> = Vec::new();
@@ -653,71 +882,422 @@ impl Database for LsmDatabase {
             let key = key.clone();
             let mut alive = false;
             for i in 0..heads.len() {
-                if heads[i].is_some_and(|(k, _)| *k == key) {
-                    alive = heads[i].expect("checked").1; // later sources overwrite
-                    heads[i] = cursors[i].next();
+                if let Some((head_key, live)) = heads[i] {
+                    if *head_key == key {
+                        alive = live; // later sources overwrite
+                        heads[i] = cursors[i].next();
+                    }
                 }
             }
             if alive {
                 out.push(key);
             }
         }
-        Ok(out)
+        out
+    }
+}
+
+impl LsmDatabase {
+    /// Opens (or creates) a database in `dir`, replaying any WAL state
+    /// and loading existing tables.
+    ///
+    /// Recovery restores the exact pre-crash structure per stripe: each
+    /// sealed segment (`.seg`) replays into its own sealed memtable —
+    /// published in the snapshot, queued for flush — and the active WAL
+    /// replays into the active memtable. A segment whose contents
+    /// already reached a table (crash after persist, before truncation)
+    /// replays to the same values the table holds and simply shadows it,
+    /// so recovery is idempotent.
+    pub fn open(dir: impl Into<PathBuf>, config: LsmConfig) -> Result<Self, YokanError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let configured = config.stripes.clamp(1, MAX_STRIPES);
+        let stripe_count = stripe_manifest(&dir, configured)?;
+
+        // Bucket on-disk tables and sealed segments by stripe.
+        let mut table_paths: Vec<Vec<(u64, PathBuf)>> = vec![Vec::new(); stripe_count];
+        let mut seg_paths: Vec<Vec<(u64, PathBuf)>> = vec![Vec::new(); stripe_count];
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let (bucket, prefix) = match path.extension().and_then(|x| x.to_str()) {
+                Some("tbl") => (&mut table_paths, "sst-"),
+                Some("seg") => (&mut seg_paths, "wal-"),
+                _ => continue,
+            };
+            let Some((stripe, number)) = parse_striped_name(&path, prefix) else {
+                return Err(YokanError::Corrupt(format!("bad file name {}", path.display())));
+            };
+            if stripe >= stripe_count {
+                return Err(YokanError::Corrupt(format!(
+                    "{} belongs to stripe {stripe} but the manifest says {stripe_count}",
+                    path.display()
+                )));
+            }
+            bucket[stripe].push((number, path));
+        }
+
+        let mut stripes = Vec::with_capacity(stripe_count);
+        for index in 0..stripe_count {
+            let mut paths = std::mem::take(&mut table_paths[index]);
+            paths.sort();
+            let mut tables = Vec::with_capacity(paths.len());
+            for (_, path) in paths {
+                tables.push(Arc::new(SsTable::open(path)?));
+            }
+            let next_seq = tables.last().map(|t| t.seq + 1).unwrap_or(0);
+
+            // Sealed segments, oldest epoch first.
+            let mut segs = std::mem::take(&mut seg_paths[index]);
+            segs.sort();
+            let next_epoch = segs.last().map(|(e, _)| e + 1).unwrap_or(0);
+            let mut sealed = Vec::new();
+            let mut published: Vec<Arc<Memtable>> = Vec::new();
+            let mut sealed_bytes = 0usize;
+            for (_, path) in segs {
+                let data = std::fs::read(&path)?;
+                let mut memtable = Memtable::new();
+                let bytes = replay_wal(&data, &mut memtable);
+                if memtable.is_empty() {
+                    std::fs::remove_file(&path).ok();
+                    continue;
+                }
+                let memtable = Arc::new(memtable);
+                published.push(Arc::clone(&memtable));
+                sealed_bytes += bytes;
+                sealed.push(SealedSegment { memtable, seg_path: path, bytes });
+            }
+
+            let wal_path = wal_path(&dir, index);
+            let mut active = Memtable::new();
+            let mut active_bytes = 0;
+            if wal_path.exists() {
+                let data = std::fs::read(&wal_path)?;
+                active_bytes = replay_wal(&data, &mut active);
+            }
+            let wal = OpenOptions::new().create(true).append(true).open(&wal_path)?;
+            stripes.push(Stripe {
+                index,
+                writer: OrderedMutex::new(
+                    rank::LSM_WRITER_BASE + index as u32,
+                    "lsm.writer",
+                    StripeWriter {
+                        wal,
+                        wal_path,
+                        active_bytes,
+                        next_seq,
+                        next_epoch,
+                        sealed,
+                        sealed_bytes,
+                        maintaining: false,
+                    },
+                ),
+                active: OrderedRwLock::new(
+                    rank::LSM_ACTIVE_BASE + index as u32,
+                    "lsm.active",
+                    active,
+                ),
+                snapshot: OrderedRwLock::new(
+                    rank::LSM_SNAPSHOT_BASE + index as u32,
+                    "lsm.snapshot",
+                    Arc::new(Snapshot { generation: 0, sealed: published, tables }),
+                ),
+            });
+        }
+        Ok(Self {
+            inner: Arc::new(LsmInner {
+                dir,
+                config: LsmConfig { stripes: stripe_count, ..config },
+                stripes: stripes.into_boxed_slice(),
+                executor: OnceLock::new(),
+                background_error: OrderedMutex::new(
+                    rank::LSM_BG_ERROR,
+                    "lsm.bg_error",
+                    None,
+                ),
+                fail_point: AtomicU8::new(LsmFailPoint::None as u8),
+            }),
+        })
+    }
+
+    /// Installs the background flush/compaction scheduler. At most one
+    /// executor can be installed; later calls are ignored (returns
+    /// `false`). Until one is installed, sealing writers drain inline.
+    pub fn set_background_executor(&self, executor: BackgroundExecutor) -> bool {
+        self.inner.executor.set(executor).is_ok()
+    }
+
+    /// Arms (or with [`LsmFailPoint::None`] clears) a fault-injection
+    /// point in the flush path. Test hook for crash-recovery coverage.
+    pub fn set_fail_point(&self, point: LsmFailPoint) {
+        self.inner.fail_point.store(point as u8, Ordering::Release);
+    }
+
+    /// The data directory.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// Number of stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.inner.stripes.len()
+    }
+
+    /// Total SSTables on disk across stripes (diagnostics / tests).
+    pub fn table_count(&self) -> usize {
+        self.inner.stripes.iter().map(|s| LsmInner::snapshot_arc(s).tables.len()).sum()
+    }
+
+    /// Total sealed-but-unflushed bytes across stripes (diagnostics).
+    pub fn sealed_bytes(&self) -> usize {
+        self.inner.stripes.iter().map(|s| s.writer.lock().sealed_bytes).sum()
+    }
+
+    /// Sum of per-stripe snapshot generations (diagnostics / tests);
+    /// advances on every publication anywhere in the database.
+    pub fn snapshot_generation(&self) -> u64 {
+        self.inner.stripes.iter().map(|s| LsmInner::snapshot_arc(s).generation).sum()
+    }
+
+    /// Takes the deferred background-maintenance error, if any, without
+    /// forcing a flush (diagnostics / tests).
+    pub fn take_background_error(&self) -> Option<YokanError> {
+        self.inner.background_error.lock().take()
+    }
+}
+
+impl Database for LsmDatabase {
+    fn backend_name(&self) -> &'static str {
+        "lsm"
+    }
+
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), YokanError> {
+        let stripe = self.inner.stripe_of(key);
+        let schedule = {
+            let mut writer = stripe.writer.lock();
+            LsmInner::append_wal(&mut writer, OP_PUT, key, value)?;
+            {
+                let mut active = stripe.active.write();
+                active.insert(key.to_vec(), Some(value.to_vec()));
+            }
+            writer.active_bytes += key.len() + value.len();
+            self.inner.maybe_seal_and_flush(stripe, &mut writer)?
+        };
+        if schedule {
+            self.inner.schedule_maintenance(stripe.index);
+        }
+        Ok(())
+    }
+
+    fn put_multi(&self, pairs: &[(&[u8], &[u8])]) -> Result<(), YokanError> {
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        // Group by stripe so each stripe's writer lock is taken once per
+        // batch (one WAL write, one active-lock acquisition per group),
+        // one stripe at a time — never two writer locks together.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.inner.stripes.len()];
+        for (i, (key, _)) in pairs.iter().enumerate() {
+            groups[self.inner.stripe_index(key)].push(i);
+        }
+        for (stripe, group) in self.inner.stripes.iter().zip(&groups) {
+            if group.is_empty() {
+                continue;
+            }
+            let schedule = {
+                let mut writer = stripe.writer.lock();
+                let mut batch = Vec::new();
+                for &i in group {
+                    let (key, value) = pairs[i];
+                    batch.extend_from_slice(&wal_record(OP_PUT, key, value));
+                }
+                writer.wal.write_all(&batch)?;
+                {
+                    let mut active = stripe.active.write();
+                    for &i in group {
+                        let (key, value) = pairs[i];
+                        active.insert(key.to_vec(), Some(value.to_vec()));
+                    }
+                }
+                writer.active_bytes +=
+                    group.iter().map(|&i| pairs[i].0.len() + pairs[i].1.len()).sum::<usize>();
+                self.inner.maybe_seal_and_flush(stripe, &mut writer)?
+            };
+            if schedule {
+                self.inner.schedule_maintenance(stripe.index);
+            }
+        }
+        Ok(())
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, YokanError> {
+        self.inner.lookup_live(key)
+    }
+
+    fn get_multi(&self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>, YokanError> {
+        // Group by stripe: one active-read pass and one snapshot clone
+        // per stripe visited.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.inner.stripes.len()];
+        for (i, key) in keys.iter().enumerate() {
+            groups[self.inner.stripe_index(key)].push(i);
+        }
+        let mut values: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
+        for (stripe, group) in self.inner.stripes.iter().zip(&groups) {
+            if group.is_empty() {
+                continue;
+            }
+            let mut misses: Vec<usize> = Vec::new();
+            {
+                let active = stripe.active.read();
+                for &i in group {
+                    match active.get(keys[i]) {
+                        Some(entry) => values[i] = entry.clone(),
+                        None => misses.push(i),
+                    }
+                }
+            }
+            if misses.is_empty() {
+                continue;
+            }
+            let snap = LsmInner::snapshot_arc(stripe);
+            for i in misses {
+                values[i] = snap.lookup(keys[i])?.flatten();
+            }
+        }
+        Ok(values)
+    }
+
+    fn erase(&self, key: &[u8]) -> Result<bool, YokanError> {
+        let stripe = self.inner.stripe_of(key);
+        let (existed, schedule) = {
+            let mut writer = stripe.writer.lock();
+            // Stripe-local liveness check under this stripe's writer
+            // lock: holding it freezes the stripe's seals, so the
+            // active-then-snapshot lookup is stable, and no other stripe
+            // is consulted — a key can only ever live in the stripe it
+            // hashes to.
+            let existed = {
+                let active = stripe.active.read();
+                match active.get(key) {
+                    Some(entry) => entry.is_some(),
+                    None => {
+                        drop(active);
+                        LsmInner::snapshot_arc(stripe).lookup(key)?.flatten().is_some()
+                    }
+                }
+            };
+            let mut schedule = false;
+            if existed {
+                LsmInner::append_wal(&mut writer, OP_ERASE, key, &[])?;
+                stripe.active.write().insert(key.to_vec(), None);
+                writer.active_bytes += key.len();
+                schedule = self.inner.maybe_seal_and_flush(stripe, &mut writer)?;
+            }
+            (existed, schedule)
+        };
+        if schedule {
+            self.inner.schedule_maintenance(stripe.index);
+        }
+        Ok(existed)
+    }
+
+    fn list_keys(
+        &self,
+        prefix: &[u8],
+        start_after: Option<&[u8]>,
+        max: usize,
+    ) -> Result<Vec<Vec<u8>>, YokanError> {
+        let (actives, snaps) = self.inner.atomic_cut();
+        let lower: Bound<Vec<u8>> = match start_after {
+            Some(s) if s >= prefix => Bound::Excluded(s.to_vec()),
+            _ => Bound::Included(prefix.to_vec()),
+        };
+        // Stripes hold disjoint key sets: each contributes at most `max`
+        // candidates; the merged, sorted list is truncated to the global
+        // `max`.
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        for (snap, active) in snaps.iter().zip(&actives) {
+            keys.extend(LsmInner::stripe_keys(snap, active, prefix, &lower, max));
+        }
+        keys.sort_unstable();
+        keys.truncate(max);
+        Ok(keys)
     }
 
     fn len(&self) -> Result<u64, YokanError> {
-        let active = self.active.read();
-        let snap = self.snapshot_arc();
-        let alive = Self::merged_keys(&snap, &active, b"");
-        Ok(alive.values().filter(|a| **a).count() as u64)
+        let (actives, snaps) = self.inner.atomic_cut();
+        let mut count = 0u64;
+        for (snap, active) in snaps.iter().zip(&actives) {
+            let alive = LsmInner::merged_keys(snap, active, b"");
+            count += alive.values().filter(|a| **a).count() as u64;
+        }
+        Ok(count)
     }
 
     fn flush(&self) -> Result<(), YokanError> {
-        let mut writer = self.writer.lock();
-        self.flush_locked(&mut writer)
+        self.inner.flush_all()
     }
 
     fn clear(&self) -> Result<(), YokanError> {
-        let mut writer = self.writer.lock();
-        let old_paths: Vec<PathBuf> =
-            self.snapshot_arc().tables.iter().map(|t| t.path.clone()).collect();
-        {
-            let mut active = self.active.write();
-            active.clear();
-            self.publish(|old| Snapshot {
-                generation: old.generation + 1,
-                sealed: Vec::new(),
-                tables: Vec::new(),
-            });
-        }
-        writer.active_bytes = 0;
-        writer.wal = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&writer.wal_path)?;
-        for path in old_paths {
-            std::fs::remove_file(&path).ok();
+        for stripe in self.inner.stripes.iter() {
+            loop {
+                let mut writer = stripe.writer.lock();
+                if writer.maintaining {
+                    drop(writer);
+                    std::thread::yield_now();
+                    continue;
+                }
+                let old_paths: Vec<PathBuf> = LsmInner::snapshot_arc(stripe)
+                    .tables
+                    .iter()
+                    .map(|t| t.path.clone())
+                    .collect();
+                {
+                    let mut active = stripe.active.write();
+                    active.clear();
+                    LsmInner::publish(stripe, |old| Snapshot {
+                        generation: old.generation + 1,
+                        sealed: Vec::new(),
+                        tables: Vec::new(),
+                    });
+                }
+                writer.active_bytes = 0;
+                let segments = std::mem::take(&mut writer.sealed);
+                writer.sealed_bytes = 0;
+                writer.wal = OpenOptions::new()
+                    .create(true)
+                    .write(true)
+                    .truncate(true)
+                    .open(&writer.wal_path)?;
+                for segment in segments {
+                    std::fs::remove_file(&segment.seg_path).ok();
+                }
+                for path in old_paths {
+                    std::fs::remove_file(&path).ok();
+                }
+                break;
+            }
         }
         Ok(())
     }
 
     fn dump(&self) -> Result<super::KvPairs, YokanError> {
-        let active = self.active.read();
-        let snap = self.snapshot_arc();
-        let alive = Self::merged_keys(&snap, &active, b"");
+        let (actives, snaps) = self.inner.atomic_cut();
         let mut out = Vec::new();
-        for (key, is_alive) in alive {
-            if is_alive {
-                let value = match active.get(&key) {
-                    Some(entry) => entry.clone(),
-                    None => snap.lookup(&key)?.flatten(),
-                };
-                let value = value
-                    .ok_or_else(|| YokanError::Corrupt("key vanished during dump".into()))?;
-                out.push((key, value));
+        for (snap, active) in snaps.iter().zip(&actives) {
+            let alive = LsmInner::merged_keys(snap, active, b"");
+            for (key, is_alive) in alive {
+                if is_alive {
+                    let value = match active.get(&key) {
+                        Some(entry) => entry.clone(),
+                        None => snap.lookup(&key)?.flatten(),
+                    };
+                    let value = value
+                        .ok_or_else(|| YokanError::Corrupt("key vanished during dump".into()))?;
+                    out.push((key, value));
+                }
             }
         }
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         Ok(out)
     }
 }
@@ -727,15 +1307,25 @@ mod tests {
     use super::super::conformance;
     use super::*;
     use mochi_util::TempDir;
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
 
     fn tiny_config() -> LsmConfig {
-        // Small thresholds so tests exercise flush + compaction.
-        LsmConfig { memtable_bytes: 256, max_tables: 3 }
+        // Small thresholds so tests exercise seal + flush + compaction;
+        // several stripes so routing is exercised too.
+        LsmConfig { memtable_bytes: 256, max_tables: 3, stripes: 4, ..LsmConfig::default() }
     }
 
     fn open(dir: &TempDir) -> LsmDatabase {
         LsmDatabase::open(dir.path(), tiny_config()).unwrap()
+    }
+
+    /// A background executor backed by plain threads — simulates the
+    /// Argobots pool without needing a runtime in unit tests.
+    fn thread_executor() -> BackgroundExecutor {
+        Arc::new(|task: Box<dyn FnOnce() + Send + 'static>| {
+            std::thread::spawn(task);
+        })
     }
 
     #[test]
@@ -814,7 +1404,10 @@ mod tests {
             }
             db.flush().unwrap();
         }
-        assert!(db.table_count() <= tiny_config().max_tables + 1);
+        // After a flush, every stripe compacted itself down to at most
+        // `max_tables` tables.
+        let config = tiny_config();
+        assert!(db.table_count() <= config.stripes * config.max_tables);
         // Latest round wins.
         assert_eq!(db.get(b"k010").unwrap().as_deref(), Some(b"r9".as_slice()));
         assert_eq!(db.len().unwrap(), 20);
@@ -830,27 +1423,29 @@ mod tests {
         db.flush().unwrap();
         assert_eq!(db.get(b"gone").unwrap(), None);
         // Force compaction by flushing past max_tables.
-        for i in 0..5u32 {
+        for i in 0..20u32 {
             db.put(format!("fill{i}").as_bytes(), b"x").unwrap();
             db.flush().unwrap();
         }
         assert_eq!(db.get(b"gone").unwrap(), None);
-        assert_eq!(db.len().unwrap(), 5);
+        assert_eq!(db.len().unwrap(), 20);
     }
 
     #[test]
     fn truncated_wal_tail_is_tolerated() {
         let dir = TempDir::new("lsm-torn").unwrap();
+        // One stripe so both keys share one WAL file.
+        let config = LsmConfig { stripes: 1, ..LsmConfig::default() };
         {
-            let db = LsmDatabase::open(dir.path(), LsmConfig::default()).unwrap();
+            let db = LsmDatabase::open(dir.path(), config).unwrap();
             db.put(b"ok", b"1").unwrap();
             db.put(b"torn", b"2").unwrap();
         }
         // Simulate a torn write: chop bytes off the WAL tail.
-        let wal = dir.path().join("wal.log");
+        let wal = dir.path().join("wal-000.log");
         let data = std::fs::read(&wal).unwrap();
         std::fs::write(&wal, &data[..data.len() - 3]).unwrap();
-        let db = LsmDatabase::open(dir.path(), LsmConfig::default()).unwrap();
+        let db = LsmDatabase::open(dir.path(), config).unwrap();
         assert_eq!(db.get(b"ok").unwrap().as_deref(), Some(b"1".as_slice()));
         assert_eq!(db.get(b"torn").unwrap(), None);
         // And the database remains writable.
@@ -907,6 +1502,176 @@ mod tests {
     }
 
     #[test]
+    fn stripe_count_persists_in_manifest_across_reopen() {
+        let dir = TempDir::new("lsm-manifest").unwrap();
+        {
+            let db =
+                LsmDatabase::open(dir.path(), LsmConfig { stripes: 2, ..LsmConfig::default() })
+                    .unwrap();
+            assert_eq!(db.stripe_count(), 2);
+            for i in 0..50u32 {
+                db.put(format!("m{i:03}").as_bytes(), b"v").unwrap();
+            }
+        }
+        // Reopening with a different configured stripe count must keep
+        // the on-disk routing: the manifest wins.
+        let db = LsmDatabase::open(dir.path(), LsmConfig { stripes: 8, ..LsmConfig::default() })
+            .unwrap();
+        assert_eq!(db.stripe_count(), 2);
+        assert_eq!(db.len().unwrap(), 50);
+        assert_eq!(db.get(b"m042").unwrap().as_deref(), Some(b"v".as_slice()));
+    }
+
+    #[test]
+    fn erase_true_negative_appends_no_wal_record() {
+        let dir = TempDir::new("lsm-erase-tn").unwrap();
+        let db = open(&dir);
+        db.put(b"present", b"v").unwrap();
+        db.flush().unwrap();
+        let wal_sizes = |dir: &Path| -> Vec<u64> {
+            (0..tiny_config().stripes)
+                .map(|s| {
+                    std::fs::metadata(wal_path(dir, s)).map(|m| m.len()).unwrap_or(0)
+                })
+                .collect()
+        };
+        let before = wal_sizes(dir.path());
+        // True negative: key nowhere in the database. No tombstone may
+        // be logged in any stripe.
+        assert!(!db.erase(b"never-existed").unwrap());
+        assert_eq!(wal_sizes(dir.path()), before, "true-negative erase wrote a WAL record");
+        // True positive: exactly one stripe's WAL grows.
+        assert!(db.erase(b"present").unwrap());
+        let after = wal_sizes(dir.path());
+        let grown = before.iter().zip(&after).filter(|(b, a)| a > b).count();
+        assert_eq!(grown, 1, "true-positive erase must log in exactly one stripe");
+        assert_eq!(db.get(b"present").unwrap(), None);
+        // A tombstoned key is a true negative for the next erase.
+        assert!(!db.erase(b"present").unwrap());
+    }
+
+    #[test]
+    fn parallel_writers_hit_disjoint_stripes() {
+        // With enough distinct keys every stripe sees traffic, and all
+        // data survives a concurrent multi-threaded load + final flush.
+        let dir = TempDir::new("lsm-par").unwrap();
+        let db = std::sync::Arc::new(
+            LsmDatabase::open(
+                dir.path(),
+                LsmConfig { memtable_bytes: 2048, stripes: 8, ..LsmConfig::default() },
+            )
+            .unwrap(),
+        );
+        let hit: std::collections::BTreeSet<usize> =
+            (0..256u32).map(|i| db.inner.stripe_index(format!("t0-k{i:04}").as_bytes())).collect();
+        assert_eq!(hit.len(), 8, "keys must disperse over all stripes");
+        let writers: Vec<_> = (0..4)
+            .map(|t: u32| {
+                let db = std::sync::Arc::clone(&db);
+                std::thread::spawn(move || {
+                    for i in 0..300u32 {
+                        db.put(format!("t{t}-k{i:04}").as_bytes(), &[b'v'; 32]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        db.flush().unwrap();
+        assert_eq!(db.len().unwrap(), 1200);
+    }
+
+    #[test]
+    fn background_executor_flushes_off_the_write_path() {
+        let dir = TempDir::new("lsm-bg").unwrap();
+        let db = LsmDatabase::open(
+            dir.path(),
+            LsmConfig { memtable_bytes: 512, stripes: 2, ..LsmConfig::default() },
+        )
+        .unwrap();
+        let scheduled = Arc::new(AtomicUsize::new(0));
+        let count = Arc::clone(&scheduled);
+        assert!(db.set_background_executor(Arc::new(move |task| {
+            count.fetch_add(1, Ordering::Relaxed);
+            std::thread::spawn(task);
+        })));
+        // Second install is rejected.
+        assert!(!db.set_background_executor(thread_executor()));
+        for i in 0..200u32 {
+            db.put(format!("bg-{i:04}").as_bytes(), &[b'x'; 64]).unwrap();
+        }
+        assert!(scheduled.load(Ordering::Relaxed) > 0, "seals must schedule maintenance");
+        // Background flush materializes tables without any flush() call.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while db.table_count() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(db.table_count() > 0, "background maintenance never flushed");
+        // Data stays readable throughout, and a foreground flush joins
+        // cleanly with in-flight maintenance.
+        db.flush().unwrap();
+        assert_eq!(db.sealed_bytes(), 0);
+        assert_eq!(db.len().unwrap(), 200);
+        assert_eq!(db.get(b"bg-0042").unwrap().as_deref(), Some([b'x'; 64].as_slice()));
+    }
+
+    #[test]
+    fn backpressure_drains_inline_when_over_budget() {
+        let dir = TempDir::new("lsm-budget").unwrap();
+        let db = LsmDatabase::open(
+            dir.path(),
+            LsmConfig {
+                memtable_bytes: 256,
+                stripes: 1,
+                max_sealed_bytes: 512,
+                ..LsmConfig::default()
+            },
+        )
+        .unwrap();
+        // Executor that never runs its tasks: a stalled background pool.
+        assert!(db.set_background_executor(Arc::new(|_task| {})));
+        for i in 0..200u32 {
+            db.put(format!("bp-{i:04}").as_bytes(), &[b'x'; 64]).unwrap();
+        }
+        // The budget forced inline drains despite the stalled pool:
+        // sealed bytes stay bounded and tables exist.
+        assert!(
+            db.sealed_bytes() <= 512 + 256 + 128,
+            "sealed bytes {} escaped the backpressure budget",
+            db.sealed_bytes()
+        );
+        assert!(db.table_count() > 0);
+        db.flush().unwrap();
+        assert_eq!(db.len().unwrap(), 200);
+    }
+
+    #[test]
+    fn background_error_surfaces_on_next_flush() {
+        let dir = TempDir::new("lsm-bgerr").unwrap();
+        let db = LsmDatabase::open(
+            dir.path(),
+            LsmConfig { memtable_bytes: 128, stripes: 1, ..LsmConfig::default() },
+        )
+        .unwrap();
+        // Run maintenance synchronously on the caller so the fault is
+        // deterministic.
+        assert!(db.set_background_executor(Arc::new(|task| task())));
+        db.set_fail_point(LsmFailPoint::BeforeTablePersist);
+        for i in 0..10u32 {
+            db.put(format!("e{i:02}").as_bytes(), &[b'x'; 32]).unwrap();
+        }
+        db.set_fail_point(LsmFailPoint::None);
+        let err = db.take_background_error();
+        assert!(matches!(err, Some(YokanError::Io(_))), "expected parked error, got {err:?}");
+        // The failed segments were retained and the next flush drains
+        // them.
+        db.flush().unwrap();
+        assert_eq!(db.len().unwrap(), 10);
+        assert_eq!(db.sealed_bytes(), 0);
+    }
+
+    #[test]
     fn concurrent_reads_during_flush_and_compaction_churn() {
         let dir = TempDir::new("lsm-churn").unwrap();
         let db = std::sync::Arc::new(open(&dir));
@@ -939,5 +1704,46 @@ mod tests {
         }
         assert_eq!(db.get(b"stable").unwrap().as_deref(), Some(b"value".as_slice()));
         assert_eq!(db.len().unwrap(), 41);
+    }
+
+    #[test]
+    fn concurrent_reads_during_background_churn() {
+        // Same invariant as above, but with maintenance running on
+        // background threads instead of inline.
+        let dir = TempDir::new("lsm-bg-churn").unwrap();
+        let db = std::sync::Arc::new(
+            LsmDatabase::open(
+                dir.path(),
+                LsmConfig { memtable_bytes: 512, max_tables: 2, stripes: 4, ..Default::default() },
+            )
+            .unwrap(),
+        );
+        assert!(db.set_background_executor(thread_executor()));
+        db.put(b"stable", b"value").unwrap();
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let db = std::sync::Arc::clone(&db);
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        assert_eq!(
+                            db.get(b"stable").unwrap().as_deref(),
+                            Some(b"value".as_slice())
+                        );
+                    }
+                })
+            })
+            .collect();
+        for i in 0..400u32 {
+            db.put(format!("churn-{i:04}").as_bytes(), &[b'x'; 64]).unwrap();
+        }
+        db.flush().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            reader.join().unwrap();
+        }
+        assert_eq!(db.get(b"stable").unwrap().as_deref(), Some(b"value".as_slice()));
+        assert_eq!(db.len().unwrap(), 401);
     }
 }

@@ -14,6 +14,7 @@
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
+use mochi_util::fnv1a64;
 use mochi_util::ordered_lock::{rank, OrderedReadGuard, OrderedRwLock, OrderedWriteGuard};
 
 use super::{Database, YokanError};
@@ -29,16 +30,6 @@ pub const MAX_SHARDS: usize = rank::YOKAN_SHARD_MAX as usize;
 pub const DEFAULT_SHARDS: usize = 16;
 
 type Shard = BTreeMap<Vec<u8>, Vec<u8>>;
-
-/// FNV-1a, cheap and well dispersed for the short keys KV workloads use.
-fn fnv1a(key: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &byte in key {
-        hash ^= byte as u64;
-        hash = hash.wrapping_mul(0x100_0000_01b3);
-    }
-    hash
-}
 
 /// In-memory ordered map. Fast, volatile: crashes lose everything, which
 /// is exactly the backend the checkpoint/restore experiments contrast
@@ -81,11 +72,11 @@ impl MemoryDatabase {
     }
 
     fn shard_of(&self, key: &[u8]) -> &OrderedRwLock<Shard> {
-        &self.shards[(fnv1a(key) % self.shards.len() as u64) as usize]
+        &self.shards[(fnv1a64(key) % self.shards.len() as u64) as usize]
     }
 
     fn shard_index(&self, key: &[u8]) -> usize {
-        (fnv1a(key) % self.shards.len() as u64) as usize
+        (fnv1a64(key) % self.shards.len() as u64) as usize
     }
 
     /// Read-locks every shard in ascending rank order (an atomic cut).

@@ -135,6 +135,22 @@ pub struct BackendConfig {
     /// `1..=memory::MAX_SHARDS`; `1` reproduces the single-lock layout).
     #[serde(default = "default_shards")]
     pub shards: usize,
+    /// LSM: number of independent stripes (clamped to
+    /// `1..=lsm::MAX_STRIPES`; `1` reproduces the single-writer layout).
+    /// The count is fixed at directory creation; reopens follow the
+    /// on-disk manifest.
+    #[serde(default = "default_lsm_stripes")]
+    pub lsm_stripes: usize,
+    /// LSM: per-stripe sealed-bytes budget; past it, sealing writers
+    /// drain inline instead of queueing behind the background pool.
+    #[serde(default = "default_max_sealed_bytes")]
+    pub max_sealed_bytes: usize,
+    /// LSM: name of the Argobots pool for background flush/compaction.
+    /// `None` (the default) keeps flush/compaction inline on the writer.
+    /// Interpreted by the Bedrock module (`crate::bedrock`), which
+    /// creates the pool and a dedicated xstream on demand.
+    #[serde(default)]
+    pub background_pool: Option<String>,
 }
 
 fn default_backend() -> String {
@@ -153,6 +169,14 @@ fn default_max_tables() -> usize {
     4
 }
 
+fn default_lsm_stripes() -> usize {
+    lsm::DEFAULT_STRIPES
+}
+
+fn default_max_sealed_bytes() -> usize {
+    32 << 20
+}
+
 impl Default for BackendConfig {
     fn default() -> Self {
         Self {
@@ -160,25 +184,48 @@ impl Default for BackendConfig {
             memtable_bytes: default_memtable_bytes(),
             max_tables: default_max_tables(),
             shards: default_shards(),
+            lsm_stripes: default_lsm_stripes(),
+            max_sealed_bytes: default_max_sealed_bytes(),
+            background_pool: None,
         }
     }
 }
 
 /// Instantiates a backend in `dir` (the provider's data directory; only
-/// used by file-backed backends).
+/// used by file-backed backends). Flush/compaction stays inline on the
+/// writer; see [`create_backend_with`] to move it to a background
+/// executor.
 pub fn create_backend(
     config: &BackendConfig,
     dir: &Path,
 ) -> Result<Box<dyn Database>, YokanError> {
+    create_backend_with(config, dir, None)
+}
+
+/// [`create_backend`], plus an optional background executor for the LSM
+/// backend's flush/compaction work (ignored by memory backends).
+pub fn create_backend_with(
+    config: &BackendConfig,
+    dir: &Path,
+    executor: Option<lsm::BackgroundExecutor>,
+) -> Result<Box<dyn Database>, YokanError> {
     match config.backend.as_str() {
         "map" => Ok(Box::new(memory::MemoryDatabase::with_shards(config.shards))),
-        "lsm" => Ok(Box::new(lsm::LsmDatabase::open(
-            dir,
-            lsm::LsmConfig {
-                memtable_bytes: config.memtable_bytes,
-                max_tables: config.max_tables,
-            },
-        )?)),
+        "lsm" => {
+            let db = lsm::LsmDatabase::open(
+                dir,
+                lsm::LsmConfig {
+                    memtable_bytes: config.memtable_bytes,
+                    max_tables: config.max_tables,
+                    stripes: config.lsm_stripes,
+                    max_sealed_bytes: config.max_sealed_bytes,
+                },
+            )?;
+            if let Some(executor) = executor {
+                db.set_background_executor(executor);
+            }
+            Ok(Box::new(db))
+        }
         other => Err(YokanError::Config(format!("unknown backend '{other}'"))),
     }
 }

@@ -25,6 +25,6 @@ pub mod replication;
 pub mod rpc_names;
 
 pub use backend::{create_backend, BackendConfig, Database, YokanError};
-pub use client::DatabaseHandle;
+pub use client::{CoalescerConfig, CoalescingHandle, DatabaseHandle};
 pub use provider::YokanProvider;
 pub use replication::VirtualDatabaseProvider;

@@ -97,7 +97,7 @@ fn lsm_backend_single_key_consistency_across_threads() {
     let dir = TempDir::new("lsm-consistency").unwrap();
     // Tiny memtable budget so the hammer loop forces seals, flushes and
     // compactions while readers are in flight.
-    let config = LsmConfig { memtable_bytes: 1024, max_tables: 3 };
+    let config = LsmConfig { memtable_bytes: 1024, max_tables: 3, ..LsmConfig::default() };
     let db = LsmDatabase::open(dir.path(), config).unwrap();
     hammer(&db);
     // The surviving state must also be durable across reopen.

@@ -41,7 +41,9 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn tiny_config() -> LsmConfig {
-    LsmConfig { memtable_bytes: 128, max_tables: 2 }
+    // Default stripe count: the proptest then also exercises cross-stripe
+    // routing stability across the Reopen op (manifest beats config).
+    LsmConfig { memtable_bytes: 128, max_tables: 2, ..LsmConfig::default() }
 }
 
 proptest! {

@@ -14,6 +14,9 @@
 #      retry soundness, relaxed atomics) not covered by lint-allow.json
 #   25 lint runtime budget blown (call-graph construction must stay
 #      under 30s or the pre-PR gate stops being run)
+#   26 write-scaling gate failed (a04_contention: striped LSM puts must
+#      scale >= 2x at 4 threads without regressing single-thread p50)
+#   27 a04_contention ran but emitted no target/BENCH_a04.json
 #   10+ static-analysis failures (see scripts/lint.sh)
 set -u
 
@@ -37,6 +40,26 @@ cargo test -q || exit 21
 # they carry the experiment assertions of EXPERIMENTS.md.
 echo "==> cargo bench --no-run"
 cargo bench -p mochi-bench --no-run || exit 22
+
+# Write-scaling gate (DESIGN.md §15): a04_contention asserts >= 2x
+# striped-vs-single-stripe LSM put throughput at 4 threads plus a
+# single-thread p50 non-regression, and records the measured numbers in
+# target/BENCH_a04.json. The one timing-sensitive exception to the
+# "benches don't run in CI" rule — it only gates where contention can
+# actually manifest (>= 4 CPUs) and can be skipped outright with
+# MOCHI_SKIP_BENCH_GATE=1 (offline/minimal containers, shared runners).
+cpus=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "${MOCHI_SKIP_BENCH_GATE:-0}" = "1" ] || [ "$cpus" -lt 4 ]; then
+    echo "==> write-scaling gate skipped (cpus=${cpus}, MOCHI_SKIP_BENCH_GATE=${MOCHI_SKIP_BENCH_GATE:-0})"
+else
+    echo "==> cargo bench a04_contention (write-scaling gate)"
+    rm -f target/BENCH_a04.json
+    cargo bench -p mochi-bench --bench a04_contention || exit 26
+    if [ ! -f target/BENCH_a04.json ]; then
+        echo "ci.sh: a04_contention emitted no target/BENCH_a04.json" >&2
+        exit 27
+    fi
+fi
 
 # Interprocedural gate: the workspace must carry zero unallowlisted
 # MOCHI012/013/014 findings, triaged distinctly from the rest of the
