@@ -44,6 +44,16 @@ pub struct Allowlist {
     /// Permitted finding counts for the relaxed-atomic analysis. The
     /// kind encodes op and field, e.g. `load:closed`.
     pub relaxed_atomics: BTreeMap<Key, usize>,
+    /// Permitted finding counts for the RPC-under-lock analysis. The
+    /// kind encodes callee and lock class, e.g. `flush:yokan::writer`.
+    pub rpc_under_lock: BTreeMap<Key, usize>,
+    /// Permitted finding counts for the swallowed-background-error
+    /// analysis. The kind encodes discard form and callee, e.g.
+    /// `let_underscore:send`.
+    pub background_errors: BTreeMap<Key, usize>,
+    /// Permitted finding counts for the unbounded-queue-growth analysis.
+    /// The kind encodes grow method and field, e.g. `grow:push:pending`.
+    pub queue_growth: BTreeMap<Key, usize>,
     /// One-line justifications for allowlist entries, keyed
     /// `(section, file, function, kind)`. Written back verbatim by
     /// `--write-allowlist` so hand-added reasons survive regeneration.
@@ -86,7 +96,8 @@ impl Allowlist {
                     }
                 }
                 "panic_paths" | "blocking" | "serde_json" | "contracts" | "lock_across_yield"
-                | "raw_forward" | "deadline_loss" | "retry_soundness" | "relaxed_atomics" => {
+                | "raw_forward" | "deadline_loss" | "retry_soundness" | "relaxed_atomics"
+                | "rpc_under_lock" | "background_errors" | "queue_growth" => {
                     let items = value.as_array().ok_or("allowance sections must be arrays")?;
                     let section_name = key.clone();
                     let section = match key.as_str() {
@@ -98,6 +109,9 @@ impl Allowlist {
                         "deadline_loss" => &mut allowlist.deadline_loss,
                         "retry_soundness" => &mut allowlist.retry_soundness,
                         "relaxed_atomics" => &mut allowlist.relaxed_atomics,
+                        "rpc_under_lock" => &mut allowlist.rpc_under_lock,
+                        "background_errors" => &mut allowlist.background_errors,
+                        "queue_growth" => &mut allowlist.queue_growth,
                         _ => &mut allowlist.serde_json,
                     };
                     for item in items {
@@ -161,6 +175,9 @@ impl Allowlist {
             ("deadline_loss", &self.deadline_loss),
             ("retry_soundness", &self.retry_soundness),
             ("relaxed_atomics", &self.relaxed_atomics),
+            ("rpc_under_lock", &self.rpc_under_lock),
+            ("background_errors", &self.background_errors),
+            ("queue_growth", &self.queue_growth),
         ] {
             let _ = write!(out, "  \"{name}\": [");
             for (i, ((file, function, kind), count)) in section.iter().enumerate() {
@@ -181,7 +198,7 @@ impl Allowlist {
                 out.push('}');
             }
             out.push_str(if section.is_empty() { "]" } else { "\n  ]" });
-            out.push_str(if name == "relaxed_atomics" { "\n" } else { ",\n" });
+            out.push_str(if name == "queue_growth" { "\n" } else { ",\n" });
         }
         out.push_str("}\n");
         out
@@ -200,6 +217,9 @@ impl Allowlist {
         deadline_counts: BTreeMap<Key, usize>,
         retry_counts: BTreeMap<Key, usize>,
         atomics_counts: BTreeMap<Key, usize>,
+        rpc_lock_counts: BTreeMap<Key, usize>,
+        bg_error_counts: BTreeMap<Key, usize>,
+        queue_counts: BTreeMap<Key, usize>,
         reasons: BTreeMap<(String, String, String, String), String>,
         ignored_locks: Vec<String>,
     ) -> Allowlist {
@@ -213,6 +233,9 @@ impl Allowlist {
             deadline_loss: deadline_counts,
             retry_soundness: retry_counts,
             relaxed_atomics: atomics_counts,
+            rpc_under_lock: rpc_lock_counts,
+            background_errors: bg_error_counts,
+            queue_growth: queue_counts,
             reasons,
             ignored_locks,
         }
@@ -232,6 +255,9 @@ impl Allowlist {
             ("deadline_loss", &self.deadline_loss),
             ("retry_soundness", &self.retry_soundness),
             ("relaxed_atomics", &self.relaxed_atomics),
+            ("rpc_under_lock", &self.rpc_under_lock),
+            ("background_errors", &self.background_errors),
+            ("queue_growth", &self.queue_growth),
         ] {
             let counts = actual.iter().find(|(n, _)| *n == section_name).map(|(_, c)| *c);
             for ((file, function, kind), count) in allowed {
@@ -282,25 +308,25 @@ pub enum Json {
 }
 
 impl Json {
-    fn as_object(&self) -> Option<&Vec<(String, Json)>> {
+    pub(crate) fn as_object(&self) -> Option<&Vec<(String, Json)>> {
         match self {
             Json::Object(o) => Some(o),
             _ => None,
         }
     }
-    fn as_array(&self) -> Option<&Vec<Json>> {
+    pub(crate) fn as_array(&self) -> Option<&Vec<Json>> {
         match self {
             Json::Array(a) => Some(a),
             _ => None,
         }
     }
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Json::String(s) => Some(s),
             _ => None,
         }
     }
-    fn as_usize(&self) -> Option<usize> {
+    pub(crate) fn as_usize(&self) -> Option<usize> {
         match self {
             Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as usize),
             _ => None,
@@ -308,7 +334,7 @@ impl Json {
     }
 }
 
-fn parse_json(text: &str) -> Result<Json, String> {
+pub(crate) fn parse_json(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
     let value = parse_value(bytes, &mut pos)?;
@@ -504,6 +530,21 @@ mod tests {
             ),
             "replay-guarded by the completed-transfer map".to_string(),
         );
+        let mut rpc_lock_counts = BTreeMap::new();
+        rpc_lock_counts.insert(
+            ("crates/yokan/src/provider.rs".into(), "flush_all".into(), "flush:yokan::writer".into()),
+            1,
+        );
+        let mut bg_error_counts = BTreeMap::new();
+        bg_error_counts.insert(
+            ("crates/raft/src/node.rs".into(), "collect_votes".into(), "let_underscore:send".into()),
+            1,
+        );
+        let mut queue_counts = BTreeMap::new();
+        queue_counts.insert(
+            ("crates/margo/src/runtime.rs".into(), "enqueue".into(), "grow:push:pending".into()),
+            1,
+        );
         let allowlist = Allowlist::freeze(
             panic_counts,
             blocking,
@@ -514,6 +555,9 @@ mod tests {
             deadline_counts,
             retry_counts,
             atomics_counts,
+            rpc_lock_counts,
+            bg_error_counts,
+            queue_counts,
             reasons,
             vec!["buffer".into()],
         );
@@ -528,6 +572,9 @@ mod tests {
         assert_eq!(back.deadline_loss, allowlist.deadline_loss);
         assert_eq!(back.retry_soundness, allowlist.retry_soundness);
         assert_eq!(back.relaxed_atomics, allowlist.relaxed_atomics);
+        assert_eq!(back.rpc_under_lock, allowlist.rpc_under_lock);
+        assert_eq!(back.background_errors, allowlist.background_errors);
+        assert_eq!(back.queue_growth, allowlist.queue_growth);
         assert_eq!(back.reasons, allowlist.reasons, "reason strings must round-trip");
         assert_eq!(back.ignored_locks, allowlist.ignored_locks);
     }

@@ -1,7 +1,7 @@
 //! `mochi-lint`: workspace-specific static analysis for the mochi-rs
 //! stack.
 //!
-//! Ten analyses, all tuned to the failure modes that matter for dynamic
+//! Thirteen analyses, all tuned to the failure modes that matter for dynamic
 //! HPC data services (a panicking or deadlocked provider is a dead node,
 //! which defeats the resilience layer; a mistyped RPC name only fails on
 //! a live, reconfigured cluster):
@@ -55,10 +55,22 @@
 //!    closed state read in `if`/`while` conditions) where publish and
 //!    decision happen in different functions; stats counters pass by
 //!    construction.
+//! 11. **RPC-under-lock analysis** ([`rpclock`], MOCHI015): an
+//!    `OrderedMutex`/`OrderedRwLock` guard (tracked by the [`dataflow`]
+//!    engine) live across a call whose callee transitively reaches a
+//!    `forward`-family RPC — the interprocedural form of MOCHI009.
+//! 12. **Swallowed-background-error analysis** ([`bgerrors`], MOCHI016):
+//!    fallible calls inside `spawn` bodies whose `Result` is discarded
+//!    via `let _ =`, a statement-terminated `.ok()`, or an unused bare
+//!    return; `BackgroundExecutor` error parking is the blessed pattern.
+//! 13. **Unbounded-queue-growth analysis** ([`queues`], MOCHI017):
+//!    push/send/extend into shared state inside a handler-reachable loop
+//!    with no bound check, capacity, or drain evidence.
 //!
 //! Stale `lint-allow.json` entries (MOCHI010) are reported so frozen
 //! debt burns down instead of rotting. Output formats: `text` (default),
-//! `json`, and `sarif` — see [`report`].
+//! `json`, and `sarif` — see [`report`]; `--baseline` diffs findings
+//! against a committed SARIF baseline by stable fingerprint.
 //!
 //! Run as `cargo run -p mochi-lint -- --root . [--format json]`, or
 //! through the umbrella crate's `lint_gate` test, which makes it part of
@@ -66,17 +78,21 @@
 
 pub mod allowlist;
 pub mod atomics;
+pub mod bgerrors;
 pub mod blocking;
 pub mod callgraph;
 pub mod contracts;
+pub mod dataflow;
 pub mod deadline;
 pub mod jsonuse;
 pub mod lexer;
 pub mod locks;
 pub mod panics;
+pub mod queues;
 pub mod rawforward;
 pub mod report;
 pub mod retry;
+pub mod rpclock;
 pub mod source;
 pub mod yields;
 
@@ -85,6 +101,7 @@ use std::path::Path;
 
 use allowlist::{Allowlist, StaleEntry};
 use atomics::AtomicSite;
+use bgerrors::BgErrorSite;
 use blocking::BlockingSite;
 use callgraph::{CallGraph, GraphStats};
 use contracts::{ContractIssue, RpcSite};
@@ -92,8 +109,10 @@ use deadline::DeadlineSite;
 use jsonuse::JsonSite;
 use locks::{LockCycle, LockEdge, RecursiveLock};
 use panics::PanicSite;
+use queues::QueueSite;
 use rawforward::RawForwardSite;
 use retry::RetrySite;
+use rpclock::RpcLockSite;
 use source::SourceFile;
 use yields::YieldSite;
 
@@ -146,6 +165,18 @@ pub struct LintReport {
     pub atomics_violations: Vec<AtomicSite>,
     /// Relaxed-atomic findings covered by the allowlist.
     pub atomics_allowed: usize,
+    /// RPC-under-lock findings beyond the allowlist.
+    pub rpc_lock_violations: Vec<RpcLockSite>,
+    /// RPC-under-lock findings covered by the allowlist.
+    pub rpc_lock_allowed: usize,
+    /// Swallowed-background-error findings beyond the allowlist.
+    pub bg_error_violations: Vec<BgErrorSite>,
+    /// Swallowed-background-error findings covered by the allowlist.
+    pub bg_error_allowed: usize,
+    /// Unbounded-queue-growth findings beyond the allowlist.
+    pub queue_violations: Vec<QueueSite>,
+    /// Unbounded-queue-growth findings covered by the allowlist.
+    pub queue_allowed: usize,
     /// Call-graph construction counters (nodes, edges, resolution).
     pub graph_stats: GraphStats,
     /// Allowlist entries matching no current finding.
@@ -161,6 +192,9 @@ pub struct LintReport {
     pub deadline_counts: BTreeMap<allowlist::Key, usize>,
     pub retry_counts: BTreeMap<allowlist::Key, usize>,
     pub atomics_counts: BTreeMap<allowlist::Key, usize>,
+    pub rpc_lock_counts: BTreeMap<allowlist::Key, usize>,
+    pub bg_error_counts: BTreeMap<allowlist::Key, usize>,
+    pub queue_counts: BTreeMap<allowlist::Key, usize>,
 }
 
 impl LintReport {
@@ -178,6 +212,9 @@ impl LintReport {
             && self.deadline_violations.is_empty()
             && self.retry_violations.is_empty()
             && self.atomics_violations.is_empty()
+            && self.rpc_lock_violations.is_empty()
+            && self.bg_error_violations.is_empty()
+            && self.queue_violations.is_empty()
     }
 
     /// The resolved RPC names in the contract table with their
@@ -255,6 +292,9 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
     let deadline_sites = deadline::check(files, &graph, &contract_sites);
     let retry_sites = retry::check(files, &graph, &consts, &contract_sites);
     let atomics_sites = atomics::check(files);
+    let rpc_lock_sites = rpclock::check(files, &graph);
+    let bg_error_sites = bgerrors::check(files, &graph);
+    let queue_sites = queues::check(files, &graph, &contract_sites);
 
     let (panic_violations, panic_allowed, panic_counts) =
         apply_allowances(&panic_sites, &allowlist.panic_paths, |s| {
@@ -292,6 +332,18 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
         apply_allowances(&atomics_sites, &allowlist.relaxed_atomics, |s| {
             (s.file.clone(), s.function.clone(), s.kind.clone())
         });
+    let (rpc_lock_violations, rpc_lock_allowed, rpc_lock_counts) =
+        apply_allowances(&rpc_lock_sites, &allowlist.rpc_under_lock, |s| {
+            (s.file.clone(), s.function.clone(), s.kind.clone())
+        });
+    let (bg_error_violations, bg_error_allowed, bg_error_counts) =
+        apply_allowances(&bg_error_sites, &allowlist.background_errors, |s| {
+            (s.file.clone(), s.function.clone(), s.kind.clone())
+        });
+    let (queue_violations, queue_allowed, queue_counts) =
+        apply_allowances(&queue_sites, &allowlist.queue_growth, |s| {
+            (s.file.clone(), s.function.clone(), s.kind.clone())
+        });
 
     let stale_entries = allowlist.stale_entries(&[
         ("panic_paths", &panic_counts),
@@ -303,6 +355,9 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
         ("deadline_loss", &deadline_counts),
         ("retry_soundness", &retry_counts),
         ("relaxed_atomics", &atomics_counts),
+        ("rpc_under_lock", &rpc_lock_counts),
+        ("background_errors", &bg_error_counts),
+        ("queue_growth", &queue_counts),
     ]);
 
     LintReport {
@@ -329,6 +384,12 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
         retry_allowed,
         atomics_violations,
         atomics_allowed,
+        rpc_lock_violations,
+        rpc_lock_allowed,
+        bg_error_violations,
+        bg_error_allowed,
+        queue_violations,
+        queue_allowed,
         graph_stats,
         stale_entries,
         panic_counts,
@@ -340,6 +401,9 @@ pub fn analyze(files: &[SourceFile], allowlist: &Allowlist) -> LintReport {
         deadline_counts,
         retry_counts,
         atomics_counts,
+        rpc_lock_counts,
+        bg_error_counts,
+        queue_counts,
     }
 }
 

@@ -1,9 +1,11 @@
 //! Lock-order analysis.
 //!
-//! Extracts, per function, the spans over which lock guards are live and
-//! records an edge `A → B` whenever lock `B` is acquired while a guard of
-//! lock `A` is held. Edges from every crate are merged into one workspace
-//! lock-order graph; a cycle in that graph is a potential deadlock.
+//! Derives, per function, the lock-order facts from the guard spans the
+//! [`crate::dataflow`] engine extracts, and records an edge `A → B`
+//! whenever lock `B` is acquired while a guard of lock `A` is live in
+//! the same closure context. Edges from every crate are merged into one
+//! workspace lock-order graph; a cycle in that graph is a potential
+//! deadlock.
 //!
 //! Locks are identified by *class*: the crate name plus the final field
 //! (or variable) segment of the receiver chain, e.g. `self.inner.core.lock()`
@@ -12,23 +14,18 @@
 //! self-edge when the full receiver chains are identical (a true re-lock,
 //! which deadlocks immediately with `parking_lot`).
 //!
-//! Guard liveness model (conservative, intra-procedural):
-//! * `let g = x.lock();` — live until the enclosing block closes or an
-//!   explicit `drop(g)`;
-//! * any other `.lock()` / `.read()` / `.write()` — a temporary, live
-//!   until the end of the statement (matching Rust temporary semantics),
-//!   except in `if`/`while` conditions where it ends at the `{` (also
-//!   matching Rust) and in `match` scrutinees where it is extended to the
-//!   end of the match block;
-//! * closure bodies (`|…| { … }`, `move || { … }`) run later on other
-//!   threads, so they start a fresh held-set; guards held at the closure's
-//!   *creation site* do not leak into it.
+//! The guard-liveness model (birth/death offsets, statement temporaries,
+//! block scopes, `drop`, scrutinee promotion, fresh closure contexts) is
+//! documented on [`crate::dataflow::BodyFlow`]; the lock-held-across-yield
+//! findings (MOCHI009) are derived here too, from yield events falling
+//! inside guard spans.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::lexer::{column_of, is_ident_byte, line_of};
+use crate::dataflow::BodyFlow;
+use crate::lexer::{column_of, line_of};
 use crate::source::SourceFile;
-use crate::yields::{self, YieldSite};
+use crate::yields::YieldSite;
 
 /// One observed nested acquisition.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -52,24 +49,9 @@ pub struct RecursiveLock {
     pub function: String,
 }
 
-#[derive(Clone)]
-struct Held {
-    lock: String,
-    chain: String,
-    var: Option<String>,
-    depth: usize,
-    temp: bool,
-}
-
-struct Ctx {
-    start_depth: usize,
-    held: Vec<Held>,
-}
-
 /// Extracts lock-order edges, recursive-lock findings, and
-/// lock-held-across-yield findings from one file. The yield findings
-/// share the same guard-liveness model (drops, block scopes, closures,
-/// statement temporaries) as the edge extraction.
+/// lock-held-across-yield findings from one file. All three are
+/// projections of the same [`BodyFlow`] guard spans.
 pub fn extract(
     file: &SourceFile,
     ignored: &BTreeSet<String>,
@@ -78,392 +60,53 @@ pub fn extract(
     let mut recursive = Vec::new();
     let mut yield_sites = Vec::new();
     for function in &file.functions {
-        scan_body(file, function.body_start, function.body_end, &function.name, ignored, &mut edges, &mut recursive, &mut yield_sites);
+        let flow = BodyFlow::analyze(file, function.body_start, function.body_end, ignored);
+        // An acquisition B while span A is live (same context) is either
+        // a recursive re-lock (identical class and receiver chain) or a
+        // lock-order edge A → B.
+        for (bi, b) in flow.spans.iter().enumerate() {
+            for (ai, a) in flow.spans.iter().enumerate() {
+                if ai == bi || a.ctx != b.ctx || !(a.start < b.start && b.start < a.end) {
+                    continue;
+                }
+                if a.lock == b.lock && a.chain == b.chain {
+                    recursive.push(RecursiveLock {
+                        lock: b.lock.clone(),
+                        file: file.rel_path.clone(),
+                        line: b.line,
+                        column: b.column,
+                        function: function.name.clone(),
+                    });
+                } else {
+                    edges.push(LockEdge {
+                        from: a.lock.clone(),
+                        to: b.lock.clone(),
+                        file: file.rel_path.clone(),
+                        line: b.line,
+                        column: b.column,
+                        function: function.name.clone(),
+                    });
+                }
+            }
+        }
+        // A suspension point inside a guard span (same context) holds the
+        // guard across the yield.
+        for y in &flow.yields {
+            for span in flow.spans.iter().filter(|s| {
+                s.ctx == y.ctx && s.start < y.offset && y.offset < s.end
+            }) {
+                yield_sites.push(YieldSite {
+                    file: file.rel_path.clone(),
+                    function: function.name.clone(),
+                    lock: span.lock.clone(),
+                    yield_call: y.call.to_string(),
+                    line: line_of(&file.text, y.offset),
+                    column: column_of(&file.text, y.offset),
+                });
+            }
+        }
     }
     (edges, recursive, yield_sites)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn scan_body(
-    file: &SourceFile,
-    start: usize,
-    end: usize,
-    function: &str,
-    ignored: &BTreeSet<String>,
-    edges: &mut Vec<LockEdge>,
-    recursive: &mut Vec<RecursiveLock>,
-    yield_sites: &mut Vec<YieldSite>,
-) {
-    let text = &file.text;
-    let mut ctxs = vec![Ctx { start_depth: 0, held: Vec::new() }];
-    let mut depth = 0usize;
-    let mut stmt_start = start + 1;
-    let mut pending_closure = false;
-    let mut i = start;
-    while i < end {
-        match text[i] {
-            b'{' => {
-                depth += 1;
-                if pending_closure {
-                    ctxs.push(Ctx { start_depth: depth, held: Vec::new() });
-                    pending_closure = false;
-                } else if scrutinee_extends_temporaries(text, stmt_start, i) {
-                    // `match`/`for`/`if let`/`while let` scrutinee
-                    // temporaries live for the whole block (edition 2021):
-                    // promote them to block-scoped guards.
-                    if let Some(ctx) = ctxs.last_mut() {
-                        for h in ctx.held.iter_mut().filter(|h| h.temp) {
-                            h.temp = false;
-                            h.depth = depth;
-                        }
-                    }
-                } else if let Some(ctx) = ctxs.last_mut() {
-                    ctx.held.retain(|h| !h.temp);
-                }
-                stmt_start = i + 1;
-            }
-            b'}' => {
-                if let Some(ctx) = ctxs.last_mut() {
-                    ctx.held.retain(|h| !h.temp && h.depth < depth);
-                }
-                depth = depth.saturating_sub(1);
-                if ctxs.len() > 1 && ctxs.last().map(|c| c.start_depth > depth).unwrap_or(false) {
-                    ctxs.pop();
-                }
-                stmt_start = i + 1;
-            }
-            b';' => {
-                if let Some(ctx) = ctxs.last_mut() {
-                    ctx.held.retain(|h| !h.temp);
-                }
-                stmt_start = i + 1;
-            }
-            b'|' => {
-                if let Some(params_end) = closure_params_end(text, i, end) {
-                    let mut j = params_end + 1;
-                    while j < end && text[j].is_ascii_whitespace() {
-                        j += 1;
-                    }
-                    if j < end && text[j] == b'{' {
-                        pending_closure = true;
-                    }
-                    // Expression-bodied closures keep the outer context
-                    // (conservative over-approximation; rare and benign).
-                    i = params_end;
-                }
-            }
-            b'd' if word_at(text, i, "drop") => {
-                if let Some((var, after)) = drop_argument(text, i + 4, end) {
-                    if let Some(ctx) = ctxs.last_mut() {
-                        if let Some(pos) =
-                            ctx.held.iter().rposition(|h| h.var.as_deref() == Some(var.as_str()))
-                        {
-                            ctx.held.remove(pos);
-                        }
-                    }
-                    i = after;
-                    continue;
-                }
-            }
-            b'y' => {
-                if let Some(open) = yields::yield_now_at(text, i, end) {
-                    if let Some(ctx) = ctxs.last() {
-                        for held in &ctx.held {
-                            yield_sites.push(YieldSite {
-                                file: file.rel_path.clone(),
-                                function: function.to_string(),
-                                lock: held.lock.clone(),
-                                yield_call: "yield_now".to_string(),
-                                line: line_of(text, i),
-                                column: column_of(text, i),
-                            });
-                        }
-                    }
-                    i = open;
-                    continue;
-                }
-            }
-            b'.' => {
-                if let Some((method, open)) = yields::yield_method_at(text, i, end) {
-                    if let Some(ctx) = ctxs.last() {
-                        for held in &ctx.held {
-                            yield_sites.push(YieldSite {
-                                file: file.rel_path.clone(),
-                                function: function.to_string(),
-                                lock: held.lock.clone(),
-                                yield_call: method.to_string(),
-                                line: line_of(text, i + 1),
-                                column: column_of(text, i + 1),
-                            });
-                        }
-                    }
-                    i = open;
-                    continue;
-                }
-                if let Some(acq) = acquisition_at(text, i, end) {
-                    let chain = receiver_chain(text, i);
-                    if let Some(chain) = chain {
-                        let field = chain.rsplit('.').next().unwrap_or(&chain).to_string();
-                        let lock_id = format!("{}::{}", file.crate_name, field);
-                        if !ignored.contains(&field) && !ignored.contains(&lock_id) {
-                            let line = line_of(text, i);
-                            let column = column_of(text, i);
-                            let ctx = ctxs.last_mut().expect("context stack never empty");
-                            for held in &ctx.held {
-                                if held.lock == lock_id && held.chain == chain {
-                                    recursive.push(RecursiveLock {
-                                        lock: lock_id.clone(),
-                                        file: file.rel_path.clone(),
-                                        line,
-                                        column,
-                                        function: function.to_string(),
-                                    });
-                                    continue;
-                                }
-                                // Same class through a different receiver
-                                // chain records a self-edge: either two
-                                // instances (needs `ignored_locks`) or the
-                                // same instance via aliases (a deadlock).
-                                edges.push(LockEdge {
-                                    from: held.lock.clone(),
-                                    to: lock_id.clone(),
-                                    file: file.rel_path.clone(),
-                                    line,
-                                    column,
-                                    function: function.to_string(),
-                                });
-                            }
-                            let (bound_var, temp) = binding_of(text, stmt_start, acq.close_paren);
-                            ctx.held.push(Held {
-                                lock: lock_id,
-                                chain,
-                                var: bound_var,
-                                depth,
-                                temp,
-                            });
-                        }
-                    }
-                    i = acq.close_paren + 1;
-                    continue;
-                }
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-}
-
-struct Acquisition {
-    close_paren: usize,
-}
-
-/// Detects `.lock()`, `.read()`, `.write()` (empty argument list only, so
-/// `io::Read::read(&mut buf)` and friends never match) at offset `dot`.
-fn acquisition_at(text: &[u8], dot: usize, end: usize) -> Option<Acquisition> {
-    let mut j = dot + 1;
-    let name_start = j;
-    while j < end && is_ident_byte(text[j]) {
-        j += 1;
-    }
-    let name = &text[name_start..j];
-    if !(name == b"lock" || name == b"read" || name == b"write") {
-        return None;
-    }
-    while j < end && text[j].is_ascii_whitespace() {
-        j += 1;
-    }
-    if j >= end || text[j] != b'(' {
-        return None;
-    }
-    j += 1;
-    while j < end && text[j].is_ascii_whitespace() {
-        j += 1;
-    }
-    if j < end && text[j] == b')' {
-        Some(Acquisition { close_paren: j })
-    } else {
-        None
-    }
-}
-
-/// Walks backward from the `.` of an acquisition to the start of the
-/// receiver chain. Returns `None` when the receiver is not a simple
-/// `ident(.ident)*` path (e.g. a call result), in which case the lock has
-/// no stable class identity and the site is skipped.
-fn receiver_chain(text: &[u8], dot: usize) -> Option<String> {
-    let mut start = dot;
-    while start > 0 {
-        let b = text[start - 1];
-        if is_ident_byte(b) || b == b'.' || b == b':' {
-            start -= 1;
-        } else {
-            break;
-        }
-    }
-    if start == dot {
-        return None;
-    }
-    if start > 0 && text[start - 1] == b')' {
-        return None;
-    }
-    let chain = String::from_utf8_lossy(&text[start..dot]).into_owned();
-    let chain = chain.trim_matches('.').to_string();
-    let last = chain.rsplit('.').next().unwrap_or("");
-    let last = last.rsplit("::").next().unwrap_or("");
-    if last.is_empty() || last.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true) {
-        return None;
-    }
-    Some(chain)
-}
-
-/// Whether the acquisition ending at `close_paren` is `let g = x.lock();`
-/// (a block-scoped guard) or a statement temporary. Returns the bound
-/// variable name, if determinable, and the `temp` flag.
-fn binding_of(text: &[u8], stmt_start: usize, close_paren: usize) -> (Option<String>, bool) {
-    let mut k = close_paren + 1;
-    while k < text.len() && text[k].is_ascii_whitespace() {
-        k += 1;
-    }
-    let terminated = k < text.len() && text[k] == b';';
-    if !terminated {
-        return (None, true);
-    }
-    let mut s = stmt_start;
-    while s < text.len() && text[s].is_ascii_whitespace() {
-        s += 1;
-    }
-    if !word_at(text, s, "let") {
-        return (None, true);
-    }
-    let mut v = s + 3;
-    while v < text.len() && text[v].is_ascii_whitespace() {
-        v += 1;
-    }
-    if word_at(text, v, "mut") {
-        v += 3;
-        while v < text.len() && text[v].is_ascii_whitespace() {
-            v += 1;
-        }
-    }
-    let var_start = v;
-    while v < text.len() && is_ident_byte(text[v]) {
-        v += 1;
-    }
-    if v == var_start {
-        return (None, false); // e.g. destructuring `let (a, b) = …`
-    }
-    (Some(String::from_utf8_lossy(&text[var_start..v]).into_owned()), false)
-}
-
-/// If the `|` at `pipe` opens closure parameters, the offset of the
-/// closing `|`.
-fn closure_params_end(text: &[u8], pipe: usize, end: usize) -> Option<usize> {
-    // `||` never means boolean-or at expression start; otherwise require a
-    // preceding token that can only precede a closure.
-    let mut p = pipe;
-    while p > 0 && (text[p - 1] == b' ' || text[p - 1] == b'\t' || text[p - 1] == b'\n') {
-        p -= 1;
-    }
-    let opens_closure = if p == 0 {
-        true
-    } else {
-        let prev = text[p - 1];
-        matches!(prev, b'(' | b',' | b'=' | b'{' | b';' | b':' | b'&' | b'>')
-            || ends_with_word(text, p, "move")
-            || ends_with_word(text, p, "return")
-    };
-    if !opens_closure {
-        return None;
-    }
-    if pipe + 1 < end && text[pipe + 1] == b'|' {
-        return Some(pipe + 1);
-    }
-    let mut j = pipe + 1;
-    while j < end && j < pipe + 200 {
-        match text[j] {
-            b'|' => return Some(j),
-            b';' | b'{' | b'}' => return None,
-            _ => j += 1,
-        }
-    }
-    None
-}
-
-/// Parses `drop ( ident )` starting after the `drop` keyword; returns the
-/// identifier and the offset just past the closing paren.
-fn drop_argument(text: &[u8], mut j: usize, end: usize) -> Option<(String, usize)> {
-    while j < end && text[j].is_ascii_whitespace() {
-        j += 1;
-    }
-    if j >= end || text[j] != b'(' {
-        return None;
-    }
-    j += 1;
-    while j < end && text[j].is_ascii_whitespace() {
-        j += 1;
-    }
-    let start = j;
-    while j < end && is_ident_byte(text[j]) {
-        j += 1;
-    }
-    if j == start {
-        return None;
-    }
-    let var = String::from_utf8_lossy(&text[start..j]).into_owned();
-    while j < end && text[j].is_ascii_whitespace() {
-        j += 1;
-    }
-    if j < end && text[j] == b')' {
-        Some((var, j + 1))
-    } else {
-        None
-    }
-}
-
-fn word_at(text: &[u8], i: usize, word: &str) -> bool {
-    let w = word.as_bytes();
-    if i + w.len() > text.len() || &text[i..i + w.len()] != w {
-        return false;
-    }
-    let before_ok = i == 0 || !is_ident_byte(text[i - 1]);
-    let after_ok = i + w.len() >= text.len() || !is_ident_byte(text[i + w.len()]);
-    before_ok && after_ok
-}
-
-fn ends_with_word(text: &[u8], end: usize, word: &str) -> bool {
-    let w = word.as_bytes();
-    end >= w.len()
-        && &text[end - w.len()..end] == w
-        && (end == w.len() || !is_ident_byte(text[end - w.len() - 1]))
-}
-
-/// Whether the statement opening a block at `limit` keeps its scrutinee
-/// temporaries alive for the whole block: `match`, `for`, `if let`,
-/// `while let` (plain `if`/`while` conditions drop them at the `{`).
-fn scrutinee_extends_temporaries(text: &[u8], stmt_start: usize, limit: usize) -> bool {
-    let mut s = stmt_start;
-    while s < limit && text[s].is_ascii_whitespace() {
-        s += 1;
-    }
-    let start = s;
-    while s < limit && is_ident_byte(text[s]) {
-        s += 1;
-    }
-    let first = match std::str::from_utf8(&text[start..s]) {
-        Ok(w) => w,
-        Err(_) => return false,
-    };
-    match first {
-        "match" | "for" => true,
-        "if" | "while" => {
-            let mut t = s;
-            while t < limit && text[t].is_ascii_whitespace() {
-                t += 1;
-            }
-            word_at(text, t, "let")
-        }
-        _ => false,
-    }
 }
 
 /// A cycle in the lock-order graph: the participating lock classes and

@@ -4,14 +4,19 @@
 //! cargo run -p mochi-lint -- --root . [--allowlist lint-allow.json]
 //!     [--format text|json|sarif] [--json-report <path>]
 //!     [--allow-stale] [--write-allowlist]
+//!     [--baseline <sarif>] [--write-baseline <sarif>]
 //! ```
 //!
 //! Exit codes:
 //! * 0 — clean (no findings; no stale allowlist entries, unless
-//!   `--allow-stale` downgraded them to warnings)
+//!   `--allow-stale` downgraded them to warnings). In `--baseline` mode:
+//!   no findings *beyond the baseline*.
 //! * 1 — findings (cycles / new panic paths / new blocking calls /
 //!   data-plane JSON / contract issues / locks across yields /
-//!   deadline loss / retry-unsound effects / relaxed-atomic misuse)
+//!   deadline loss / retry-unsound effects / relaxed-atomic misuse /
+//!   RPC-under-lock / swallowed background errors / unbounded queues).
+//!   In `--baseline` mode: findings whose fingerprint the baseline
+//!   doesn't contain.
 //! * 2 — usage or I/O error
 //! * 3 — no findings, but stale `lint-allow.json` entries (frozen debt
 //!   that has been paid down must be pruned; pass `--allow-stale` to
@@ -30,6 +35,8 @@ fn main() -> ExitCode {
     let mut allow_stale = false;
     let mut format = String::from("text");
     let mut json_report: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -51,13 +58,22 @@ fn main() -> ExitCode {
                 Some(v) => json_report = Some(PathBuf::from(v)),
                 None => return usage("--json-report needs a path"),
             },
+            "--baseline" => match args.next() {
+                Some(v) => baseline_path = Some(PathBuf::from(v)),
+                None => return usage("--baseline needs a SARIF path"),
+            },
+            "--write-baseline" => match args.next() {
+                Some(v) => write_baseline = Some(PathBuf::from(v)),
+                None => return usage("--write-baseline needs a SARIF path"),
+            },
             "--allow-stale" => allow_stale = true,
             "--write-allowlist" => write_allowlist = true,
             "--help" | "-h" => {
                 eprintln!(
                     "mochi-lint --root <workspace> [--allowlist <json>] \
                      [--format text|json|sarif] [--json-report <path>] \
-                     [--allow-stale] [--write-allowlist]"
+                     [--allow-stale] [--write-allowlist] \
+                     [--baseline <sarif>] [--write-baseline <sarif>]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -72,6 +88,25 @@ fn main() -> ExitCode {
             eprintln!("mochi-lint: {e}");
             return ExitCode::from(2);
         }
+    };
+
+    // Read the baseline before the (long) analysis so a bad path fails
+    // fast.
+    let baseline = match &baseline_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match report::parse_baseline(&text) {
+                Ok(prints) => Some(prints),
+                Err(e) => {
+                    eprintln!("mochi-lint: parsing baseline {path:?}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("mochi-lint: reading baseline {path:?}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
     };
 
     let lint = match mochi_lint::run(&root, &allowlist) {
@@ -93,6 +128,9 @@ fn main() -> ExitCode {
             lint.deadline_counts.clone(),
             lint.retry_counts.clone(),
             lint.atomics_counts.clone(),
+            lint.rpc_lock_counts.clone(),
+            lint.bg_error_counts.clone(),
+            lint.queue_counts.clone(),
             allowlist.reasons.clone(),
             allowlist.ignored_locks.clone(),
         );
@@ -101,7 +139,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!(
-            "wrote {} panic-path, {} blocking, {} data-plane JSON, {} contract, {} lock-across-yield, {} raw-forward, {} deadline-loss, {} retry-soundness, and {} relaxed-atomic allowances to {}",
+            "wrote {} panic-path, {} blocking, {} data-plane JSON, {} contract, {} lock-across-yield, {} raw-forward, {} deadline-loss, {} retry-soundness, {} relaxed-atomic, {} rpc-under-lock, {} background-error, and {} queue-growth allowances to {}",
             lint.panic_counts.values().sum::<usize>(),
             lint.blocking_counts.values().sum::<usize>(),
             lint.json_counts.values().sum::<usize>(),
@@ -111,15 +149,45 @@ fn main() -> ExitCode {
             lint.deadline_counts.values().sum::<usize>(),
             lint.retry_counts.values().sum::<usize>(),
             lint.atomics_counts.values().sum::<usize>(),
+            lint.rpc_lock_counts.values().sum::<usize>(),
+            lint.bg_error_counts.values().sum::<usize>(),
+            lint.queue_counts.values().sum::<usize>(),
             allowlist_path.display()
         );
     }
 
+    if let Some(path) = &write_baseline {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("mochi-lint: creating {parent:?}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, report::render_sarif(&lint)) {
+            eprintln!("mochi-lint: writing baseline {path:?}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} fingerprinted findings to baseline {}",
+            report::findings(&lint).len(),
+            path.display()
+        );
+    }
+
     // The JSON report file is written regardless of the stdout format, so
-    // CI always has the machine-readable document.
+    // CI always has the machine-readable document. A failed directory
+    // creation surfaces through the write error below either way, but
+    // report it in its own words when it is the root cause.
     if let Some(path) = &json_report {
         if let Some(parent) = path.parent() {
-            let _ = std::fs::create_dir_all(parent);
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("mochi-lint: creating {parent:?}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
         }
         if let Err(e) = std::fs::write(path, report::render_json(&lint)) {
             eprintln!("mochi-lint: writing {path:?}: {e}");
@@ -133,7 +201,30 @@ fn main() -> ExitCode {
         _ => print!("{}", report::render_text(&lint)),
     }
 
-    if !lint.is_clean() {
+    // Baseline mode replaces the absolute gate with a delta gate: only
+    // findings missing from the committed baseline fail the run.
+    if let Some(baseline) = &baseline {
+        let new = report::baseline_diff(&lint, baseline);
+        if new.is_empty() {
+            eprintln!("mochi-lint: baseline: no new findings");
+        } else {
+            for f in &new {
+                eprintln!(
+                    "NEW {} [{} {}] {}:{}:{} (fn {}): {}",
+                    f.level.to_uppercase(),
+                    f.rule,
+                    f.rule_name,
+                    f.file,
+                    f.line,
+                    f.column,
+                    f.function,
+                    f.message
+                );
+            }
+            eprintln!("mochi-lint: {} finding(s) not in the baseline", new.len());
+            return ExitCode::FAILURE;
+        }
+    } else if !lint.is_clean() {
         return ExitCode::FAILURE;
     }
     if !lint.stale_entries.is_empty() {

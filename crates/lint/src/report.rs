@@ -20,10 +20,25 @@
 //! | MOCHI012 | deadline-loss      | handler-reachable forward drops the caller's deadline |
 //! | MOCHI013 | retry-unsound      | non-idempotent effect behind a retryable RPC |
 //! | MOCHI014 | relaxed-atomic     | Relaxed ordering on a cross-function decision flag |
+//! | MOCHI015 | rpc-under-lock     | ordered-lock guard live across a forward-reaching call |
+//! | MOCHI016 | swallowed-bg-error | fallible call's Result discarded inside a spawn body |
+//! | MOCHI017 | unbounded-queue-growth | grow call into shared state in a handler-reachable loop |
 //!
 //! The JSON document is the machine-readable contract (written to
 //! `target/lint-report.json` by `scripts/lint.sh`); SARIF 2.1.0 is for
 //! code-scanning UIs.
+//!
+//! ## Baseline diffing
+//!
+//! Every finding carries a stable fingerprint — FNV-1a 64 over
+//! `rule | normalized path | function | digit-stripped message`, plus an
+//! occurrence ordinal for identical tuples — emitted in SARIF as
+//! `partialFingerprints["mochiLintFingerprint/v1"]`. Line and column
+//! are deliberately *not* hashed, so a finding keeps its identity when
+//! unrelated edits shift the file; the digit-strip keeps messages that
+//! embed counts or offsets stable too. `--baseline <file>` compares the
+//! current run's fingerprints against a committed SARIF baseline and
+//! fails only on fingerprints the baseline doesn't contain.
 
 use std::fmt::Write as _;
 
@@ -62,6 +77,9 @@ pub const RULES: &[(&str, &str, &str)] = &[
     ("MOCHI012", "deadline-loss", "forward reachable from an RPC handler rebuilds a TOP_LEVEL context, dropping the caller's deadline"),
     ("MOCHI013", "retry-unsound", "non-idempotent effect reachable from the handler of a declared-idempotent RPC"),
     ("MOCHI014", "relaxed-atomic", "Ordering::Relaxed on an atomic flag written and condition-read in different functions"),
+    ("MOCHI015", "rpc-under-lock", "OrderedMutex/OrderedRwLock guard live across a call that transitively reaches a forward-family RPC"),
+    ("MOCHI016", "swallowed-bg-error", "fallible call inside a spawn body whose Result is discarded instead of parked on the BackgroundExecutor"),
+    ("MOCHI017", "unbounded-queue-growth", "push/send/extend into shared state inside a handler-reachable loop with no bound or drain evidence"),
 ];
 
 /// Flattens a report into findings, errors first. Stale-allowlist
@@ -231,6 +249,62 @@ pub fn findings(report: &LintReport) -> Vec<Finding> {
             ),
         });
     }
+    for r in &report.rpc_lock_violations {
+        out.push(Finding {
+            rule: "MOCHI015",
+            rule_name: "rpc-under-lock",
+            level: "error",
+            file: r.file.clone(),
+            line: r.line,
+            column: r.column,
+            function: r.function.clone(),
+            message: format!(
+                "ordered lock {} held across `{}`, which reaches an RPC ({}) — drop the guard before the call or park the work",
+                r.lock,
+                r.kind.split(':').next().unwrap_or(&r.kind),
+                r.path.join(" -> ")
+            ),
+        });
+    }
+    for b in &report.bg_error_violations {
+        let (form, callee) = b.kind.split_once(':').unwrap_or(("discard", b.kind.as_str()));
+        let how = match form {
+            "let_underscore" => "discarded via `let _ =`",
+            "ok" => "shrugged away via a statement-level `.ok()`",
+            _ => "dropped as an unused statement value",
+        };
+        out.push(Finding {
+            rule: "MOCHI016",
+            rule_name: "swallowed-bg-error",
+            level: "error",
+            file: b.file.clone(),
+            line: b.line,
+            column: b.column,
+            function: b.function.clone(),
+            message: format!(
+                "`{callee}` result {how} inside a spawn body — park the error on the BackgroundExecutor (or handle it) so the supervisor can see the task die"
+            ),
+        });
+    }
+    for q in &report.queue_violations {
+        let mut parts = q.kind.splitn(3, ':');
+        let _ = parts.next();
+        let method = parts.next().unwrap_or("push");
+        let base = parts.next().unwrap_or("queue");
+        out.push(Finding {
+            rule: "MOCHI017",
+            rule_name: "unbounded-queue-growth",
+            level: "error",
+            file: q.file.clone(),
+            line: q.line,
+            column: q.column,
+            function: q.function.clone(),
+            message: format!(
+                "`{method}` into shared `{base}` inside a handler-reachable loop ({}) with no bound check, capacity, or drain — add backpressure",
+                q.path.join(" -> ")
+            ),
+        });
+    }
     for s in &report.stale_entries {
         out.push(Finding {
             rule: "MOCHI010",
@@ -267,7 +341,10 @@ pub fn render_text(report: &LintReport) -> String {
             + report.raw_forward_allowed
             + report.deadline_allowed
             + report.retry_allowed
-            + report.atomics_allowed,
+            + report.atomics_allowed
+            + report.rpc_lock_allowed
+            + report.bg_error_allowed
+            + report.queue_allowed,
     );
     let _ = writeln!(
         out,
@@ -293,7 +370,7 @@ pub fn render_text(report: &LintReport) -> String {
         );
     }
     if report.is_clean() && report.stale_entries.is_empty() {
-        let _ = writeln!(out, "OK: all ten analyses clean, allowlist has no stale entries");
+        let _ = writeln!(out, "OK: all thirteen analyses clean, allowlist has no stale entries");
     }
     out
 }
@@ -323,7 +400,10 @@ pub fn render_json(report: &LintReport) -> String {
     let _ = writeln!(out, "      \"raw_forward\": {},", report.raw_forward_allowed);
     let _ = writeln!(out, "      \"deadline_loss\": {},", report.deadline_allowed);
     let _ = writeln!(out, "      \"retry_soundness\": {},", report.retry_allowed);
-    let _ = writeln!(out, "      \"relaxed_atomics\": {}", report.atomics_allowed);
+    let _ = writeln!(out, "      \"relaxed_atomics\": {},", report.atomics_allowed);
+    let _ = writeln!(out, "      \"rpc_under_lock\": {},", report.rpc_lock_allowed);
+    let _ = writeln!(out, "      \"background_errors\": {},", report.bg_error_allowed);
+    let _ = writeln!(out, "      \"queue_growth\": {}", report.queue_allowed);
     let _ = writeln!(out, "    }},");
     let _ = writeln!(out, "    \"call_graph\": {{");
     let _ = writeln!(out, "      \"nodes\": {},", report.graph_stats.nodes);
@@ -396,13 +476,15 @@ pub fn render_sarif(report: &LintReport) -> String {
     let _ = writeln!(out, "        }}");
     let _ = writeln!(out, "      }},");
     let _ = writeln!(out, "      \"results\": [");
+    let prints = fingerprints(&all);
     for (i, f) in all.iter().enumerate() {
         let _ = write!(
             out,
-            "        {{\"ruleId\": {}, \"level\": {}, \"message\": {{\"text\": {}}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}",
+            "        {{\"ruleId\": {}, \"level\": {}, \"message\": {{\"text\": {}}}, \"partialFingerprints\": {{\"{FINGERPRINT_KEY}\": {}}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}",
             quote(f.rule),
             quote(f.level),
             quote(&f.message),
+            quote(&prints[i]),
             quote(&f.file),
             f.line.max(1),
             f.column.max(1)
@@ -414,6 +496,96 @@ pub fn render_sarif(report: &LintReport) -> String {
     let _ = writeln!(out, "  ]");
     out.push_str("}\n");
     out
+}
+
+/// The SARIF `partialFingerprints` key the baseline machinery owns.
+/// Versioned so a future hash-scheme change can coexist with old
+/// baselines during a migration.
+pub const FINGERPRINT_KEY: &str = "mochiLintFingerprint/v1";
+
+/// Stable fingerprints, parallel to `all`. The hash input is
+/// `rule | normalized path | function | digit-stripped message`, plus a
+/// per-tuple occurrence ordinal — never the line or column — so a
+/// finding survives unrelated edits that shift the file, while two
+/// identical findings in one function stay distinct.
+pub fn fingerprints(all: &[Finding]) -> Vec<String> {
+    use std::collections::BTreeMap;
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    all.iter()
+        .map(|f| {
+            let base = fingerprint_base(f);
+            let ordinal = seen.entry(base.clone()).or_insert(0);
+            let hash = fnv64(&format!("{base}#{ordinal}"));
+            *ordinal += 1;
+            format!("{hash:016x}")
+        })
+        .collect()
+}
+
+fn fingerprint_base(f: &Finding) -> String {
+    let path = f.file.replace('\\', "/");
+    let path = path.trim_start_matches("./");
+    let message: String = f.message.chars().filter(|c| !c.is_ascii_digit()).collect();
+    format!("{}|{}|{}|{}", f.rule, path, f.function, message)
+}
+
+/// FNV-1a 64 — dependency-free and stable across platforms.
+fn fnv64(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Extracts the fingerprint set from a committed SARIF baseline.
+/// Results without the versioned key are ignored (a baseline written by
+/// an older tool simply matches nothing, so everything reports as new —
+/// loud, not silent).
+pub fn parse_baseline(text: &str) -> Result<std::collections::BTreeSet<String>, String> {
+    let value = crate::allowlist::parse_json(text)?;
+    let root = value.as_object().ok_or("baseline root must be an object")?;
+    let runs = root
+        .iter()
+        .find(|(k, _)| k == "runs")
+        .and_then(|(_, v)| v.as_array())
+        .ok_or("baseline missing 'runs' array")?;
+    let mut prints = std::collections::BTreeSet::new();
+    for run in runs {
+        let Some(results) = run
+            .as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == "results"))
+            .and_then(|(_, v)| v.as_array())
+        else {
+            continue;
+        };
+        for result in results {
+            if let Some(fp) = result
+                .as_object()
+                .and_then(|o| o.iter().find(|(k, _)| k == "partialFingerprints"))
+                .and_then(|(_, v)| v.as_object())
+                .and_then(|o| o.iter().find(|(k, _)| k == FINGERPRINT_KEY))
+                .and_then(|(_, v)| v.as_str())
+            {
+                prints.insert(fp.to_string());
+            }
+        }
+    }
+    Ok(prints)
+}
+
+/// Findings whose fingerprint the baseline doesn't contain — the delta
+/// gate's input. Fixed findings (baseline entries matching nothing) are
+/// fine: the gate fails only on *new* debt.
+pub fn baseline_diff(report: &LintReport, baseline: &std::collections::BTreeSet<String>) -> Vec<Finding> {
+    let all = findings(report);
+    let prints = fingerprints(&all);
+    all.into_iter()
+        .zip(prints)
+        .filter(|(_, fp)| !baseline.contains(fp))
+        .map(|(f, _)| f)
+        .collect()
 }
 
 fn quote(s: &str) -> String {
@@ -485,6 +657,51 @@ mod tests {
             assert!(sarif.contains(id), "missing {id}");
         }
         assert!(sarif.contains("\"version\": \"2.1.0\""));
+    }
+
+    #[test]
+    fn sarif_results_carry_versioned_fingerprints() {
+        let report = demo_report();
+        let sarif = render_sarif(&report);
+        assert!(sarif.contains(FINGERPRINT_KEY), "{sarif}");
+        let prints = parse_baseline(&sarif).unwrap();
+        assert_eq!(prints.len(), findings(&report).len(), "one fingerprint per finding");
+    }
+
+    #[test]
+    fn fingerprints_ignore_line_drift() {
+        let report = demo_report();
+        let all = findings(&report);
+        let before = fingerprints(&all);
+        let mut shifted = all.clone();
+        for f in &mut shifted {
+            f.line += 50;
+            f.column += 3;
+        }
+        assert_eq!(before, fingerprints(&shifted));
+    }
+
+    #[test]
+    fn duplicate_findings_get_distinct_ordinals() {
+        let report = demo_report();
+        let all = findings(&report);
+        let mut doubled = all.clone();
+        doubled.extend(all.iter().cloned());
+        let prints = fingerprints(&doubled);
+        let unique: std::collections::BTreeSet<_> = prints.iter().collect();
+        assert_eq!(unique.len(), prints.len(), "every occurrence distinct: {prints:?}");
+    }
+
+    #[test]
+    fn baseline_diff_reports_only_new_findings() {
+        let report = demo_report();
+        let baseline = parse_baseline(&render_sarif(&report)).unwrap();
+        assert!(baseline_diff(&report, &baseline).is_empty(), "self-diff must be empty");
+        assert_eq!(
+            baseline_diff(&report, &std::collections::BTreeSet::new()).len(),
+            findings(&report).len(),
+            "empty baseline reports everything as new"
+        );
     }
 
     #[test]

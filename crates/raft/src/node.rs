@@ -538,7 +538,12 @@ impl RaftNode {
                         Duration::from_millis(inner.config.rpc_timeout_ms),
                     );
                     if let Ok(reply) = reply {
-                        let _ = tx.send(reply);
+                        if tx.send(reply).is_err() {
+                            // The collector reached quorum (or timed
+                            // out) and dropped the receiver; nothing is
+                            // owed to a concluded election.
+                            return;
+                        }
                     }
                 })
                 .expect("spawn vote thread");
@@ -587,7 +592,15 @@ impl RaftNode {
                     core.role = Role::Candidate;
                     core.meta.term = proposed;
                     core.meta.voted_for = Some(inner.margo.address());
-                    let _ = inner.storage.save_meta(&core.meta);
+                    if inner.storage.save_meta(&core.meta).is_err() {
+                        // A vote we cannot persist is a vote we must not
+                        // cast: after a restart this node could vote
+                        // again in the same term and elect two leaders.
+                        // Stand down; the in-memory vote keeps us from
+                        // granting anyone else this term meanwhile.
+                        core.role = Role::Follower;
+                        return;
+                    }
                     core.last_heartbeat = Instant::now();
                     RequestVoteArgs {
                         term: proposed,

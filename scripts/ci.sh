@@ -17,6 +17,9 @@
 #   26 write-scaling gate failed (a04_contention: striped LSM puts must
 #      scale >= 2x at 4 threads without regressing single-thread p50)
 #   27 a04_contention ran but emitted no target/BENCH_a04.json
+#   28 findings not in lint-baseline.sarif (new lint debt; fix it or
+#      regenerate the baseline deliberately with --write-baseline)
+#   29 baseline lint runtime budget blown (>= 30s)
 #   10+ static-analysis failures (see scripts/lint.sh)
 set -u
 
@@ -84,5 +87,30 @@ fi
 echo "    clean in ${interproc_elapsed}s (budget 30s)"
 # Any other finding class falls through to the full lint below, which
 # triages it with the finer-grained 10/11 codes.
+
+# Baseline gate (DESIGN.md §16): the delta against the committed SARIF
+# baseline must be empty. Unlike the absolute gates above, this one only
+# fails on *new* findings — fingerprints are line-drift-proof, so pure
+# refactors pass while fresh debt (even of an already-frozen class)
+# does not. Timed separately: the baseline run rebuilds the call graph
+# a second time and must also stay inside the 30s budget.
+echo "==> mochi-lint (baseline gate: lint-baseline.sarif)"
+baseline_start=$(date +%s)
+cargo run -q -p mochi-lint -- --root "$root" --format sarif \
+    --baseline "$root/lint-baseline.sarif" > target/lint-baseline-run.sarif
+baseline_status=$?
+baseline_elapsed=$(( $(date +%s) - baseline_start ))
+case "$baseline_status" in
+    0) ;;
+    1) echo "ci.sh: findings not in lint-baseline.sarif (see above)" >&2; exit 28 ;;
+    3) ;; # stale allowlist entries triage as 11 via lint.sh below
+    *) echo "ci.sh: baseline lint failed (exit $baseline_status)" >&2
+       exit "$baseline_status" ;;
+esac
+if [ "$baseline_elapsed" -ge 30 ]; then
+    echo "ci.sh: baseline mochi-lint took ${baseline_elapsed}s (budget 30s)" >&2
+    exit 29
+fi
+echo "    no new findings in ${baseline_elapsed}s (budget 30s)"
 
 exec "$root/scripts/lint.sh" "$root"

@@ -12,11 +12,12 @@
 #
 # Exit codes (distinct per failure class, for CI triage):
 #   0  clean
-#   10 mochi-lint findings (MOCHI001..MOCHI009, MOCHI011..MOCHI014)
+#   10 mochi-lint findings (MOCHI001..MOCHI009, MOCHI011..MOCHI017)
 #   11 stale lint-allow.json entries (MOCHI010: frozen debt paid down but
 #      not pruned)
 #   12 clippy warnings
 #   13 rustfmt drift
+#   14 target/lint-report.json missing or empty after a "successful" run
 #   2  usage / I/O error from mochi-lint itself
 set -u
 
@@ -33,6 +34,15 @@ case "$status" in
     3) echo "lint.sh: stale lint-allow.json entries" >&2; exit 11 ;;
     *) echo "lint.sh: mochi-lint failed (exit $status)" >&2; exit "$status" ;;
 esac
+
+# A clean exit with no report means the machine-readable artifact CI
+# depends on silently went missing (full disk, bad mount, refactor that
+# dropped the write). Fail loudly rather than let downstream stages read
+# a stale report.
+if [ ! -s "$root/target/lint-report.json" ]; then
+    echo "lint.sh: target/lint-report.json missing or empty after lint run" >&2
+    exit 14
+fi
 
 # Advisory layers: run when the toolchain pieces exist, but don't fail
 # the gate on their absence (offline/minimal containers).

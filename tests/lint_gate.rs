@@ -4,6 +4,8 @@
 //! points, raw forwards in service clients that bypass the retry-aware
 //! chokepoints, the interprocedural hazards (handler-reachable deadline
 //! loss, retry-unsound effects, relaxed decision flags — MOCHI012–014),
+//! the guard-dataflow hazards (RPC under an ordered lock, swallowed
+//! background errors, unbounded queue growth — MOCHI015–017),
 //! and *new* panic paths or blocking calls beyond the debt frozen in
 //! `lint-allow.json` — and the allowlist itself must carry no stale
 //! entries (debt that was paid down but never pruned).
