@@ -77,6 +77,21 @@ impl ProviderSpec {
         self.dependencies.insert(name.into(), target.into());
         self
     }
+
+    /// Builder-style: adds a free-form tag. The convention
+    /// `keyspace:<group>` marks a provider as one member of a routed
+    /// keyspace (`mochi_core::RoutedKv` discovers members by this tag
+    /// through each server's reported config).
+    pub fn with_tag(mut self, tag: impl Into<String>) -> Self {
+        self.tags.push(tag.into());
+        self
+    }
+
+    /// The keyspace group this provider belongs to, when tagged with
+    /// `keyspace:<group>`.
+    pub fn keyspace(&self) -> Option<&str> {
+        self.tags.iter().find_map(|t| t.strip_prefix("keyspace:"))
+    }
 }
 
 /// A parsed dependency target.

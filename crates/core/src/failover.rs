@@ -21,9 +21,14 @@ use mochi_yokan::client::DatabaseHandle;
 use crate::service::DynamicService;
 use std::sync::Arc;
 
-/// How long to wait between re-resolution rounds while the service
-/// recovers a member (SWIM detection + respawn are not instantaneous).
+/// Default wait between re-resolution rounds while the service recovers
+/// a member (SWIM detection + respawn are not instantaneous). Override
+/// with [`FailoverKv::with_reroute_backoff`].
 const REROUTE_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Default resolution rounds before giving up. Override with
+/// [`FailoverKv::with_max_rounds`].
+const MAX_ROUNDS: u32 = 40;
 
 /// A Yokan database handle that follows its provider across failovers.
 pub struct FailoverKv {
@@ -32,6 +37,8 @@ pub struct FailoverKv {
     provider: String,
     /// Resolution rounds before giving up (each round re-reads the view).
     max_rounds: u32,
+    /// Wait between re-resolution rounds.
+    reroute_backoff: Duration,
     /// Per-operation timeout; kept short so a stale location fails fast
     /// and the next round re-resolves.
     timeout: Duration,
@@ -46,7 +53,8 @@ impl FailoverKv {
             service: Arc::clone(service),
             margo: margo.clone(),
             provider: provider.to_string(),
-            max_rounds: 40,
+            max_rounds: MAX_ROUNDS,
+            reroute_backoff: REROUTE_BACKOFF,
             timeout: Duration::from_millis(250),
         }
     }
@@ -55,6 +63,19 @@ impl FailoverKv {
     pub fn with_max_rounds(mut self, rounds: u32) -> Self {
         self.max_rounds = rounds.max(1);
         self
+    }
+
+    /// Overrides the wait between re-resolution rounds (default 50ms).
+    /// The routed keyspace tunes this down so a whole scatter-gather
+    /// fan-out is not held hostage by one slow leg's backoff.
+    pub fn with_reroute_backoff(mut self, backoff: Duration) -> Self {
+        self.reroute_backoff = backoff;
+        self
+    }
+
+    /// The provider name this handle follows.
+    pub fn provider(&self) -> &str {
+        &self.provider
     }
 
     /// Overrides the per-operation timeout.
@@ -95,7 +116,7 @@ impl FailoverKv {
         ));
         for round in 0..self.max_rounds {
             if round > 0 {
-                std::thread::sleep(REROUTE_BACKOFF);
+                std::thread::sleep(self.reroute_backoff);
             }
             let Some((addr, provider_id)) = self.resolve() else {
                 continue;
@@ -124,6 +145,36 @@ impl FailoverKv {
     /// Fetches the value under `key`.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, MargoError> {
         self.with_handle(|h| h.get(key))
+    }
+
+    /// Stores many pairs in one RPC at the provider's current location.
+    pub fn put_multi(&self, pairs: &[(&[u8], &[u8])]) -> Result<(), MargoError> {
+        self.with_handle(|h| h.put_multi(pairs))
+    }
+
+    /// Fetches many values in one RPC (entry is `None` for missing keys).
+    pub fn get_multi(&self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>, MargoError> {
+        self.with_handle(|h| h.get_multi(keys))
+    }
+
+    /// Removes `key`; returns whether it existed. Not retried by the
+    /// transport (erase is not idempotent), but still re-resolved across
+    /// rounds like every other op — so after a transport-class failure
+    /// the erase may execute twice. The *effect* (key absent) is
+    /// idempotent; only the returned bool can differ, same caveat the
+    /// yokan client documents for erase-under-retry.
+    pub fn erase(&self, key: &[u8]) -> Result<bool, MargoError> {
+        self.with_handle(|h| h.erase(key))
+    }
+
+    /// Lists up to `max` keys starting with `prefix`, after `start_after`.
+    pub fn list_keys(
+        &self,
+        prefix: &[u8],
+        start_after: Option<&[u8]>,
+        max: usize,
+    ) -> Result<Vec<Vec<u8>>, MargoError> {
+        self.with_handle(|h| h.list_keys(prefix, start_after, max))
     }
 
     /// Whether `key` exists.

@@ -21,11 +21,18 @@
 //! reconfiguration in the paper's introduction and the workload of
 //! experiment E11.
 
+//! [`ring`] + [`routed`] extend capability 3 horizontally: one logical
+//! keyspace consistent-hash-routed across N Yokan providers, with
+//! concurrent scatter-gather multi-ops and zero-loss live rebalance
+//! (experiment A9).
+
 pub mod adaptive;
 pub mod cluster;
 pub mod consistent;
 pub mod failover;
 pub mod resilience;
+pub mod ring;
+pub mod routed;
 pub mod service;
 pub mod workflow;
 
@@ -34,5 +41,7 @@ pub use cluster::{default_catalog, Cluster, ClusterError};
 pub use consistent::ConsistentGroup;
 pub use failover::FailoverKv;
 pub use resilience::{ResilienceConfig, ResilienceManager};
+pub use ring::{HashRing, MovedArc};
+pub use routed::{RebalanceReport, RoutedConfig, RoutedKv};
 pub use service::{DynamicService, ServiceConfig};
 pub use workflow::{Phase, PhaseReport, WorkloadSpec};

@@ -1,0 +1,1125 @@
+//! `RoutedKv` — one logical keyspace over N Yokan providers.
+//!
+//! The scale-out counterpart of [`FailoverKv`]: where a failover handle
+//! follows *one* provider across relocations, a routed handle spreads a
+//! keyspace over *many* providers with a client-side consistent-hash
+//! ring ([`HashRing`]) and keeps every per-provider behavior — retry,
+//! breaker, deadline, SSG-view re-resolution, write coalescing — by
+//! routing each leg through its own [`FailoverKv`].
+//!
+//! Three properties define the design:
+//!
+//! * **Names, not addresses.** The ring maps keys to provider *names*;
+//!   each leg resolves the name to a live `(address, provider_id)` per
+//!   operation. Provider-level REMI migrations (node scale-in, failover
+//!   rebuilds) are therefore invisible to the ring — only *keyspace*
+//!   rebalances ([`RoutedKv::join`] / [`RoutedKv::retire`]) change it.
+//! * **Concurrent fan-out.** Multi-key operations split into one batch
+//!   per destination and the batches run as Argobots ULTs on a dedicated
+//!   `routed-fanout` pool (the last leg runs inline on the caller), so a
+//!   `put_multi` over 4 providers costs one leg's latency, not four.
+//!   Failures stay per key: every slot reports its own leg's outcome.
+//! * **Live rebalance, zero acked-write loss.** Membership changes drain
+//!   the minimal moved-slice set through REMI while traffic continues:
+//!   writes to moving keys dual-write old and new owner, reads fall back
+//!   old-then-new, erases are logged and replayed, and slice imports are
+//!   put-if-absent under a client-side barrier. See [`RoutedKv::join`]
+//!   for the full protocol.
+//!
+//! One instance of [`RoutedKv`] is the *coordinator* of its keyspace:
+//! concurrent data ops on the same instance are safe, but membership
+//! changes must not race from multiple client processes (nothing
+//! arbitrates two simultaneous drains — the same single-admin assumption
+//! Bedrock's reconfiguration interface makes).
+//!
+//! [`FailoverKv`]: crate::failover::FailoverKv
+//! [`HashRing`]: crate::ring::HashRing
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use mochi_argobots::{AbtError, PoolConfig, Ult, XstreamConfig};
+use mochi_bedrock::{ProviderSpec, REMI_PROVIDER_ID};
+use mochi_margo::{MargoError, MargoRuntime};
+use mochi_mercury::Address;
+use mochi_pufferscale::Weights;
+use mochi_util::unique_u64;
+use mochi_yokan::client::{CoalescerConfig, CoalescingHandle, DatabaseHandle};
+
+use crate::failover::FailoverKv;
+use crate::ring::{HashRing, DEFAULT_VNODES};
+use crate::service::DynamicService;
+
+/// Pool the scatter-gather ULTs run in. Installed by [`RoutedKv::new`]
+/// on the client runtime (the default topology has a single xstream,
+/// which would serialize the fan-out).
+pub const FANOUT_POOL: &str = "routed-fanout";
+
+/// Tuning knobs of a [`RoutedKv`].
+#[derive(Debug, Clone, Copy)]
+pub struct RoutedConfig {
+    /// Virtual nodes per member on the ring.
+    pub vnodes: usize,
+    /// Execution streams serving [`FANOUT_POOL`] (the fan-out width).
+    pub fanout_streams: usize,
+    /// Per-attempt timeout of each leg.
+    pub leg_timeout: Duration,
+    /// Re-resolution rounds of each leg (see [`FailoverKv`]).
+    pub leg_max_rounds: u32,
+    /// Wait between a leg's re-resolution rounds — deliberately shorter
+    /// than the standalone [`FailoverKv`] default so one slow leg does
+    /// not hold a whole scatter-gather hostage.
+    pub leg_reroute_backoff: Duration,
+    /// When set, single-key `put`s coalesce client-side per destination
+    /// (see [`CoalescingHandle`]); multi-ops already batch per
+    /// destination and bypass it.
+    pub coalescer: Option<CoalescerConfig>,
+    /// Keys listed per page while draining a rebalance.
+    pub drain_batch: usize,
+}
+
+impl Default for RoutedConfig {
+    fn default() -> Self {
+        Self {
+            vnodes: DEFAULT_VNODES,
+            fanout_streams: 4,
+            leg_timeout: Duration::from_millis(250),
+            leg_max_rounds: 40,
+            leg_reroute_backoff: Duration::from_millis(10),
+            coalescer: None,
+            drain_batch: 512,
+        }
+    }
+}
+
+/// What a rebalance moved (returned by [`RoutedKv::join`]/
+/// [`RoutedKv::retire`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Keys drained to a new owner.
+    pub moved_keys: u64,
+    /// REMI slice migrations issued.
+    pub slices: u64,
+    /// Erases recorded during the move window and replayed at cutover.
+    pub replayed_erases: u64,
+    /// Stale source copies removed after cutover.
+    pub erased_stale: u64,
+}
+
+/// Routing snapshot: the serving ring plus, during a move window, the
+/// ring being drained toward.
+#[derive(Clone)]
+struct RouteSnapshot {
+    ring: HashRing,
+    to_ring: Option<HashRing>,
+}
+
+impl RouteSnapshot {
+    /// The key's owner pair: serving owner, plus the future owner when
+    /// the key is mid-move.
+    fn owners<'s>(&'s self, key: &[u8]) -> (Option<&'s str>, Option<&'s str>) {
+        let owner = self.ring.owner(key);
+        let moving = match (&self.to_ring, owner) {
+            (Some(to), Some(from)) => to.owner(key).filter(|next| *next != from),
+            _ => None,
+        };
+        (owner, moving)
+    }
+}
+
+/// One per-member leg: a failover handle plus an optional write
+/// coalescer pinned to the last resolved location.
+struct Leg {
+    failover: FailoverKv,
+    margo: MargoRuntime,
+    timeout: Duration,
+    coalescer_config: Option<CoalescerConfig>,
+    coalescer: Mutex<Option<CoalescingHandle>>,
+}
+
+impl Leg {
+    fn new(
+        service: &Arc<DynamicService>,
+        margo: &MargoRuntime,
+        member: &str,
+        config: &RoutedConfig,
+    ) -> Self {
+        let failover = FailoverKv::new(service, margo, member)
+            .with_timeout(config.leg_timeout)
+            .with_max_rounds(config.leg_max_rounds)
+            .with_reroute_backoff(config.leg_reroute_backoff);
+        Self {
+            failover,
+            margo: margo.clone(),
+            timeout: config.leg_timeout,
+            coalescer_config: config.coalescer,
+            coalescer: Mutex::new(None),
+        }
+    }
+
+    fn reroutable(err: &MargoError) -> bool {
+        err.is_retryable()
+            || matches!(err, MargoError::BreakerOpen { .. } | MargoError::DeadlineExceeded)
+    }
+
+    /// Buffered single-key put when coalescing is on; write-through
+    /// otherwise. A transport-class coalescer failure unpins it (the
+    /// location may have moved) and falls back to the failover path.
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), MargoError> {
+        let Some(config) = self.coalescer_config else {
+            return self.failover.put(key, value);
+        };
+        {
+            let mut pinned = self.coalescer.lock();
+            if pinned.is_none() {
+                if let Some((addr, provider_id)) = self.failover.resolve() {
+                    let handle = DatabaseHandle::new(&self.margo, addr, provider_id)
+                        .with_timeout(self.timeout);
+                    *pinned = Some(handle.coalescing(config));
+                }
+            }
+            if let Some(coalescer) = pinned.as_ref() {
+                match coalescer.put(key, value) {
+                    Ok(()) => return Ok(()),
+                    Err(err) if Self::reroutable(&err) => *pinned = None,
+                    Err(err) => return Err(err),
+                }
+            }
+        }
+        self.failover.put(key, value)
+    }
+
+    /// Ships any coalesced puts (barrier before reads/drains). A
+    /// transport-class failure unpins the coalescer and reports the
+    /// error — the batch was already dropped by the coalescer's own
+    /// no-requeue contract.
+    fn sync(&self) -> Result<(), MargoError> {
+        let mut pinned = self.coalescer.lock();
+        if let Some(coalescer) = pinned.as_ref() {
+            if let Err(err) = coalescer.sync() {
+                if Self::reroutable(&err) {
+                    *pinned = None;
+                }
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+
+    /// Direct batched write (multi-ops). Syncs first so a buffered
+    /// single-key put cannot ship *after* a newer batched value.
+    fn put_multi(&self, pairs: &[(Vec<u8>, Vec<u8>)]) -> Result<(), MargoError> {
+        self.sync()?;
+        let refs: Vec<(&[u8], &[u8])> =
+            pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+        self.failover.put_multi(&refs)
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, MargoError> {
+        self.sync()?;
+        self.failover.get(key)
+    }
+
+    fn get_multi(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>, MargoError> {
+        self.sync()?;
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        self.failover.get_multi(&refs)
+    }
+
+    fn erase(&self, key: &[u8]) -> Result<bool, MargoError> {
+        self.sync()?;
+        self.failover.erase(key)
+    }
+
+    fn erase_multi(&self, keys: &[Vec<u8>]) -> Result<u64, MargoError> {
+        self.sync()?;
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        self.failover.with_handle(|h| h.erase_multi(&refs))
+    }
+
+    fn exists(&self, key: &[u8]) -> Result<bool, MargoError> {
+        self.sync()?;
+        self.failover.exists(key)
+    }
+
+    fn list_keys(
+        &self,
+        prefix: &[u8],
+        start_after: Option<&[u8]>,
+        max: usize,
+    ) -> Result<Vec<Vec<u8>>, MargoError> {
+        self.sync()?;
+        self.failover.list_keys(prefix, start_after, max)
+    }
+
+    fn len(&self) -> Result<u64, MargoError> {
+        self.sync()?;
+        self.failover.len()
+    }
+}
+
+/// A Yokan keyspace routed across many providers by consistent hashing.
+pub struct RoutedKv {
+    service: Arc<DynamicService>,
+    margo: MargoRuntime,
+    config: RoutedConfig,
+    /// Serving ring (+ target ring during a move window).
+    state: RwLock<RouteSnapshot>,
+    /// Member name → leg.
+    legs: RwLock<BTreeMap<String, Arc<Leg>>>,
+    /// Write barrier of the move protocol: writes to *moving* keys hold
+    /// it shared; slice imports, erase-log replay, and cutover hold it
+    /// exclusive, so an import batch never interleaves with a dual-write
+    /// it could shadow.
+    barrier: RwLock<()>,
+    /// Keys erased during the move window; replayed on the new owners at
+    /// cutover so a put-if-absent import cannot resurrect them.
+    erase_log: Mutex<Vec<Vec<u8>>>,
+    /// One membership change at a time.
+    rebalance_lock: Mutex<()>,
+    /// Whether the fan-out pool installed (else legs run sequentially).
+    fanout_ok: bool,
+}
+
+impl RoutedKv {
+    /// Creates a routed keyspace over `members` (Yokan provider names
+    /// hosted somewhere in `service`), issuing RPCs from `margo`.
+    pub fn new<S: AsRef<str>>(
+        service: &Arc<DynamicService>,
+        margo: &MargoRuntime,
+        members: &[S],
+        config: RoutedConfig,
+    ) -> Self {
+        let ring = HashRing::with_vnodes(members, config.vnodes);
+        let legs = ring
+            .members()
+            .iter()
+            .map(|m| (m.clone(), Arc::new(Leg::new(service, margo, m, &config))))
+            .collect();
+        let fanout_ok = Self::install_fanout(margo, config.fanout_streams);
+        Self {
+            service: Arc::clone(service),
+            margo: margo.clone(),
+            config,
+            state: RwLock::new(RouteSnapshot { ring, to_ring: None }),
+            legs: RwLock::new(legs),
+            barrier: RwLock::new(()),
+            erase_log: Mutex::new(Vec::new()),
+            rebalance_lock: Mutex::new(()),
+            fanout_ok,
+        }
+    }
+
+    /// Discovers members by the `keyspace:<group>` provider tag across
+    /// every service member's reported config, then builds the ring over
+    /// them — the Bedrock-config way to wire a routed keyspace.
+    pub fn for_keyspace(
+        service: &Arc<DynamicService>,
+        margo: &MargoRuntime,
+        group: &str,
+        config: RoutedConfig,
+    ) -> Result<Self, MargoError> {
+        let tag = format!("keyspace:{group}");
+        let mut members: Vec<String> = Vec::new();
+        for addr in service.addresses() {
+            let Some(server) = service.server(&addr) else { continue };
+            let process = server.get_config();
+            let Some(providers) = process["providers"].as_array() else { continue };
+            for provider in providers {
+                let tagged = provider["tags"]
+                    .as_array()
+                    .is_some_and(|tags| tags.iter().any(|t| t.as_str() == Some(&tag)));
+                if tagged {
+                    if let Some(name) = provider["name"].as_str() {
+                        members.push(name.to_string());
+                    }
+                }
+            }
+        }
+        if members.is_empty() {
+            return Err(MargoError::Handler(format!(
+                "no providers tagged '{tag}' in the service"
+            )));
+        }
+        Ok(Self::new(service, margo, &members, config))
+    }
+
+    /// Installs the fan-out pool + xstreams, tolerating re-installation
+    /// (several `RoutedKv` on one runtime share the pool).
+    fn install_fanout(margo: &MargoRuntime, streams: usize) -> bool {
+        let abt = margo.abt();
+        match abt.add_pool(PoolConfig::named(FANOUT_POOL)) {
+            Ok(_) | Err(AbtError::PoolExists(_)) => {}
+            Err(_) => return false,
+        }
+        for i in 0..streams.max(1) {
+            let xstream = XstreamConfig::named(format!("{FANOUT_POOL}-{i}"), FANOUT_POOL);
+            match abt.add_xstream(xstream) {
+                Ok(()) | Err(AbtError::XstreamExists(_)) => {}
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// Current members, sorted.
+    pub fn members(&self) -> Vec<String> {
+        self.state.read().ring.members().to_vec()
+    }
+
+    /// Whether a move window is open.
+    pub fn rebalancing(&self) -> bool {
+        self.state.read().to_ring.is_some()
+    }
+
+    fn snapshot(&self) -> RouteSnapshot {
+        self.state.read().clone()
+    }
+
+    fn leg(&self, member: &str) -> Result<Arc<Leg>, MargoError> {
+        self.legs.read().get(member).cloned().ok_or_else(|| {
+            MargoError::Handler(format!("no leg for keyspace member '{member}'"))
+        })
+    }
+
+    fn empty_ring() -> MargoError {
+        MargoError::Handler("routed keyspace has no members".into())
+    }
+
+    // -----------------------------------------------------------------
+    // Scatter-gather
+    // -----------------------------------------------------------------
+
+    /// Runs `tasks` concurrently: all but the last are submitted to the
+    /// fan-out pool as ULTs, the last runs inline on the caller (the
+    /// single-destination case never pays a handoff). Results come back
+    /// in task order.
+    fn scatter<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let total = tasks.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        if !self.fanout_ok || total == 1 {
+            return tasks.into_iter().map(|task| task()).collect();
+        }
+        // Tasks live in take-once cells: whoever gets to a cell first —
+        // the ULT, or the caller after a failed submit — runs it, so a
+        // task executes exactly once even if the pool vanishes under a
+        // teardown race.
+        struct Gather<T, F> {
+            pending: Vec<Mutex<Option<F>>>,
+            slots: Mutex<Vec<Option<T>>>,
+            done: Condvar,
+        }
+        impl<T, F: FnOnce() -> T> Gather<T, F> {
+            fn run(&self, i: usize) {
+                let Some(task) = self.pending[i].lock().take() else { return };
+                let value = task();
+                self.slots.lock()[i] = Some(value);
+                self.done.notify_all();
+            }
+        }
+        let gather: Arc<Gather<T, F>> = Arc::new(Gather {
+            pending: tasks.into_iter().map(|t| Mutex::new(Some(t))).collect(),
+            slots: Mutex::new((0..total).map(|_| None).collect()),
+            done: Condvar::new(),
+        });
+        for i in 0..total - 1 {
+            let leg_gather = Arc::clone(&gather);
+            let ult = Ult::new(format!("routed-leg-{i}"), move || leg_gather.run(i));
+            if self.margo.abt().submit(FANOUT_POOL, ult).is_err() {
+                gather.run(i);
+            }
+        }
+        // The last leg runs inline: the caller contributes its own
+        // thread instead of idling, and a single extra destination
+        // costs no handoff at all.
+        gather.run(total - 1);
+        let mut filled = gather.slots.lock();
+        while filled.iter().any(Option::is_none) {
+            gather.done.wait(&mut filled);
+        }
+        filled.drain(..).map(|slot| slot.expect("all filled")).collect()
+    }
+
+    // -----------------------------------------------------------------
+    // Single-key operations
+    // -----------------------------------------------------------------
+
+    /// Stores `value` under `key` at its ring owner. During a move
+    /// window a moving key dual-writes old then new owner — both must
+    /// ack before the put is acked, so the value survives cutover in
+    /// either direction.
+    ///
+    /// Every write holds the barrier shared for its whole duration (the
+    /// snapshot included): the rebalance path fences with one exclusive
+    /// acquisition after opening the move window, so no write routed
+    /// under the steady ring can still be in flight when the drain
+    /// starts listing keys.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), MargoError> {
+        let _shared = self.barrier.read();
+        let snap = self.snapshot();
+        let (owner, moving) = snap.owners(key);
+        let owner = owner.ok_or_else(Self::empty_ring)?;
+        match moving {
+            Some(next) => {
+                // Write-through on both legs: a buffered dual-write
+                // could ship after the import that must not shadow it.
+                self.leg(owner)?.failover.put(key, value)?;
+                self.leg(next)?.failover.put(key, value)?;
+                // The put supersedes any erase logged earlier in the
+                // window — replaying it would clobber this acked write.
+                self.erase_log.lock().retain(|logged| logged.as_slice() != key);
+                Ok(())
+            }
+            None => self.leg(owner)?.put(key, value),
+        }
+    }
+
+    /// Fetches `key` from its owner; during a move window a miss on the
+    /// old owner falls through to the new owner (the key may already
+    /// have drained).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, MargoError> {
+        let snap = self.snapshot();
+        let (owner, moving) = snap.owners(key);
+        let owner = owner.ok_or_else(Self::empty_ring)?;
+        match self.leg(owner)?.get(key)? {
+            Some(value) => Ok(Some(value)),
+            None => match moving {
+                Some(next) => self.leg(next)?.get(key),
+                None => Ok(None),
+            },
+        }
+    }
+
+    /// Whether `key` exists (old-then-new fallback like [`Self::get`]).
+    pub fn exists(&self, key: &[u8]) -> Result<bool, MargoError> {
+        let snap = self.snapshot();
+        let (owner, moving) = snap.owners(key);
+        let owner = owner.ok_or_else(Self::empty_ring)?;
+        if self.leg(owner)?.exists(key)? {
+            return Ok(true);
+        }
+        match moving {
+            Some(next) => self.leg(next)?.exists(key),
+            None => Ok(false),
+        }
+    }
+
+    /// Removes `key`; returns whether it existed anywhere. During a move
+    /// window the erase hits both owners and is logged, and the log is
+    /// replayed after the slice import — otherwise a put-if-absent
+    /// import could resurrect a key erased mid-drain.
+    pub fn erase(&self, key: &[u8]) -> Result<bool, MargoError> {
+        let _shared = self.barrier.read();
+        let snap = self.snapshot();
+        let (owner, moving) = snap.owners(key);
+        let owner = owner.ok_or_else(Self::empty_ring)?;
+        match moving {
+            Some(next) => {
+                self.erase_log.lock().push(key.to_vec());
+                let old = self.leg(owner)?.erase(key)?;
+                let new = self.leg(next)?.erase(key)?;
+                Ok(old || new)
+            }
+            None => self.leg(owner)?.erase(key),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Multi-key operations (scatter-gather)
+    // -----------------------------------------------------------------
+
+    /// Splits `keys` into per-destination batches under the snapshot: a
+    /// stable key lands in its owner's batch, a moving key in both
+    /// owners' batches (dual write). Returns member → key indices.
+    fn write_batches<K: AsRef<[u8]>>(
+        snap: &RouteSnapshot,
+        keys: &[K],
+    ) -> BTreeMap<String, Vec<usize>> {
+        let mut by_dest: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            let (owner, moving) = snap.owners(key.as_ref());
+            if let Some(owner) = owner {
+                by_dest.entry(owner.to_string()).or_default().push(i);
+            }
+            if let Some(next) = moving {
+                by_dest.entry(next.to_string()).or_default().push(i);
+            }
+        }
+        by_dest
+    }
+
+    /// Stores many pairs, one concurrent batched RPC per destination.
+    /// Partial-failure contract: slot `i` is `Ok` only if *every* leg
+    /// holding key `i` acked its batch (during a move a moving key needs
+    /// both owners); a failed leg fails exactly its own keys' slots.
+    pub fn put_multi(&self, pairs: &[(&[u8], &[u8])]) -> Vec<Result<(), MargoError>> {
+        let _shared = self.barrier.read();
+        let snap = self.snapshot();
+        if snap.ring.is_empty() {
+            return pairs.iter().map(|_| Err(Self::empty_ring())).collect();
+        }
+        let keys: Vec<&[u8]> = pairs.iter().map(|(k, _)| *k).collect();
+        let batches = Self::write_batches(&snap, &keys);
+        let mut tasks = Vec::with_capacity(batches.len());
+        let mut routes: Vec<Vec<usize>> = Vec::with_capacity(batches.len());
+        for (dest, indices) in batches {
+            let batch: Vec<(Vec<u8>, Vec<u8>)> = indices
+                .iter()
+                .map(|&i| (pairs[i].0.to_vec(), pairs[i].1.to_vec()))
+                .collect();
+            let leg = self.leg(&dest);
+            routes.push(indices);
+            tasks.push(move || match leg {
+                Ok(leg) => leg.put_multi(&batch),
+                Err(err) => Err(err),
+            });
+        }
+        let outcomes = self.scatter(tasks);
+        let mut slots: Vec<Result<(), MargoError>> =
+            pairs.iter().map(|_| Ok(())).collect();
+        for (indices, outcome) in routes.iter().zip(outcomes) {
+            if let Err(err) = outcome {
+                for &i in indices {
+                    if slots[i].is_ok() {
+                        slots[i] = Err(err.clone());
+                    }
+                }
+            }
+        }
+        // Acked puts supersede earlier logged erases of the same key.
+        if snap.to_ring.is_some() {
+            self.erase_log.lock().retain(|logged| {
+                !pairs.iter().enumerate().any(|(i, (key, _))| {
+                    slots[i].is_ok() && *key == logged.as_slice()
+                })
+            });
+        }
+        slots
+    }
+
+    /// Fetches many values, one concurrent batched RPC per owner, with
+    /// per-key error slots. During a move window, keys the old owner
+    /// misses retry on their new owner in a second fan-out round.
+    pub fn get_multi(&self, keys: &[&[u8]]) -> Vec<Result<Option<Vec<u8>>, MargoError>> {
+        let snap = self.snapshot();
+        let mut slots: Vec<Result<Option<Vec<u8>>, MargoError>> =
+            keys.iter().map(|_| Err(Self::empty_ring())).collect();
+        // Round 1: serving owners only.
+        let mut primary: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            if let Some(owner) = snap.ring.owner(key) {
+                primary.entry(owner.to_string()).or_default().push(i);
+            }
+        }
+        self.gather_gets(keys, primary, &mut slots);
+        // Round 2: moving keys the old owner missed.
+        if snap.to_ring.is_some() {
+            let mut fallback: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+            for (i, key) in keys.iter().enumerate() {
+                if matches!(slots[i], Ok(None)) {
+                    if let (_, Some(next)) = snap.owners(key) {
+                        fallback.entry(next.to_string()).or_default().push(i);
+                    }
+                }
+            }
+            if !fallback.is_empty() {
+                self.gather_gets(keys, fallback, &mut slots);
+            }
+        }
+        slots
+    }
+
+    /// One fan-out round of batched gets, merging results into `slots`.
+    fn gather_gets(
+        &self,
+        keys: &[&[u8]],
+        batches: BTreeMap<String, Vec<usize>>,
+        slots: &mut [Result<Option<Vec<u8>>, MargoError>],
+    ) {
+        let mut tasks = Vec::with_capacity(batches.len());
+        let mut routes: Vec<Vec<usize>> = Vec::with_capacity(batches.len());
+        for (dest, indices) in batches {
+            let batch: Vec<Vec<u8>> = indices.iter().map(|&i| keys[i].to_vec()).collect();
+            let leg = self.leg(&dest);
+            routes.push(indices);
+            tasks.push(move || match leg {
+                Ok(leg) => leg.get_multi(&batch),
+                Err(err) => Err(err),
+            });
+        }
+        for (indices, outcome) in routes.iter().zip(self.scatter(tasks)) {
+            match outcome {
+                Ok(values) => {
+                    for (&i, value) in indices.iter().zip(values) {
+                        slots[i] = Ok(value);
+                    }
+                }
+                Err(err) => {
+                    for &i in indices {
+                        slots[i] = Err(err.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes many keys with per-key slots (`Ok(existed)`), batching
+    /// per destination. Moving keys erase on both owners and are logged
+    /// for replay, like [`Self::erase`].
+    pub fn erase_multi(&self, keys: &[&[u8]]) -> Vec<Result<bool, MargoError>> {
+        // Erase has per-key replies only in its single-key form, so the
+        // batched surface degrades to one fan-out of single erases per
+        // destination leg — still one concurrent leg per destination.
+        let _shared = self.barrier.read();
+        let snap = self.snapshot();
+        if snap.ring.is_empty() {
+            return keys.iter().map(|_| Err(Self::empty_ring())).collect();
+        }
+        if snap.to_ring.is_some() {
+            let mut log = self.erase_log.lock();
+            for key in keys {
+                let (_, moving) = snap.owners(key);
+                if moving.is_some() {
+                    log.push(key.to_vec());
+                }
+            }
+        }
+        let batches = Self::write_batches(&snap, keys);
+        let mut tasks = Vec::with_capacity(batches.len());
+        let mut routes: Vec<Vec<usize>> = Vec::with_capacity(batches.len());
+        for (dest, indices) in batches {
+            let batch: Vec<Vec<u8>> = indices.iter().map(|&i| keys[i].to_vec()).collect();
+            let leg = self.leg(&dest);
+            routes.push(indices);
+            tasks.push(move || -> Vec<Result<bool, MargoError>> {
+                match leg {
+                    Ok(leg) => batch.iter().map(|k| leg.erase(k)).collect(),
+                    Err(err) => batch.iter().map(|_| Err(err.clone())).collect(),
+                }
+            });
+        }
+        let mut slots: Vec<Result<bool, MargoError>> =
+            keys.iter().map(|_| Ok(false)).collect();
+        for (indices, outcome) in routes.iter().zip(self.scatter(tasks)) {
+            for (&i, result) in indices.iter().zip(outcome) {
+                slots[i] = match (std::mem::replace(&mut slots[i], Ok(false)), result) {
+                    (Ok(prev), Ok(existed)) => Ok(prev || existed),
+                    (Ok(_), Err(err)) => Err(err),
+                    (prev @ Err(_), _) => prev,
+                };
+            }
+        }
+        slots
+    }
+
+    /// Lists up to `max` keys with `prefix` after `start_after`, merging
+    /// the per-member result streams into one sorted, deduplicated view
+    /// (dual copies exist mid-move; dedup hides them).
+    pub fn list_keys(
+        &self,
+        prefix: &[u8],
+        start_after: Option<&[u8]>,
+        max: usize,
+    ) -> Result<Vec<Vec<u8>>, MargoError> {
+        let snap = self.snapshot();
+        let mut members = snap.ring.members().to_vec();
+        if let Some(to) = &snap.to_ring {
+            members.extend(to.members().iter().cloned());
+            members.sort();
+            members.dedup();
+        }
+        let mut tasks = Vec::with_capacity(members.len());
+        for member in &members {
+            let leg = self.leg(member);
+            let prefix = prefix.to_vec();
+            let start_after = start_after.map(<[u8]>::to_vec);
+            tasks.push(move || match leg {
+                Ok(leg) => leg.list_keys(&prefix, start_after.as_deref(), max),
+                Err(err) => Err(err),
+            });
+        }
+        let mut merged: Vec<Vec<u8>> = Vec::new();
+        for outcome in self.scatter(tasks) {
+            merged.extend(outcome?);
+        }
+        merged.sort();
+        merged.dedup();
+        merged.truncate(max);
+        Ok(merged)
+    }
+
+    /// Total keys across the keyspace (concurrent per-member `len`s).
+    /// Mid-move the count can include dual copies — exact again once the
+    /// post-cutover cleanup finishes.
+    pub fn len(&self) -> Result<u64, MargoError> {
+        let members = self.members();
+        let mut tasks = Vec::with_capacity(members.len());
+        for member in &members {
+            let leg = self.leg(member);
+            tasks.push(move || match leg {
+                Ok(leg) => leg.len(),
+                Err(err) => Err(err),
+            });
+        }
+        let mut total = 0u64;
+        for outcome in self.scatter(tasks) {
+            total += outcome?;
+        }
+        Ok(total)
+    }
+
+    /// Whether the keyspace holds no keys.
+    pub fn is_empty(&self) -> Result<bool, MargoError> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Ships every leg's coalesced writes.
+    pub fn sync(&self) -> Result<(), MargoError> {
+        let legs: Vec<Arc<Leg>> = self.legs.read().values().cloned().collect();
+        for leg in legs {
+            leg.sync()?;
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Live rebalance
+    // -----------------------------------------------------------------
+
+    /// Adds `member` (an existing Yokan provider) to the ring and drains
+    /// the minimal moved-slice set to it while traffic continues.
+    ///
+    /// Protocol (all while ops keep flowing):
+    ///
+    /// 1. **Open the move window.** Routing snapshots now carry both
+    ///    rings: writes to moving keys dual-write, reads fall back
+    ///    old-then-new, erases log themselves.
+    /// 2. **Drain.** Per source member, page through its keys, keep the
+    ///    ones whose owner changes ([`HashRing::moved_arcs`] minimality:
+    ///    only arcs adjacent to the new member's points move), and ship
+    ///    them per destination: `slice_export` spills the pairs on the
+    ///    source and pushes the file through REMI into the destination
+    ///    provider's directory; `slice_import` (under the exclusive
+    ///    write barrier) loads them *put-if-absent*, so a dual-written
+    ///    value newer than the export snapshot always wins.
+    /// 3. **Cutover.** Under the exclusive barrier: replay the erase
+    ///    log on the new owners, swap the serving ring, close the
+    ///    window.
+    /// 4. **Cleanup.** Source copies of moved keys are now stale (reads
+    ///    no longer route to them) — erase them batch-wise.
+    pub fn join(&self, member: &str) -> Result<RebalanceReport, MargoError> {
+        let to_ring = {
+            let snap = self.state.read();
+            if snap.ring.contains(member) {
+                return Err(MargoError::Handler(format!(
+                    "'{member}' is already a keyspace member"
+                )));
+            }
+            snap.ring.with_member(member)
+        };
+        self.rebalance_to(to_ring)
+    }
+
+    /// Removes `member` from the ring, draining everything it owns to
+    /// the surviving members (same protocol as [`Self::join`]), then
+    /// clears the provider. The provider itself keeps running — retiring
+    /// it from the keyspace is independent of stopping its process.
+    pub fn retire(&self, member: &str) -> Result<RebalanceReport, MargoError> {
+        let to_ring = {
+            let snap = self.state.read();
+            if !snap.ring.contains(member) {
+                return Err(MargoError::Handler(format!(
+                    "'{member}' is not a keyspace member"
+                )));
+            }
+            if snap.ring.len() == 1 {
+                return Err(MargoError::Handler(
+                    "cannot retire the last keyspace member".into(),
+                ));
+            }
+            snap.ring.without_member(member)
+        };
+        self.rebalance_to(to_ring)
+    }
+
+    /// Picks the least-loaded service node (Pufferscale placement over
+    /// the live provider weights) to host a joining provider.
+    pub fn plan_host(&self, weights: &Weights) -> Option<Address> {
+        let placement = self.service.placement();
+        placement.least_loaded(weights)?.parse().ok()
+    }
+
+    /// Starts `spec` on `host` (or on the Pufferscale-chosen least
+    /// loaded node when `None`) and joins it to the keyspace.
+    pub fn join_provider(
+        &self,
+        spec: &ProviderSpec,
+        host: Option<&Address>,
+    ) -> Result<RebalanceReport, MargoError> {
+        let host = match host {
+            Some(addr) => addr.clone(),
+            None => self
+                .plan_host(&Weights::default())
+                .ok_or_else(|| MargoError::Handler("no service node to host provider".into()))?,
+        };
+        let server = self
+            .service
+            .server(&host)
+            .ok_or_else(|| MargoError::Handler(format!("{host} is not a service member")))?;
+        server
+            .start_provider(spec)
+            .map_err(|e| MargoError::Handler(format!("start provider: {e}")))?;
+        self.join(&spec.name)
+    }
+
+    fn rebalance_to(&self, to_ring: HashRing) -> Result<RebalanceReport, MargoError> {
+        let _coordinator = self.rebalance_lock.lock();
+        let from_ring = self.state.read().ring.clone();
+        // Legs for joining members must exist before the window opens
+        // (dual writes route to them immediately).
+        {
+            let mut legs = self.legs.write();
+            for member in to_ring.members() {
+                legs.entry(member.clone()).or_insert_with(|| {
+                    Arc::new(Leg::new(&self.service, &self.margo, member, &self.config))
+                });
+            }
+        }
+        // Ship coalesced writes so the server-side listings see them.
+        self.sync()?;
+        // Open the move window.
+        self.erase_log.lock().clear();
+        self.state.write().to_ring = Some(to_ring.clone());
+        // Epoch fence: writes hold the barrier shared across snapshot
+        // and RPCs, so one exclusive acquisition here waits out every
+        // write still routing under the steady ring — after this, all
+        // in-flight writes dual-write, and the drain's listings cannot
+        // miss a single-owner write that landed behind an export.
+        drop(self.barrier.write());
+        let result = self.drain(&from_ring, &to_ring);
+        if result.is_err() {
+            // Close the window; copied keys on the target are harmless
+            // (reads route by the serving ring) and a later successful
+            // rebalance's put-if-absent import + cleanup reconciles them.
+            self.state.write().to_ring = None;
+        }
+        let mut report = result?;
+        // Cutover: replay erases, swap rings — atomically w.r.t. writes.
+        {
+            let _exclusive = self.barrier.write();
+            let log = std::mem::take(&mut *self.erase_log.lock());
+            report.replayed_erases = log.len() as u64;
+            if !log.is_empty() {
+                let mut by_dest: BTreeMap<&str, Vec<Vec<u8>>> = BTreeMap::new();
+                for key in &log {
+                    if let Some(owner) = to_ring.owner(key) {
+                        by_dest.entry(owner).or_default().push(key.clone());
+                    }
+                }
+                for (dest, batch) in by_dest {
+                    self.leg(dest)?.erase_multi(&batch)?;
+                }
+            }
+            let mut snap = self.state.write();
+            snap.ring = to_ring.clone();
+            snap.to_ring = None;
+        }
+        report.erased_stale = self.cleanup(&from_ring, &to_ring)?;
+        // Drop legs of members that left the ring.
+        self.legs.write().retain(|name, _| to_ring.contains(name));
+        Ok(report)
+    }
+
+    /// Pages through every source member's keys and drains the moved
+    /// ones, slice by slice, to their new owners.
+    fn drain(
+        &self,
+        from_ring: &HashRing,
+        to_ring: &HashRing,
+    ) -> Result<RebalanceReport, MargoError> {
+        let mut report = RebalanceReport::default();
+        for member in from_ring.members() {
+            let source = self.leg(member)?;
+            let mut start_after: Option<Vec<u8>> = None;
+            loop {
+                let page =
+                    source.list_keys(b"", start_after.as_deref(), self.config.drain_batch)?;
+                let Some(last) = page.last() else { break };
+                start_after = Some(last.clone());
+                let mut by_dest: BTreeMap<&str, Vec<Vec<u8>>> = BTreeMap::new();
+                for key in &page {
+                    if from_ring.owner(key) != Some(member) {
+                        continue; // stale copy from an earlier move
+                    }
+                    match to_ring.owner(key) {
+                        Some(dest) if dest != member => {
+                            by_dest.entry(dest).or_default().push(key.clone());
+                        }
+                        _ => {}
+                    }
+                }
+                for (dest, keys) in by_dest {
+                    report.moved_keys += keys.len() as u64;
+                    report.slices += 1;
+                    self.drain_slice(&source, member, dest, &keys)?;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Ships one slice of keys from `member` to `dest`: REMI-backed
+    /// export on the source, put-if-absent import on the destination
+    /// under the exclusive write barrier.
+    fn drain_slice(
+        &self,
+        source: &Leg,
+        member: &str,
+        dest: &str,
+        keys: &[Vec<u8>],
+    ) -> Result<(), MargoError> {
+        let dest_leg = self.leg(dest)?;
+        let (dest_addr, _) = dest_leg.failover.resolve().ok_or_else(|| {
+            MargoError::Handler(format!("cannot resolve keyspace member '{dest}'"))
+        })?;
+        let tag = format!("mv{}-{member}-to-{dest}", unique_u64());
+        let dest_subdir = format!("providers/{dest}/slices/{tag}");
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        source.failover.with_handle(|h| {
+            h.slice_export(&refs, &tag, &dest_addr, REMI_PROVIDER_ID, &dest_subdir)
+        })?;
+        // Exclusive barrier: no dual-write may interleave with the
+        // import, so "absent" on the destination is authoritative.
+        let _exclusive = self.barrier.write();
+        dest_leg.failover.with_handle(|h| h.slice_import(&tag))?;
+        // Erases logged before this import exported a pre-erase
+        // snapshot of these keys; replay them on the destination now so
+        // the import cannot resurrect them even transiently. (The
+        // cutover replay still covers erases that arrive later.)
+        let logged: Vec<Vec<u8>> = {
+            let in_slice: std::collections::BTreeSet<&[u8]> =
+                keys.iter().map(Vec::as_slice).collect();
+            let log = self.erase_log.lock();
+            log.iter().filter(|k| in_slice.contains(k.as_slice())).cloned().collect()
+        };
+        if !logged.is_empty() {
+            dest_leg.erase_multi(&logged)?;
+        }
+        Ok(())
+    }
+
+    /// Erases post-cutover stale source copies: keys a surviving member
+    /// still stores but no longer owns. The retired member (absent from
+    /// the new ring) is swept the same way — it owns nothing anymore, so
+    /// everything it stores goes.
+    fn cleanup(&self, from_ring: &HashRing, to_ring: &HashRing) -> Result<u64, MargoError> {
+        let mut erased = 0u64;
+        for member in from_ring.members() {
+            let leg = self.leg(member).or_else(|_| -> Result<_, MargoError> {
+                // Retired member: its leg may already be dropped from
+                // the map on a repeat cleanup; build a transient one.
+                Ok(Arc::new(Leg::new(&self.service, &self.margo, member, &self.config)))
+            })?;
+            let mut start_after: Option<Vec<u8>> = None;
+            loop {
+                let page = leg.list_keys(b"", start_after.as_deref(), self.config.drain_batch)?;
+                let Some(last) = page.last() else { break };
+                start_after = Some(last.clone());
+                let stale: Vec<Vec<u8>> = page
+                    .iter()
+                    .filter(|key| to_ring.owner(key) != Some(member))
+                    .cloned()
+                    .collect();
+                if !stale.is_empty() {
+                    erased += leg.erase_multi(&stale)?;
+                }
+            }
+        }
+        Ok(erased)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(members: &[&str], to: Option<&[&str]>) -> RouteSnapshot {
+        RouteSnapshot {
+            ring: HashRing::new(members),
+            to_ring: to.map(HashRing::new),
+        }
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let config = RoutedConfig::default();
+        assert_eq!(config.vnodes, DEFAULT_VNODES);
+        assert!(config.fanout_streams >= 1);
+        assert!(config.leg_reroute_backoff < Duration::from_millis(50));
+        assert!(config.coalescer.is_none());
+        assert!(config.drain_batch > 0);
+    }
+
+    #[test]
+    fn owners_reports_moving_keys() {
+        let steady = snap(&["db0", "db1"], None);
+        let moving = snap(&["db0", "db1"], Some(&["db0", "db1", "db2"]));
+        let mut saw_move = false;
+        for i in 0..500 {
+            let key = format!("key-{i}").into_bytes();
+            let (owner, next) = steady.owners(&key);
+            assert!(owner.is_some());
+            assert!(next.is_none(), "no move window, nothing moves");
+            let (owner, next) = moving.owners(&key);
+            if let Some(next) = next {
+                assert_eq!(next, "db2", "adds move keys only toward the joiner");
+                assert_ne!(Some(next), owner);
+                saw_move = true;
+            }
+        }
+        assert!(saw_move, "some key must move toward db2");
+    }
+
+    #[test]
+    fn write_batches_dual_route_moving_keys() {
+        let moving = snap(&["db0", "db1"], Some(&["db0", "db1", "db2"]));
+        let keys: Vec<Vec<u8>> =
+            (0..500).map(|i| format!("key-{i}").into_bytes()).collect();
+        let batches = RoutedKv::write_batches(&moving, &keys);
+        let joiner = batches.get("db2").expect("joiner receives dual writes");
+        for &i in joiner {
+            let (owner, next) = moving.owners(&keys[i]);
+            assert_eq!(next, Some("db2"));
+            // The same index must also sit in its serving owner's batch.
+            let owner = owner.expect("owned");
+            assert!(batches[owner].contains(&i), "dual write covers the old owner");
+        }
+        // Every key routes somewhere, and non-moving keys exactly once.
+        let total: usize = batches.values().map(Vec::len).sum();
+        let moving_count = keys
+            .iter()
+            .filter(|k| moving.owners(k).1.is_some())
+            .count();
+        assert_eq!(total, keys.len() + moving_count);
+    }
+
+    #[test]
+    fn write_batches_steady_state_is_a_partition() {
+        let steady = snap(&["db0", "db1", "db2"], None);
+        let keys: Vec<Vec<u8>> =
+            (0..300).map(|i| format!("key-{i}").into_bytes()).collect();
+        let batches = RoutedKv::write_batches(&steady, &keys);
+        let mut seen: Vec<usize> = batches.values().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..300).collect::<Vec<_>>());
+    }
+}

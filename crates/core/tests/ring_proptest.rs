@@ -1,0 +1,136 @@
+//! Property tests of the consistent-hash ring behind `RoutedKv`:
+//!
+//! * a 1-member ring degenerates to direct-handle semantics (everything
+//!   routes to that member, always),
+//! * routing is a pure function of the member *set* — permuting the
+//!   construction order changes nothing,
+//! * membership changes cause minimal disruption: an add moves roughly
+//!   `keys/N` keys (all toward the joiner), a remove moves exactly the
+//!   removed member's keys (all away from it).
+
+use proptest::prelude::*;
+
+use mochi_core::ring::HashRing;
+
+/// Deterministic key set salted per case so cases explore different
+/// regions of the hash space.
+fn salted_keys(salt: u64, n: usize) -> Vec<Vec<u8>> {
+    (0..n).map(|i| format!("key-{salt:x}-{i:06}").into_bytes()).collect()
+}
+
+fn member_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("kv{i}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// 1-provider ring ≡ direct handle: with a single member every key
+    /// (arbitrary bytes included) routes to it, and `partition` returns
+    /// the whole key set in order — the routed keyspace degenerates to a
+    /// plain `DatabaseHandle` against that provider.
+    #[test]
+    fn single_member_ring_is_a_direct_handle(
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..100),
+    ) {
+        let ring = HashRing::new(&["solo"]);
+        for key in &keys {
+            prop_assert_eq!(ring.owner(key), Some("solo"));
+        }
+        let parts = ring.partition(&keys);
+        prop_assert_eq!(parts.len(), 1);
+        prop_assert_eq!(&parts["solo"], &(0..keys.len()).collect::<Vec<_>>());
+    }
+
+    /// Key → owner is stable under any permutation of the member list:
+    /// two clients that learn the membership in different orders agree
+    /// on every key's owner.
+    #[test]
+    fn owner_is_stable_under_member_permutation(
+        n in 2usize..8,
+        salt in any::<u64>(),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let members = member_names(n);
+        let mut shuffled = members.clone();
+        // Deterministic Fisher–Yates driven by the generated seed.
+        let mut state = shuffle_seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let a = HashRing::new(&members);
+        let b = HashRing::new(&shuffled);
+        for key in salted_keys(salt, 500) {
+            prop_assert_eq!(a.owner(&key), b.owner(&key));
+        }
+    }
+
+    /// Adding a member moves about `keys/(N+1)` keys — bounded by twice
+    /// the fair share plus slack for vnode variance — and every moved
+    /// key moves *toward* the joiner.
+    #[test]
+    fn add_disruption_is_minimal(n in 1usize..8, salt in any::<u64>()) {
+        const KEYS: usize = 2000;
+        let old = HashRing::new(&member_names(n));
+        let new = old.with_member("joiner");
+        let mut moved = 0usize;
+        for key in salted_keys(salt, KEYS) {
+            if old.moves(&new, &key) {
+                prop_assert_eq!(new.owner(&key), Some("joiner"));
+                moved += 1;
+            }
+        }
+        let fair_share = KEYS / (n + 1);
+        prop_assert!(
+            moved <= 2 * fair_share + 64,
+            "add moved {moved} of {KEYS} keys (fair share {fair_share})"
+        );
+    }
+
+    /// Removing a member moves exactly the keys it owned (no collateral
+    /// movement among survivors), spread over the survivors.
+    #[test]
+    fn remove_moves_exactly_the_removed_members_keys(
+        n in 2usize..8,
+        salt in any::<u64>(),
+    ) {
+        let members = member_names(n);
+        let victim = members[n / 2].clone();
+        let old = HashRing::new(&members);
+        let new = old.without_member(&victim);
+        for key in salted_keys(salt, 1000) {
+            let owned_by_victim = old.owner(&key) == Some(victim.as_str());
+            prop_assert_eq!(
+                old.moves(&new, &key),
+                owned_by_victim,
+                "a key moves iff the removed member owned it"
+            );
+            if owned_by_victim {
+                let dest = new.owner(&key).expect("survivors own everything");
+                prop_assert!(new.members().iter().any(|m| m == dest));
+                prop_assert_ne!(dest, victim.as_str());
+            }
+        }
+    }
+
+    /// `moved_arcs` and the per-key diff agree for arbitrary member-set
+    /// transitions (not just single add/remove).
+    #[test]
+    fn moved_arcs_match_per_key_diff(
+        from_n in 1usize..6,
+        to_n in 1usize..6,
+        salt in any::<u64>(),
+    ) {
+        let from = HashRing::new(&member_names(from_n));
+        // Overlapping but different member set: kv{to_n}..kv{to_n*2}.
+        let to_members: Vec<String> = (to_n / 2..to_n / 2 + to_n).map(|i| format!("kv{i}")).collect();
+        let to = HashRing::new(&to_members);
+        let arcs = from.moved_arcs(&to);
+        for key in salted_keys(salt, 500) {
+            let hash = mochi_util::fnv1a64(&key);
+            let in_arcs = arcs.iter().any(|a| (a.start..=a.end).contains(&hash));
+            prop_assert_eq!(from.moves(&to, &key), in_arcs);
+        }
+    }
+}

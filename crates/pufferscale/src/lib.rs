@@ -122,6 +122,27 @@ impl Placement {
         let values: Vec<f64> = self.nodes.keys().map(|n| self.node_size(n) as f64).collect();
         Self::spread(&values)
     }
+
+    /// The node that minimizes the weighted load/data burden — the
+    /// placement decision for a *new* resource (a provider joining a
+    /// routed keyspace lands where it disturbs the balance least).
+    /// Metrics are normalized by their totals so `weights` compares
+    /// like with like; ties break to the lexicographically first node.
+    pub fn least_loaded(&self, weights: &Weights) -> Option<&str> {
+        let total_load = self.total_load().max(1.0);
+        let total_size = self.total_size().max(1) as f64;
+        self.nodes
+            .keys()
+            .map(|node| {
+                let burden = weights.load * (self.node_load(node) / total_load)
+                    + weights.data * (self.node_size(node) as f64 / total_size);
+                (node, burden)
+            })
+            .min_by(|(a, ba), (b, bb)| {
+                ba.partial_cmp(bb).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b))
+            })
+            .map(|(node, _)| node.as_str())
+    }
 }
 
 /// Objective weights: higher = that objective matters more.
@@ -383,6 +404,30 @@ mod tests {
             p.nodes.values().flatten().map(|r| r.id.clone()).collect();
         ids.sort();
         ids
+    }
+
+    #[test]
+    fn least_loaded_picks_the_emptiest_node() {
+        let mut p = Placement::empty(&nodes(&["n0", "n1", "n2"]));
+        p.nodes.get_mut("n0").unwrap().push(resource("a", 10.0, 1000));
+        p.nodes.get_mut("n1").unwrap().push(resource("b", 1.0, 10));
+        assert_eq!(p.least_loaded(&Weights::default()), Some("n2"));
+        // Empty placement: deterministic lexicographic tie-break.
+        let empty = Placement::empty(&nodes(&["b", "a"]));
+        assert_eq!(empty.least_loaded(&Weights::default()), Some("a"));
+    }
+
+    #[test]
+    fn least_loaded_respects_weights() {
+        // n0 is load-heavy, n1 is data-heavy: the winner follows the
+        // objective the caller weights.
+        let mut p = Placement::empty(&nodes(&["n0", "n1"]));
+        p.nodes.get_mut("n0").unwrap().push(resource("hot", 100.0, 1));
+        p.nodes.get_mut("n1").unwrap().push(resource("big", 1.0, 1_000_000));
+        let load_only = Weights { load: 1.0, data: 0.0, time: 0.0 };
+        let data_only = Weights { load: 0.0, data: 1.0, time: 0.0 };
+        assert_eq!(p.least_loaded(&load_only), Some("n1"));
+        assert_eq!(p.least_loaded(&data_only), Some("n0"));
     }
 
     #[test]

@@ -117,6 +117,25 @@ pub trait Database: Send + Sync {
         }
         Ok(())
     }
+
+    /// Bulk-load contents, *keeping* existing keys; returns how many
+    /// pairs were stored. This is the rebalance drain's import primitive:
+    /// a drained slice is a snapshot taken before the move, so any key
+    /// the destination already holds was written *during* the move and
+    /// is newer than the snapshot — overwriting it would roll the key
+    /// back. Per-key check-then-put, not transactional: the routed
+    /// client serializes imports against its own writes (the only writer
+    /// during a move) with a write barrier.
+    fn load_absent(&self, pairs: &[(Vec<u8>, Vec<u8>)]) -> Result<u64, YokanError> {
+        let mut stored = 0u64;
+        for (key, value) in pairs {
+            if self.get(key)?.is_none() {
+                self.put(key, value)?;
+                stored += 1;
+            }
+        }
+        Ok(stored)
+    }
 }
 
 /// Backend selection and tuning, from the provider's `config` JSON.

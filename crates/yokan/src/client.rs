@@ -19,7 +19,10 @@ use parking_lot::Mutex;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
-use crate::provider::{GetMultiHeader, KeyHeader, ListKeysArgs, PutMultiHeader, ValuesHeader};
+use crate::provider::{
+    GetMultiHeader, KeyHeader, ListKeysArgs, PutMultiHeader, SliceExportArgs, SliceExportReply,
+    SliceImportArgs, SliceImportReply, ValuesHeader,
+};
 use crate::provider::rpc;
 
 /// RPCs the runtime may safely re-send on transport-class failures.
@@ -190,6 +193,43 @@ impl DatabaseHandle {
     /// Removes `key`; returns whether it existed.
     pub fn erase(&self, key: &[u8]) -> Result<bool, MargoError> {
         self.call(rpc::ERASE, &key.to_vec())
+    }
+
+    /// Removes many keys in one RPC; returns how many existed. Like
+    /// `erase`, not retried by the transport (the count is not stable
+    /// under re-execution).
+    pub fn erase_multi(&self, keys: &[&[u8]]) -> Result<u64, MargoError> {
+        let keys: Vec<Vec<u8>> = keys.iter().map(|k| k.to_vec()).collect();
+        self.call(rpc::ERASE_MULTI, &keys)
+    }
+
+    /// Exports `keys` into a spill file on the provider and pushes it
+    /// through REMI to `dest`'s provider-rooted `dest_subdir` (rebalance
+    /// drain, source side). Missing keys are skipped.
+    pub fn slice_export(
+        &self,
+        keys: &[&[u8]],
+        tag: &str,
+        dest: &Address,
+        dest_remi_id: u16,
+        dest_subdir: &str,
+    ) -> Result<SliceExportReply, MargoError> {
+        self.call(
+            rpc::SLICE_EXPORT,
+            &SliceExportArgs {
+                keys: keys.iter().map(|k| k.to_vec()).collect(),
+                tag: tag.to_string(),
+                dest: dest.to_string(),
+                dest_remi_id,
+                dest_subdir: dest_subdir.to_string(),
+            },
+        )
+    }
+
+    /// Imports the REMI-delivered slice named `tag`, keeping keys the
+    /// provider already holds (rebalance drain, destination side).
+    pub fn slice_import(&self, tag: &str) -> Result<SliceImportReply, MargoError> {
+        self.call(rpc::SLICE_IMPORT, &SliceImportArgs { tag: tag.to_string() })
     }
 
     /// Whether `key` exists.

@@ -5,14 +5,16 @@
 //! so values travel as raw bytes and body slices stay zero-copy views of
 //! the request buffer.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use mochi_margo::{decode_framed, encode_framed, MargoError, MargoRuntime, RpcContext};
+use mochi_remi::{FileSet, MigrationOptions, RemiClient, Strategy};
 
-use crate::backend::Database;
+use crate::backend::{read_dump, write_dump, Database, KvPairs};
 
 /// RPC names registered by a Yokan provider (one set per provider id).
 /// The constants themselves live in [`crate::rpc_names`].
@@ -61,11 +63,59 @@ pub struct ListKeysArgs {
     pub max: usize,
 }
 
+/// Arguments of `SLICE_EXPORT`: dump the listed keys to a spill file and
+/// push it to the destination's REMI provider (the rebalance drain's
+/// source half — "drain through REMI", not through per-key RPCs).
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SliceExportArgs {
+    /// Keys to export (missing ones are skipped, not an error — the
+    /// caller's listing may be stale by the time the export runs).
+    pub keys: Vec<Vec<u8>>,
+    /// Slice tag; names the spill directory on both sides, so a retried
+    /// export overwrites its own leftovers instead of accumulating.
+    pub tag: String,
+    /// Destination server address (string form of [`mochi_mercury::Address`]).
+    pub dest: String,
+    /// REMI provider id on the destination server.
+    pub dest_remi_id: u16,
+    /// Destination directory, relative to the destination REMI
+    /// provider's root (the importing provider's `slices/<tag>`).
+    pub dest_subdir: String,
+}
+
+/// Reply of `SLICE_EXPORT`.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SliceExportReply {
+    /// Pairs exported.
+    pub pairs: u64,
+    /// Bytes REMI transferred.
+    pub bytes: u64,
+}
+
+/// Arguments of `SLICE_IMPORT`: load the REMI-delivered spill file named
+/// by `tag`, keeping keys the destination already holds (they were
+/// written during the move and are newer than the exported snapshot).
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SliceImportArgs {
+    /// Slice tag (matches the export's `tag`).
+    pub tag: String,
+}
+
+/// Reply of `SLICE_IMPORT`.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SliceImportReply {
+    /// Pairs in the spill file.
+    pub pairs: u64,
+    /// Pairs actually stored (absent before the import).
+    pub stored: u64,
+}
+
 /// A registered Yokan provider.
 pub struct YokanProvider {
     margo: MargoRuntime,
     provider_id: u16,
     db: Arc<dyn Database>,
+    data_dir: Option<PathBuf>,
 }
 
 fn framed_handler(
@@ -84,12 +134,30 @@ fn framed_handler(
 }
 
 impl YokanProvider {
-    /// Registers a provider serving `db` under `provider_id`.
+    /// Registers a provider serving `db` under `provider_id` with no
+    /// data directory: the slice-drain RPCs spill under a temp dir on
+    /// export and reject imports (REMI needs a provider-rooted landing
+    /// directory). Bedrock-managed providers use
+    /// [`Self::register_with_data_dir`] and get the full drain surface.
     pub fn register(
         margo: &MargoRuntime,
         provider_id: u16,
         pool: Option<&str>,
         db: Arc<dyn Database>,
+    ) -> Result<Arc<Self>, MargoError> {
+        Self::register_with_data_dir(margo, provider_id, pool, db, None)
+    }
+
+    /// Registers a provider rooted at `data_dir` (the per-provider
+    /// directory Bedrock assigns, `<server>/providers/<name>`): slice
+    /// exports spill under `data_dir/slices-out/<tag>` and imports read
+    /// REMI-delivered files from `data_dir/slices/<tag>`.
+    pub fn register_with_data_dir(
+        margo: &MargoRuntime,
+        provider_id: u16,
+        pool: Option<&str>,
+        db: Arc<dyn Database>,
+        data_dir: Option<PathBuf>,
     ) -> Result<Arc<Self>, MargoError> {
         // PUT: header = key, body = value.
         margo.register(
@@ -199,8 +267,54 @@ impl YokanProvider {
         margo.register_typed(rpc::CLEAR, provider_id, pool, move |_: (), _| {
             clear_db.clear().map(|()| true).map_err(|e| e.to_string())
         })?;
+        // Routing drain surface: batch erase + REMI-backed slice moves.
+        // None of the three is idempotent-declared — the routed client
+        // drives them with explicit round-level retries instead.
+        let erase_multi_db = Arc::clone(&db);
+        margo.register_typed(
+            rpc::ERASE_MULTI,
+            provider_id,
+            pool,
+            move |keys: Vec<Vec<u8>>, _| {
+                let mut erased = 0u64;
+                for key in &keys {
+                    if erase_multi_db.erase(key).map_err(|e| e.to_string())? {
+                        erased += 1;
+                    }
+                }
+                Ok(erased)
+            },
+        )?;
+        let export_db = Arc::clone(&db);
+        let export_margo = margo.clone();
+        let export_scratch = data_dir
+            .as_ref()
+            .map(|d| d.join("slices-out"))
+            .unwrap_or_else(|| std::env::temp_dir().join(format!("yokan-slices-{provider_id}")));
+        margo.register_typed(
+            rpc::SLICE_EXPORT,
+            provider_id,
+            pool,
+            move |args: SliceExportArgs, ctx: &RpcContext| {
+                slice_export(&export_db, &export_margo, &export_scratch, args, ctx)
+                    .map_err(|e| e.to_string())
+            },
+        )?;
+        let import_db = Arc::clone(&db);
+        let import_root = data_dir.as_ref().map(|d| d.join("slices"));
+        margo.register_typed(
+            rpc::SLICE_IMPORT,
+            provider_id,
+            pool,
+            move |args: SliceImportArgs, _| {
+                let Some(root) = import_root.as_ref() else {
+                    return Err("slice import needs a data-dir-rooted provider".into());
+                };
+                slice_import(&import_db, root, &args).map_err(|e| e.to_string())
+            },
+        )?;
 
-        Ok(Arc::new(Self { margo: margo.clone(), provider_id, db }))
+        Ok(Arc::new(Self { margo: margo.clone(), provider_id, db, data_dir }))
     }
 
     /// This provider's id.
@@ -213,6 +327,11 @@ impl YokanProvider {
         &self.db
     }
 
+    /// The per-provider data directory, when Bedrock-managed.
+    pub fn data_dir(&self) -> Option<&PathBuf> {
+        self.data_dir.as_ref()
+    }
+
     /// Deregisters all RPCs of this provider.
     pub fn deregister(&self) -> Result<(), MargoError> {
         for name in rpc::ALL {
@@ -220,4 +339,73 @@ impl YokanProvider {
         }
         Ok(())
     }
+}
+
+/// Rejects tags that would escape the spill directory when joined.
+fn check_tag(tag: &str) -> Result<(), String> {
+    if tag.is_empty()
+        || tag.contains(['/', '\\'])
+        || tag.contains("..")
+        || tag.starts_with('.')
+    {
+        return Err(format!("invalid slice tag {tag:?}"));
+    }
+    Ok(())
+}
+
+/// `SLICE_EXPORT` body: snapshot the listed keys into a one-file spill
+/// fileset and hand it to REMI, addressed at the destination provider's
+/// `slices/<tag>` landing directory. The nested REMI forwards run under
+/// the export RPC's remaining deadline (`ctx.nested_context()`), so a
+/// caller-side timeout bounds the whole transfer.
+fn slice_export(
+    db: &Arc<dyn Database>,
+    margo: &MargoRuntime,
+    scratch_root: &std::path::Path,
+    args: SliceExportArgs,
+    ctx: &RpcContext,
+) -> Result<SliceExportReply, String> {
+    check_tag(&args.tag)?;
+    let dest: mochi_mercury::Address =
+        args.dest.parse().map_err(|e: mochi_mercury::MercuryError| e.to_string())?;
+    let keys: Vec<&[u8]> = args.keys.iter().map(|k| k.as_slice()).collect();
+    let values = db.get_multi(&keys).map_err(|e| e.to_string())?;
+    let pairs: KvPairs = args
+        .keys
+        .iter()
+        .zip(values)
+        .filter_map(|(k, v)| v.map(|v| (k.clone(), v)))
+        .collect();
+    let dir = scratch_root.join(&args.tag);
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    write_dump(&dir.join("slice.ykn"), &pairs).map_err(|e| e.to_string())?;
+    let fileset = FileSet::scan(&dir).map_err(|e| e.to_string())?;
+    let remi = RemiClient::new(margo).with_context(ctx.nested_context());
+    let options = MigrationOptions {
+        dest_subdir: Some(args.dest_subdir.clone()),
+        remove_source: true,
+        timeout: margo.rpc_timeout(),
+    };
+    let report = remi
+        .migrate(&dest, args.dest_remi_id, &fileset, Strategy::Rdma, &options)
+        .map_err(|e| e.to_string())?;
+    // remove_source dropped the spill file; drop its directory too.
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(SliceExportReply { pairs: pairs.len() as u64, bytes: report.bytes })
+}
+
+/// `SLICE_IMPORT` body: load the spill file REMI landed under
+/// `slices/<tag>`, keeping keys that already exist (written during the
+/// move, newer than the exported snapshot), then clean up.
+fn slice_import(
+    db: &Arc<dyn Database>,
+    import_root: &std::path::Path,
+    args: &SliceImportArgs,
+) -> Result<SliceImportReply, String> {
+    check_tag(&args.tag)?;
+    let dir = import_root.join(&args.tag);
+    let pairs = read_dump(&dir.join("slice.ykn")).map_err(|e| e.to_string())?;
+    let stored = db.load_absent(&pairs).map_err(|e| e.to_string())?;
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(SliceImportReply { pairs: pairs.len() as u64, stored })
 }

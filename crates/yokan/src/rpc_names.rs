@@ -26,7 +26,28 @@ pub const LEN: &str = "yokan_len";
 pub const FLUSH: &str = "yokan_flush";
 /// Remove all keys.
 pub const CLEAR: &str = "yokan_clear";
+/// Erase many keys in one RPC (routing drain cleanup).
+pub const ERASE_MULTI: &str = "yokan_erase_multi";
+/// Export a key slice to a spill file and push it to a peer provider
+/// through REMI (routing rebalance drain, source side).
+pub const SLICE_EXPORT: &str = "yokan_slice_export";
+/// Import a REMI-delivered spill file, keeping existing keys (routing
+/// rebalance drain, destination side).
+pub const SLICE_IMPORT: &str = "yokan_slice_import";
 
 /// Every name above (used for deregistration).
-pub const ALL: [&str; 10] =
-    [PUT, PUT_MULTI, GET, GET_MULTI, ERASE, EXISTS, LIST_KEYS, LEN, FLUSH, CLEAR];
+pub const ALL: [&str; 13] = [
+    PUT,
+    PUT_MULTI,
+    GET,
+    GET_MULTI,
+    ERASE,
+    EXISTS,
+    LIST_KEYS,
+    LEN,
+    FLUSH,
+    CLEAR,
+    ERASE_MULTI,
+    SLICE_EXPORT,
+    SLICE_IMPORT,
+];

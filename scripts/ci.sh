@@ -20,6 +20,11 @@
 #   28 findings not in lint-baseline.sarif (new lint debt; fix it or
 #      regenerate the baseline deliberately with --write-baseline)
 #   29 baseline lint runtime budget blown (>= 30s)
+#   33 routing gate failed (a09_routing: 4-provider mixed throughput
+#      must be >= 2x the single-provider baseline)
+#   34 a09_routing ran but emitted no target/BENCH_a09.json
+#   35 live-rebalance soak failed (zero-acked-write-loss regression
+#      while a keyspace member joins/retires mid-traffic)
 #   10+ static-analysis failures (see scripts/lint.sh)
 set -u
 
@@ -35,6 +40,12 @@ cargo build --release || exit 20
 # and keeps `cargo test -q` self-contained.
 echo "==> cargo test --test chaos_soak"
 cargo test -q --test chaos_soak || exit 23
+
+# The routed-keyspace soak (crates/core/tests/routed_rebalance.rs) also
+# runs on its own first: a zero-acked-write-loss regression during a
+# live rebalance triages as 35 instead of disappearing into 21.
+echo "==> cargo test -p mochi-core --test routed_rebalance"
+cargo test -q -p mochi-core --test routed_rebalance || exit 35
 
 echo "==> cargo test"
 cargo test -q || exit 21
@@ -61,6 +72,23 @@ else
     if [ ! -f target/BENCH_a04.json ]; then
         echo "ci.sh: a04_contention emitted no target/BENCH_a04.json" >&2
         exit 27
+    fi
+fi
+
+# Routing gate (DESIGN.md §17): a09_routing asserts >= 2x aggregate
+# mixed read/write throughput at 4 providers vs 1 through the routed
+# keyspace, and records throughput + batch p50/p99 per provider count
+# in BENCH_a09.json (target/ + committed repo-root copy). Same skip
+# policy as the a04 gate: the fan-out cannot manifest on < 4 CPUs.
+if [ "${MOCHI_SKIP_BENCH_GATE:-0}" = "1" ] || [ "$cpus" -lt 4 ]; then
+    echo "==> routing gate skipped (cpus=${cpus}, MOCHI_SKIP_BENCH_GATE=${MOCHI_SKIP_BENCH_GATE:-0})"
+else
+    echo "==> cargo bench a09_routing (routing gate)"
+    rm -f target/BENCH_a09.json
+    cargo bench -p mochi-bench --bench a09_routing || exit 33
+    if [ ! -f target/BENCH_a09.json ]; then
+        echo "ci.sh: a09_routing emitted no target/BENCH_a09.json" >&2
+        exit 34
     fi
 fi
 

@@ -68,6 +68,11 @@ fn contract_table_covers_the_workspace_rpc_surface() {
     for expected in [
         "yokan_put",
         "yokan_get",
+        // The routed-keyspace surfaces (DESIGN.md §17): batch erase and
+        // the REMI-backed slice drain used by live rebalance.
+        "yokan_erase_multi",
+        "yokan_slice_export",
+        "yokan_slice_import",
         "warabi_write_bulk",
         "remi_migration_start",
         "ssg_ping",
