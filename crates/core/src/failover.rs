@@ -110,11 +110,23 @@ impl FailoverKv {
         &self,
         op: impl Fn(&DatabaseHandle) -> Result<T, MargoError>,
     ) -> Result<T, MargoError> {
+        self.with_handle_rounds(self.max_rounds, op)
+    }
+
+    /// [`Self::with_handle`] with an explicit round budget. Replicated
+    /// fan-outs drive each leg with a small budget (fail fast, let the
+    /// quorum/hint machinery absorb the loss) while keeping the default
+    /// patient behavior for single-provider callers.
+    pub fn with_handle_rounds<T>(
+        &self,
+        rounds: u32,
+        op: impl Fn(&DatabaseHandle) -> Result<T, MargoError>,
+    ) -> Result<T, MargoError> {
         let mut last_err = MargoError::Handler(format!(
             "provider '{}' not found on any live member",
             self.provider
         ));
-        for round in 0..self.max_rounds {
+        for round in 0..rounds.max(1) {
             if round > 0 {
                 std::thread::sleep(self.reroute_backoff);
             }

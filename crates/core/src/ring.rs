@@ -126,6 +126,34 @@ impl HashRing {
         self.owner_of_hash(fnv1a64(key))
     }
 
+    /// The first `r` *distinct* members whose points follow hash `h` in
+    /// ring order (wrapping) — the replica set for `h` under R-successor
+    /// replication. The first element is [`owner_of_hash`]; duplicate
+    /// physical members (adjacent virtual nodes of the same member) are
+    /// skipped, so the list holds `min(r, len())` unique names.
+    ///
+    /// [`owner_of_hash`]: HashRing::owner_of_hash
+    pub fn owners_of_hash(&self, h: u64, r: usize) -> Vec<&str> {
+        let want = r.min(self.members.len());
+        let mut seen: Vec<usize> = Vec::with_capacity(want);
+        for (_, index) in self.points.range(h..).chain(self.points.range(..h)) {
+            if seen.contains(index) {
+                continue;
+            }
+            seen.push(*index);
+            if seen.len() == want {
+                break;
+            }
+        }
+        seen.into_iter().map(|i| self.members[i].as_str()).collect()
+    }
+
+    /// The replica set for `key`: `r` distinct members in successor
+    /// order, primary first.
+    pub fn owners(&self, key: &[u8], r: usize) -> Vec<&str> {
+        self.owners_of_hash(fnv1a64(key), r)
+    }
+
     /// A new ring with `member` added (same `vnodes`).
     pub fn with_member(&self, member: &str) -> Self {
         let mut names = self.members.clone();
@@ -303,6 +331,41 @@ mod tests {
             let h = mochi_util::fnv1a64(&key);
             assert_eq!(old.moves(&new, &key), in_arcs(h), "hash {h:#x}");
         }
+    }
+
+    #[test]
+    fn owners_are_distinct_and_led_by_the_primary() {
+        let ring = HashRing::new(&["db0", "db1", "db2", "db3"]);
+        for key in keys(500) {
+            for r in 1..=5 {
+                let owners = ring.owners(&key, r);
+                assert_eq!(owners.len(), r.min(4));
+                assert_eq!(owners.first().copied(), ring.owner(&key));
+                let mut sorted = owners.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), owners.len(), "duplicate member in {owners:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn owners_wrap_past_the_top_of_the_hash_space() {
+        let ring = HashRing::new(&["db0", "db1", "db2"]);
+        let owners = ring.owners_of_hash(u64::MAX, 3);
+        assert_eq!(owners.len(), 3);
+        assert_eq!(owners.first().copied(), ring.owner_of_hash(u64::MAX));
+        let mut sorted = owners.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, ring.members().iter().map(String::as_str).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn owners_clamp_to_membership() {
+        let ring = HashRing::new(&["db0"]);
+        assert_eq!(ring.owners(b"k", 3), vec!["db0"]);
+        let empty = HashRing::new::<&str>(&[]);
+        assert!(empty.owners(b"k", 3).is_empty());
     }
 
     #[test]

@@ -20,8 +20,10 @@ use serde::de::DeserializeOwned;
 use serde::Serialize;
 
 use crate::provider::{
-    GetMultiHeader, KeyHeader, ListKeysArgs, PutMultiHeader, SliceExportArgs, SliceExportReply,
-    SliceImportArgs, SliceImportReply, ValuesHeader,
+    GetMultiHeader, HintDropArgs, HintDropEntry, HintEntry, HintListArgs, HintPutArgs, KeyHeader,
+    ListKeysArgs, PutMultiHeader, PutVersionedHeader, PutVersionedMultiHeader,
+    PutVersionedMultiReply, PutVersionedReply, SliceExportArgs, SliceExportReply, SliceImportArgs,
+    SliceImportReply, ValuesHeader, VersionedValuesHeader,
 };
 use crate::provider::rpc;
 
@@ -29,6 +31,9 @@ use crate::provider::rpc;
 /// Yokan's mutations are last-writer-wins over full values, so re-running
 /// a `put` (or `clear`/`flush`) converges to the same state. `erase` is
 /// excluded: its reply ("did the key exist") is not stable under retry.
+/// The versioned surfaces are idempotent by construction (put-if-newer:
+/// a re-send of the same record compares equal and is a no-op), as is
+/// `hint_put` (keep-freshest). `hint_drop` follows the `erase` rule.
 const IDEMPOTENT_RPCS: &[&str] = &[
     rpc::PUT,
     rpc::PUT_MULTI,
@@ -39,7 +44,24 @@ const IDEMPOTENT_RPCS: &[&str] = &[
     rpc::LEN,
     rpc::FLUSH,
     rpc::CLEAR,
+    rpc::PUT_VERSIONED,
+    rpc::PUT_VERSIONED_MULTI,
+    rpc::GET_VERSIONED_MULTI,
+    rpc::HINT_PUT,
+    rpc::HINT_LIST,
 ];
+
+/// One record as returned by [`DatabaseHandle::get_versioned_multi`]:
+/// the decoded version stamp, tombstone flag, and raw value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionedValue {
+    /// HLC-style version (0 for legacy unversioned records).
+    pub version: u64,
+    /// Whether the record is a deletion marker.
+    pub tombstone: bool,
+    /// Raw value bytes (empty for tombstones).
+    pub value: Vec<u8>,
+}
 
 /// Handle to a remote Yokan database.
 #[derive(Clone)]
@@ -226,10 +248,122 @@ impl DatabaseHandle {
         )
     }
 
-    /// Imports the REMI-delivered slice named `tag`, keeping keys the
-    /// provider already holds (rebalance drain, destination side).
-    pub fn slice_import(&self, tag: &str) -> Result<SliceImportReply, MargoError> {
-        self.call(rpc::SLICE_IMPORT, &SliceImportArgs { tag: tag.to_string() })
+    /// Imports the REMI-delivered slice named `tag` (rebalance drain,
+    /// destination side). Unversioned keyspaces keep keys the provider
+    /// already holds; `versioned` keyspaces run the per-key
+    /// freshest-wins compare instead.
+    pub fn slice_import(&self, tag: &str, versioned: bool) -> Result<SliceImportReply, MargoError> {
+        self.call(rpc::SLICE_IMPORT, &SliceImportArgs { tag: tag.to_string(), versioned })
+    }
+
+    /// Put-if-newer of one versioned record. `value = None` writes a
+    /// tombstone (a deletion that wins freshest-wins merges).
+    pub fn put_versioned(
+        &self,
+        key: &[u8],
+        version: u64,
+        value: Option<&[u8]>,
+    ) -> Result<PutVersionedReply, MargoError> {
+        let header = PutVersionedHeader {
+            key: key.to_vec(),
+            version,
+            tombstone: value.is_none(),
+        };
+        let payload = encode_framed(&header, value.unwrap_or(&[]))?;
+        let reply = self.call_raw(rpc::PUT_VERSIONED, payload)?;
+        let (reply, _) = decode_framed::<PutVersionedReply>(&reply)?;
+        Ok(reply)
+    }
+
+    /// Put-if-newer of many versioned records in one RPC. Each record is
+    /// `(key, version, value-or-tombstone)`.
+    pub fn put_versioned_multi(
+        &self,
+        records: &[(&[u8], u64, Option<&[u8]>)],
+    ) -> Result<PutVersionedMultiReply, MargoError> {
+        let keys: Vec<Vec<u8>> = records.iter().map(|(k, _, _)| k.to_vec()).collect();
+        let value_lens: Vec<u32> =
+            records.iter().map(|(_, _, v)| v.map_or(0, <[u8]>::len) as u32).collect();
+        let versions: Vec<u64> = records.iter().map(|(_, v, _)| *v).collect();
+        let tombstones: Vec<bool> = records.iter().map(|(_, _, v)| v.is_none()).collect();
+        let mut body = Vec::with_capacity(value_lens.iter().map(|l| *l as usize).sum());
+        for (_, _, value) in records {
+            body.extend_from_slice(value.unwrap_or(&[]));
+        }
+        let header = PutVersionedMultiHeader { keys, value_lens, versions, tombstones };
+        let payload = encode_framed(&header, &body)?;
+        let reply = self.call_raw(rpc::PUT_VERSIONED_MULTI, payload)?;
+        let (reply, _) = decode_framed::<PutVersionedMultiReply>(&reply)?;
+        Ok(reply)
+    }
+
+    /// Fetches many records with their version stamps (entry is `None`
+    /// when the provider holds no record at all; a tombstone comes back
+    /// as `Some` with the flag set).
+    pub fn get_versioned_multi(
+        &self,
+        keys: &[&[u8]],
+    ) -> Result<Vec<Option<VersionedValue>>, MargoError> {
+        let header = GetMultiHeader { keys: keys.iter().map(|k| k.to_vec()).collect() };
+        let payload = encode_framed(&header, &[])?;
+        let reply = self.call_raw(rpc::GET_VERSIONED_MULTI, payload)?;
+        let (header, body) = decode_framed::<VersionedValuesHeader>(&reply)?;
+        if header.versions.len() != header.lens.len()
+            || header.tombstones.len() != header.lens.len()
+        {
+            return Err(MargoError::Codec("get_versioned_multi header mismatch".into()));
+        }
+        let mut out = Vec::with_capacity(header.lens.len());
+        let mut cursor = 0usize;
+        for (i, len) in header.lens.iter().enumerate() {
+            if *len < 0 {
+                out.push(None);
+            } else {
+                let len = *len as usize;
+                if cursor + len > body.len() {
+                    return Err(MargoError::Codec("get_versioned_multi body truncated".into()));
+                }
+                out.push(Some(VersionedValue {
+                    version: header.versions[i],
+                    tombstone: header.tombstones[i],
+                    value: body[cursor..cursor + len].to_vec(),
+                }));
+                cursor += len;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parks a hinted-handoff record on this provider for the
+    /// unreachable ring member `target`. Returns whether the provider
+    /// accepted it (a full hint store rejects).
+    pub fn hint_put(
+        &self,
+        target: &str,
+        key: &[u8],
+        version: u64,
+        value: Option<&[u8]>,
+    ) -> Result<bool, MargoError> {
+        self.call(
+            rpc::HINT_PUT,
+            &HintPutArgs {
+                target: target.to_string(),
+                key: key.to_vec(),
+                version,
+                tombstone: value.is_none(),
+                value: value.unwrap_or(&[]).to_vec(),
+            },
+        )
+    }
+
+    /// Lists up to `max` parked hints (the drainer's work queue).
+    pub fn hint_list(&self, max: usize) -> Result<Vec<HintEntry>, MargoError> {
+        self.call(rpc::HINT_LIST, &HintListArgs { max })
+    }
+
+    /// Drops replayed hints (version-matched). Returns how many fell.
+    pub fn hint_drop(&self, entries: &[HintDropEntry]) -> Result<u64, MargoError> {
+        self.call(rpc::HINT_DROP, &HintDropArgs { entries: entries.to_vec() })
     }
 
     /// Whether `key` exists.

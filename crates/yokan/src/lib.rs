@@ -23,6 +23,7 @@ pub mod client;
 pub mod provider;
 pub mod replication;
 pub mod rpc_names;
+pub mod version;
 
 pub use backend::{create_backend, BackendConfig, Database, YokanError};
 pub use client::{CoalescerConfig, CoalescingHandle, DatabaseHandle};

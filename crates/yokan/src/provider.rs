@@ -99,6 +99,11 @@ pub struct SliceExportReply {
 pub struct SliceImportArgs {
     /// Slice tag (matches the export's `tag`).
     pub tag: String,
+    /// Replicated keyspaces store versioned records: import with a
+    /// per-key freshest-wins compare (put-if-newer) instead of
+    /// put-if-absent, so an in-flight dual write never loses to the
+    /// exported snapshot.
+    pub versioned: bool,
 }
 
 /// Reply of `SLICE_IMPORT`.
@@ -110,12 +115,151 @@ pub struct SliceImportReply {
     pub stored: u64,
 }
 
+/// Framed-header of `PUT_VERSIONED` (body = raw value, empty for
+/// tombstones). See [`crate::version`] for the stored-record layout.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct PutVersionedHeader {
+    /// The key.
+    pub key: Vec<u8>,
+    /// Client-stamped HLC-style version.
+    pub version: u64,
+    /// Whether this write is a deletion marker.
+    pub tombstone: bool,
+}
+
+/// Reply of `PUT_VERSIONED` (and per-key element of the multi variant).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PutVersionedReply {
+    /// Whether the record won the freshest-wins compare and was stored.
+    pub stored: bool,
+    /// Whether a *live* (non-tombstone) record existed before this op —
+    /// the replicated erase's "did the key exist" answer.
+    pub existed: bool,
+}
+
+/// Framed-header of `PUT_VERSIONED_MULTI`: parallel per-key arrays, body
+/// = concatenated raw values.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct PutVersionedMultiHeader {
+    /// Keys.
+    pub keys: Vec<Vec<u8>>,
+    /// Length of each raw value in the body (0 for tombstones).
+    pub value_lens: Vec<u32>,
+    /// Per-key version stamps.
+    pub versions: Vec<u64>,
+    /// Per-key tombstone flags.
+    pub tombstones: Vec<bool>,
+}
+
+/// Reply of `PUT_VERSIONED_MULTI`.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct PutVersionedMultiReply {
+    /// How many records won their compare and were stored.
+    pub stored: u64,
+    /// Per-key: whether a live record existed before the op.
+    pub existed: Vec<bool>,
+}
+
+/// Framed-header of `GET_VERSIONED_MULTI` responses: `lens[i] == -1`
+/// marks a key with *no record at all*; a tombstone is a present record
+/// with `tombstones[i]` set and a zero-length value.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct VersionedValuesHeader {
+    /// Per-key raw-value length or -1.
+    pub lens: Vec<i64>,
+    /// Per-key version (0 when missing or legacy-unversioned).
+    pub versions: Vec<u64>,
+    /// Per-key tombstone flag (false when missing).
+    pub tombstones: Vec<bool>,
+}
+
+/// Arguments of `HINT_PUT`: park a record for an unreachable `target`
+/// member on this provider (Dynamo-style hinted handoff).
+#[derive(Debug, Serialize, Deserialize)]
+pub struct HintPutArgs {
+    /// Ring member the record is destined for.
+    pub target: String,
+    /// The key.
+    pub key: Vec<u8>,
+    /// Version stamp of the hinted write.
+    pub version: u64,
+    /// Whether the hinted write is a deletion.
+    pub tombstone: bool,
+    /// Raw value (empty for tombstones).
+    pub value: Vec<u8>,
+}
+
+/// Arguments of `HINT_LIST`.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct HintListArgs {
+    /// Maximum hints to return (oldest-key order).
+    pub max: usize,
+}
+
+/// One parked hint, as listed by `HINT_LIST`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HintEntry {
+    /// Ring member the record is destined for.
+    pub target: String,
+    /// The key.
+    pub key: Vec<u8>,
+    /// Version stamp.
+    pub version: u64,
+    /// Whether the hinted write is a deletion.
+    pub tombstone: bool,
+    /// Raw value (empty for tombstones).
+    pub value: Vec<u8>,
+}
+
+/// One entry of `HINT_DROP`: dropped only if the parked version is still
+/// `<= version`, so a fresher hint parked mid-replay survives.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HintDropEntry {
+    /// Ring member the record was destined for.
+    pub target: String,
+    /// The key.
+    pub key: Vec<u8>,
+    /// Version the drainer replayed.
+    pub version: u64,
+}
+
+/// Arguments of `HINT_DROP`.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct HintDropArgs {
+    /// Replayed hints to drop.
+    pub entries: Vec<HintDropEntry>,
+}
+
+/// Stripes for the provider-side get-compare-put of `PUT_VERSIONED`:
+/// the backend has no compare-and-swap, so the compare runs under a
+/// striped mutex keyed like the memory backend's shards.
+const VLOCK_STRIPES: usize = 16;
+
+/// Bound on parked hints per provider. A full store rejects new hints
+/// (the writer counts that as a failed ack), so an extended outage
+/// degrades to quorum failures instead of unbounded memory growth.
+const HINT_CAP: usize = 8192;
+
+struct HintRecord {
+    version: u64,
+    tombstone: bool,
+    value: Vec<u8>,
+}
+
+/// In-memory hint store: deliberately *not* part of the [`Database`]
+/// (hints are transient routing state — they must not pollute
+/// `list_keys`/`len` or ride along slice drains).
+struct HintStore {
+    map: parking_lot::Mutex<std::collections::BTreeMap<(String, Vec<u8>), HintRecord>>,
+}
+
 /// A registered Yokan provider.
 pub struct YokanProvider {
     margo: MargoRuntime,
     provider_id: u16,
     db: Arc<dyn Database>,
     data_dir: Option<PathBuf>,
+    hints: Arc<HintStore>,
 }
 
 fn framed_handler(
@@ -300,8 +444,14 @@ impl YokanProvider {
                     .map_err(|e| e.to_string())
             },
         )?;
+        // Versioned-record + hint surface (replicated keyspaces,
+        // DESIGN.md §18). The get-compare-put of put-if-newer runs under
+        // striped mutexes; values stay framed raw bytes end to end.
+        let vlocks: Arc<Vec<parking_lot::Mutex<()>>> =
+            Arc::new((0..VLOCK_STRIPES).map(|_| parking_lot::Mutex::new(())).collect());
         let import_db = Arc::clone(&db);
         let import_root = data_dir.as_ref().map(|d| d.join("slices"));
+        let import_locks = Arc::clone(&vlocks);
         margo.register_typed(
             rpc::SLICE_IMPORT,
             provider_id,
@@ -310,11 +460,154 @@ impl YokanProvider {
                 let Some(root) = import_root.as_ref() else {
                     return Err("slice import needs a data-dir-rooted provider".into());
                 };
-                slice_import(&import_db, root, &args).map_err(|e| e.to_string())
+                slice_import(&import_db, &import_locks, root, &args).map_err(|e| e.to_string())
             },
         )?;
+        let vput_locks = Arc::clone(&vlocks);
+        margo.register(
+            rpc::PUT_VERSIONED,
+            provider_id,
+            pool,
+            framed_handler(&db, move |db, payload| {
+                let (header, body) =
+                    decode_framed::<PutVersionedHeader>(payload).map_err(|e| e.to_string())?;
+                let reply =
+                    put_if_newer(db, &vput_locks, &header.key, header.version, header.tombstone, &body)?;
+                encode_framed(&reply, &[]).map_err(|e| e.to_string())
+            }),
+        )?;
+        let vput_multi_locks = Arc::clone(&vlocks);
+        margo.register(
+            rpc::PUT_VERSIONED_MULTI,
+            provider_id,
+            pool,
+            framed_handler(&db, move |db, payload| {
+                let (header, body) =
+                    decode_framed::<PutVersionedMultiHeader>(payload).map_err(|e| e.to_string())?;
+                let n = header.keys.len();
+                if header.value_lens.len() != n
+                    || header.versions.len() != n
+                    || header.tombstones.len() != n
+                {
+                    return Err("parallel array length mismatch".into());
+                }
+                let total: usize = header.value_lens.iter().map(|l| *l as usize).sum();
+                if total != body.len() {
+                    return Err("body length mismatch".into());
+                }
+                let mut stored = 0u64;
+                let mut existed = Vec::with_capacity(n);
+                let mut cursor = 0usize;
+                for i in 0..n {
+                    let len = header.value_lens[i] as usize;
+                    let value = &body[cursor..cursor + len];
+                    cursor += len;
+                    let reply = put_if_newer(
+                        db,
+                        &vput_multi_locks,
+                        &header.keys[i],
+                        header.versions[i],
+                        header.tombstones[i],
+                        value,
+                    )?;
+                    if reply.stored {
+                        stored += 1;
+                    }
+                    existed.push(reply.existed);
+                }
+                encode_framed(&PutVersionedMultiReply { stored, existed }, &[])
+                    .map_err(|e| e.to_string())
+            }),
+        )?;
+        margo.register(
+            rpc::GET_VERSIONED_MULTI,
+            provider_id,
+            pool,
+            framed_handler(&db, |db, payload| {
+                let (header, _) =
+                    decode_framed::<GetMultiHeader>(payload).map_err(|e| e.to_string())?;
+                let keys: Vec<&[u8]> = header.keys.iter().map(|k| k.as_slice()).collect();
+                let values = db.get_multi(&keys).map_err(|e| e.to_string())?;
+                let mut lens = Vec::with_capacity(values.len());
+                let mut versions = Vec::with_capacity(values.len());
+                let mut tombstones = Vec::with_capacity(values.len());
+                let mut body = Vec::new();
+                for value in &values {
+                    match value {
+                        Some(stored) => {
+                            let record = crate::version::decode_record(stored);
+                            lens.push(record.value.len() as i64);
+                            versions.push(record.version);
+                            tombstones.push(record.tombstone);
+                            body.extend_from_slice(record.value);
+                        }
+                        None => {
+                            lens.push(-1);
+                            versions.push(0);
+                            tombstones.push(false);
+                        }
+                    }
+                }
+                encode_framed(&VersionedValuesHeader { lens, versions, tombstones }, &body)
+                    .map_err(|e| e.to_string())
+            }),
+        )?;
+        let hints = Arc::new(HintStore {
+            map: parking_lot::Mutex::new(std::collections::BTreeMap::new()),
+        });
+        let hint_put_store = Arc::clone(&hints);
+        margo.register_typed(rpc::HINT_PUT, provider_id, pool, move |args: HintPutArgs, _| {
+            let slot = (args.target, args.key);
+            let mut map = hint_put_store.map.lock();
+            if map.len() >= HINT_CAP && !map.contains_key(&slot) {
+                return Ok(false);
+            }
+            // Keep-freshest: `>=` so a transport-level re-send of the
+            // same hint converges instead of being dropped.
+            if map.get(&slot).is_none_or(|parked| args.version >= parked.version) {
+                map.insert(
+                    slot,
+                    HintRecord {
+                        version: args.version,
+                        tombstone: args.tombstone,
+                        value: args.value,
+                    },
+                );
+            }
+            Ok(true)
+        })?;
+        let hint_list_store = Arc::clone(&hints);
+        margo.register_typed(rpc::HINT_LIST, provider_id, pool, move |args: HintListArgs, _| {
+            let map = hint_list_store.map.lock();
+            let entries: Vec<HintEntry> = map
+                .iter()
+                .take(args.max)
+                .map(|((target, key), parked)| HintEntry {
+                    target: target.clone(),
+                    key: key.clone(),
+                    version: parked.version,
+                    tombstone: parked.tombstone,
+                    value: parked.value.clone(),
+                })
+                .collect();
+            Ok(entries)
+        })?;
+        let hint_drop_store = Arc::clone(&hints);
+        margo.register_typed(rpc::HINT_DROP, provider_id, pool, move |args: HintDropArgs, _| {
+            let mut map = hint_drop_store.map.lock();
+            let mut dropped = 0u64;
+            for entry in &args.entries {
+                let slot = (entry.target.clone(), entry.key.clone());
+                let replayed = map.get(&slot).is_some_and(|parked| parked.version <= entry.version);
+                if replayed {
+                    map.remove(&slot);
+                    dropped += 1;
+                }
+            }
+            Ok(dropped)
+        })?;
 
-        Ok(Arc::new(Self { margo: margo.clone(), provider_id, db, data_dir }))
+        Ok(Arc::new(Self { margo: margo.clone(), provider_id, db, data_dir, hints }))
     }
 
     /// This provider's id.
@@ -330,6 +623,12 @@ impl YokanProvider {
     /// The per-provider data directory, when Bedrock-managed.
     pub fn data_dir(&self) -> Option<&PathBuf> {
         self.data_dir.as_ref()
+    }
+
+    /// Number of parked hinted-handoff records (monitoring, tests).
+    pub fn hint_len(&self) -> usize {
+        let map = self.hints.map.lock();
+        map.len()
     }
 
     /// Deregisters all RPCs of this provider.
@@ -395,17 +694,84 @@ fn slice_export(
 }
 
 /// `SLICE_IMPORT` body: load the spill file REMI landed under
-/// `slices/<tag>`, keeping keys that already exist (written during the
-/// move, newer than the exported snapshot), then clean up.
+/// `slices/<tag>`, then clean up. Unversioned keyspaces keep keys that
+/// already exist (written during the move, newer than the exported
+/// snapshot); versioned keyspaces run the per-key freshest-wins compare
+/// instead, because an existing record may be *older* than the snapshot
+/// (a replica that missed writes while partitioned).
 fn slice_import(
     db: &Arc<dyn Database>,
+    vlocks: &[parking_lot::Mutex<()>],
     import_root: &std::path::Path,
     args: &SliceImportArgs,
 ) -> Result<SliceImportReply, String> {
     check_tag(&args.tag)?;
     let dir = import_root.join(&args.tag);
     let pairs = read_dump(&dir.join("slice.ykn")).map_err(|e| e.to_string())?;
-    let stored = db.load_absent(&pairs).map_err(|e| e.to_string())?;
+    let stored = if args.versioned {
+        let mut stored = 0u64;
+        for (key, record) in &pairs {
+            if store_if_newer_record(db, vlocks, key, record)? {
+                stored += 1;
+            }
+        }
+        stored
+    } else {
+        db.load_absent(&pairs).map_err(|e| e.to_string())?
+    };
     let _ = std::fs::remove_dir_all(&dir);
     Ok(SliceImportReply { pairs: pairs.len() as u64, stored })
+}
+
+/// Get-compare-put of one *already-encoded* record under the key's
+/// version-lock stripe. Returns whether the record won and was stored.
+fn store_if_newer_record(
+    db: &Arc<dyn Database>,
+    vlocks: &[parking_lot::Mutex<()>],
+    key: &[u8],
+    record: &[u8],
+) -> Result<bool, String> {
+    let stripe = (mochi_util::fnv1a64(key) as usize) % vlocks.len();
+    let guard = vlocks[stripe].lock();
+    let current = db.get(key).map_err(|e| e.to_string())?;
+    let newer = match &current {
+        None => true,
+        Some(stored) => crate::version::record_is_newer(record, stored),
+    };
+    if newer {
+        db.put(key, record).map_err(|e| e.to_string())?;
+    }
+    drop(guard);
+    Ok(newer)
+}
+
+/// `PUT_VERSIONED` body: encode the incoming write as a record and store
+/// it iff it is fresher than what the backend holds. `existed` reports
+/// whether a live (non-tombstone) record was present *before* the op —
+/// the answer a replicated erase surfaces to its caller.
+fn put_if_newer(
+    db: &Arc<dyn Database>,
+    vlocks: &[parking_lot::Mutex<()>],
+    key: &[u8],
+    version: u64,
+    tombstone: bool,
+    value: &[u8],
+) -> Result<PutVersionedReply, String> {
+    let record =
+        crate::version::encode_record(version, if tombstone { None } else { Some(value) });
+    let stripe = (mochi_util::fnv1a64(key) as usize) % vlocks.len();
+    let guard = vlocks[stripe].lock();
+    let current = db.get(key).map_err(|e| e.to_string())?;
+    let (newer, existed) = match &current {
+        None => (true, false),
+        Some(stored) => (
+            crate::version::record_is_newer(&record, stored),
+            !crate::version::decode_record(stored).tombstone,
+        ),
+    };
+    if newer {
+        db.put(key, &record).map_err(|e| e.to_string())?;
+    }
+    drop(guard);
+    Ok(PutVersionedReply { stored: newer, existed })
 }

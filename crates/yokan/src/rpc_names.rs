@@ -34,9 +34,27 @@ pub const SLICE_EXPORT: &str = "yokan_slice_export";
 /// Import a REMI-delivered spill file, keeping existing keys (routing
 /// rebalance drain, destination side).
 pub const SLICE_IMPORT: &str = "yokan_slice_import";
+/// Put-if-newer of one versioned record (framed: header = key + version
+/// + tombstone flag, body = raw value). The replicated keyspace's write
+/// primitive: the server keeps whichever record is freshest.
+pub const PUT_VERSIONED: &str = "yokan_put_versioned";
+/// Put-if-newer of many versioned records in one RPC (replica fan-out,
+/// hint replay, read repair, re-replication catch-up).
+pub const PUT_VERSIONED_MULTI: &str = "yokan_put_versioned_multi";
+/// Get many records *with* their version stamps and tombstone flags
+/// (quorum reads need versions to run the freshest-wins merge).
+pub const GET_VERSIONED_MULTI: &str = "yokan_get_versioned_multi";
+/// Park a hinted-handoff record on this provider for a currently
+/// unreachable owner (Dynamo-style sloppy quorum).
+pub const HINT_PUT: &str = "yokan_hint_put";
+/// List parked hints (the background drainer's work queue).
+pub const HINT_LIST: &str = "yokan_hint_list";
+/// Drop replayed hints (version-matched so a newer hint parked during
+/// the replay survives).
+pub const HINT_DROP: &str = "yokan_hint_drop";
 
 /// Every name above (used for deregistration).
-pub const ALL: [&str; 13] = [
+pub const ALL: [&str; 19] = [
     PUT,
     PUT_MULTI,
     GET,
@@ -50,4 +68,10 @@ pub const ALL: [&str; 13] = [
     ERASE_MULTI,
     SLICE_EXPORT,
     SLICE_IMPORT,
+    PUT_VERSIONED,
+    PUT_VERSIONED_MULTI,
+    GET_VERSIONED_MULTI,
+    HINT_PUT,
+    HINT_LIST,
+    HINT_DROP,
 ];

@@ -25,11 +25,18 @@
 #   34 a09_routing ran but emitted no target/BENCH_a09.json
 #   35 live-rebalance soak failed (zero-acked-write-loss regression
 #      while a keyspace member joins/retires mid-traffic)
+#   36 provider-kill chaos failed (replicated keyspace lost an acked
+#      write, stopped serving quorum reads, or failed to re-converge
+#      after a member was crashed mid-traffic at rf=3)
 #   10+ static-analysis failures (see scripts/lint.sh)
 set -u
 
 root="${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}"
 cd "$root"
+
+# Shared by every gate that only manifests with real parallelism (the
+# bench gates and the provider-kill chaos stage).
+cpus=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 
 echo "==> cargo build --release"
 cargo build --release || exit 20
@@ -47,6 +54,21 @@ cargo test -q --test chaos_soak || exit 23
 echo "==> cargo test -p mochi-core --test routed_rebalance"
 cargo test -q -p mochi-core --test routed_rebalance || exit 35
 
+# Provider-kill chaos (crates/core/tests/replicated_kill.rs, DESIGN.md
+# §18): at replication_factor 3 a member process is crashed abruptly
+# mid-traffic under a seeded fault plane; the replicated keyspace must
+# lose zero acked writes, keep serving quorum reads through the outage,
+# and re-converge every surviving replica after fail_member. Runs on
+# its own so a replication regression triages as 36, and only where the
+# writer/drainer/fan-out threads can actually interleave (>= 4 CPUs);
+# MOCHI_SKIP_BENCH_GATE=1 skips it with the other parallelism gates.
+if [ "${MOCHI_SKIP_BENCH_GATE:-0}" = "1" ] || [ "$cpus" -lt 4 ]; then
+    echo "==> provider-kill chaos skipped (cpus=${cpus}, MOCHI_SKIP_BENCH_GATE=${MOCHI_SKIP_BENCH_GATE:-0})"
+else
+    echo "==> cargo test -p mochi-core --test replicated_kill"
+    cargo test -q -p mochi-core --test replicated_kill || exit 36
+fi
+
 echo "==> cargo test"
 cargo test -q || exit 21
 
@@ -62,7 +84,6 @@ cargo bench -p mochi-bench --no-run || exit 22
 # "benches don't run in CI" rule — it only gates where contention can
 # actually manifest (>= 4 CPUs) and can be skipped outright with
 # MOCHI_SKIP_BENCH_GATE=1 (offline/minimal containers, shared runners).
-cpus=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 if [ "${MOCHI_SKIP_BENCH_GATE:-0}" = "1" ] || [ "$cpus" -lt 4 ]; then
     echo "==> write-scaling gate skipped (cpus=${cpus}, MOCHI_SKIP_BENCH_GATE=${MOCHI_SKIP_BENCH_GATE:-0})"
 else
